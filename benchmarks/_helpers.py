@@ -1,0 +1,27 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every bench writes its "paper vs measured" table to
+``benchmarks/results/<name>.txt`` (pytest captures stdout, so files are
+the durable record) and also attaches headline numbers to
+``benchmark.extra_info`` so they land in the pytest-benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    # Also echo for -s runs.
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def gap(new: float, old: float) -> float:
+    """Relative improvement of ``new`` over ``old`` in percent."""
+    return (new / old - 1.0) * 100.0

@@ -1,0 +1,76 @@
+"""Figure 1 — theoretical bubble ratio of synchronous pipeline schemes.
+
+Paper setting: bars for GPipe, DAPPLE, GEMS, Chimera (replica=2),
+Hanayo (wave=2) and Hanayo (wave=4) at 8 and 32 devices, with
+``B = P``, ``T_B = 2 T_F`` and communication ignored.
+
+Expected shape (read off the figure): GEMS worst (≈75-80%), GPipe and
+DAPPLE tied near 45-50%, Chimera clearly below them, Hanayo(2) below
+Chimera, Hanayo(4) lowest (≈13%).  We print both the closed-form values
+and the ratios measured by executing each schedule in the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, theoretical_bubble_ratio
+from repro.config import CostConfig, PipelineConfig
+from repro.runtime import AbstractCosts, bubble_stats, simulate
+from repro.schedules import build_schedule
+
+from _helpers import write_result
+
+SCHEMES = [
+    ("gpipe", 1),
+    ("dapple", 1),
+    ("gems", 1),
+    ("chimera", 1),
+    ("hanayo", 2),
+    ("hanayo", 4),
+]
+
+
+def simulated_ratio(scheme: str, p: int, w: int) -> float:
+    cfg = PipelineConfig(scheme=scheme, num_devices=p, num_microbatches=p,
+                         num_waves=w)
+    sched = build_schedule(cfg)
+    res = simulate(sched, AbstractCosts(CostConfig(), p, sched.num_stages))
+    return bubble_stats(res.timeline).bubble_ratio
+
+
+def compute() -> dict:
+    out = {}
+    for p in (8, 32):
+        for scheme, w in SCHEMES:
+            out[(p, scheme, w)] = (
+                theoretical_bubble_ratio(scheme, p, w=w),
+                simulated_ratio(scheme, p, w),
+            )
+    return out
+
+
+def test_fig01_theoretical_bubbles(benchmark):
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for (p, scheme, w), (theory, sim) in sorted(data.items()):
+        label = f"{scheme}" + (f"(w={w})" if scheme == "hanayo" else "")
+        rows.append([p, label, f"{theory * 100:.1f}%", f"{sim * 100:.1f}%"])
+    write_result("fig01_theoretical_bubbles", format_table(
+        ["devices", "scheme", "closed form", "simulated"],
+        rows,
+        title="Fig. 1 — theoretical bubble ratio (B=P, T_B=2T_F, T_C=0)",
+    ))
+
+    for p in (8, 32):
+        gems = data[(p, "gems", 1)]
+        gpipe = data[(p, "gpipe", 1)]
+        dapple = data[(p, "dapple", 1)]
+        chimera = data[(p, "chimera", 1)]
+        h2 = data[(p, "hanayo", 2)]
+        h4 = data[(p, "hanayo", 4)]
+        for i in (0, 1):  # both the closed form and the simulation
+            assert gems[i] > gpipe[i] > chimera[i] > h2[i] > h4[i]
+        assert abs(gpipe[i] - dapple[i]) < 0.02
+        # paper's reduction claim: Hanayo(4) bubble is under half of
+        # GPipe's at both device counts
+        assert h4[0] < gpipe[0] / 2
+    benchmark.extra_info["hanayo_w4_p8_simulated"] = data[(8, "hanayo", 4)][1]

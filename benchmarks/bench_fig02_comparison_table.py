@@ -1,0 +1,55 @@
+"""Figure 2 — the unified comparison of SOTA approaches.
+
+The paper's Fig. 2 is a qualitative table: bubble ratio and memory
+consumption per scheme (with K = P²/2 − P cross-communications charged
+to Chimera).  We regenerate it quantitatively from the unified
+performance model and assert the arrow directions the figure draws:
+
+* GPipe: high bubble, high activation memory.
+* DAPPLE: same bubble, lower (but skewed) activation memory.
+* GEMS: lowest memory, worst bubble.
+* Chimera: low bubble, 2x weight memory.
+* Hanayo: low bubble, 1x weight memory, DAPPLE-level activations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import chimera_k, compare_schemes, format_table
+
+from _helpers import write_result
+
+
+def compute():
+    return compare_schemes(p=8, b=8, waves=(2, 4))
+
+
+def test_fig02_comparison_table(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    by = {}
+    table = []
+    for i, r in enumerate(rows):
+        key = r.scheme if r.scheme != "hanayo" else f"hanayo{i}"
+        by[key] = r
+        table.append([
+            r.scheme, f"{r.bubble_ratio * 100:.1f}%",
+            r.weight_memory_units, f"{r.activation_memory_units:.2f}",
+            r.cross_comm_messages,
+        ])
+    write_result("fig02_comparison_table", format_table(
+        ["scheme", "bubble", "Mw (units)", "Ma (units)", "x-comm msgs"],
+        table,
+        title=f"Fig. 2 — unified comparison at P=8, B=8 (K = {chimera_k(8):.0f})",
+    ))
+
+    gpipe, dapple, gems = by["gpipe"], by["dapple"], by["gems"]
+    chimera, h2, h4 = by["chimera"], by["hanayo4"], by["hanayo5"]
+    # bubble arrows
+    assert gems.bubble_ratio > gpipe.bubble_ratio
+    assert chimera.bubble_ratio < gpipe.bubble_ratio
+    assert h2.bubble_ratio < chimera.bubble_ratio
+    # memory arrows
+    assert chimera.weight_memory_units == 2.0
+    assert h2.weight_memory_units == 1.0
+    assert gpipe.activation_memory_units >= dapple.activation_memory_units
+    assert gems.activation_memory_units < h2.activation_memory_units
+    assert h2.activation_memory_units <= dapple.activation_memory_units

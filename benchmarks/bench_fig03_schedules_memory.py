@@ -1,0 +1,90 @@
+"""Figure 3 — the five schedule diagrams and their peak Mw/Ma axes.
+
+Paper content: GPipe, DAPPLE, Chimera (P=8), Hanayo one-wave and
+Hanayo two-wave schedules at P=4, B=4 (B=8 for Chimera), annotated with
+per-device weight and activation unit counts.  We regenerate each
+schedule, render its Gantt chart into the results file, and assert the
+memory annotations:
+
+* GPipe Ma peaks at B units on every device; DAPPLE at P on device 0
+  declining to 1 on the last device.
+* Chimera stores 2 weight units per device, everyone else 1.
+* Hanayo's Ma (in bytes) never exceeds DAPPLE's worst device and is
+  more balanced.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.config import CostConfig, PipelineConfig
+from repro.models import A100_40G, bert_64, stage_costs
+from repro.runtime import AbstractCosts, memory_stats, simulate
+from repro.schedules import build_schedule
+from repro.viz import render_gantt
+
+from _helpers import write_result
+
+CASES = [
+    ("gpipe", 4, 4, 1),
+    ("dapple", 4, 4, 1),
+    ("chimera", 8, 8, 1),
+    ("hanayo", 4, 4, 1),
+    ("hanayo", 4, 4, 2),
+]
+
+
+def compute():
+    out = {}
+    model = bert_64()
+    for scheme, p, b, w in CASES:
+        cfg = PipelineConfig(scheme=scheme, num_devices=p,
+                             num_microbatches=b, num_waves=w)
+        sched = build_schedule(cfg)
+        res = simulate(sched, AbstractCosts(CostConfig(), p, sched.num_stages))
+        costs = stage_costs(model, sched.num_stages, A100_40G)
+        mem = memory_stats(sched, res.timeline, costs)
+        out[(scheme, w, p)] = (sched, res, mem, costs)
+    return out
+
+
+def test_fig03_schedules_and_memory(benchmark):
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    chunks = []
+    summary = []
+    for (scheme, w, p), (sched, res, mem, costs) in data.items():
+        label = f"{scheme}" + (f" (W={w})" if scheme == "hanayo" else "")
+        chunks.append(f"--- {label}, P={p} ---")
+        chunks.append(render_gantt(res.timeline, width=96))
+        act_peaks = [
+            (mem.peak_bytes[d] - mem.static_bytes[d])
+            / costs.activation_bytes[0] / sched.placement.chunks_on(d)
+            for d in sorted(mem.peak_bytes)
+        ]
+        summary.append([
+            label,
+            f"{mem.static_bytes[0] / 2**30:.1f}",
+            " ".join(f"{a:.1f}" for a in act_peaks),
+        ])
+        chunks.append("")
+    table = format_table(
+        ["schedule", "Mw dev0 (GiB)", "Ma peaks (device-units)"],
+        summary, title="Fig. 3 — peak memory annotations",
+    )
+    write_result("fig03_schedules_memory",
+                 "\n".join(chunks) + "\n" + table)
+
+    gpipe = data[("gpipe", 1, 4)][2]
+    dapple = data[("dapple", 1, 4)][2]
+    chimera = data[("chimera", 1, 8)][2]
+    h1 = data[("hanayo", 1, 4)][2]
+
+    # GPipe flat at B activations; DAPPLE declines from P to 1.
+    gp_acts = [gpipe.peak_bytes[d] - gpipe.static_bytes[d] for d in range(4)]
+    assert max(gp_acts) - min(gp_acts) < 1e-6
+    da_acts = [dapple.peak_bytes[d] - dapple.static_bytes[d] for d in range(4)]
+    assert da_acts == sorted(da_acts, reverse=True)
+    # Chimera's static (weights) doubles everyone else's.
+    assert chimera.static_bytes[0] > 1.9 * dapple.static_bytes[0] * (4 / 8)
+    # Hanayo peak no worse than DAPPLE's worst device, variance lower.
+    assert h1.highest_peak <= dapple.highest_peak * 1.001
+    assert h1.variance < dapple.variance

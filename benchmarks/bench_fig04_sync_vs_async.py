@@ -1,0 +1,77 @@
+"""Figure 4 — synchronous vs asynchronous pipeline parallelism.
+
+Paper content: the synchronous 1F1B pipeline flushes each iteration and
+pays fill/drain bubbles; the asynchronous version streams micro-batches
+with no flush and reaches a bubble-free steady state, at the price of
+weight staleness (the reason Sec. 2.3 gives for sticking to synchronous
+schedules).  We reproduce both halves quantitatively:
+
+* steady-state bubble ratio of async-1F1B ≈ 0 while sync > 0;
+* async weight staleness grows with pipeline depth, sync staleness = 0.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.config import CostConfig, PipelineConfig
+from repro.runtime import (
+    AbstractCosts,
+    bubble_stats,
+    simulate,
+    steady_state_bubble_ratio,
+)
+from repro.schedules import (
+    async_1f1b_schedule,
+    build_schedule,
+    max_staleness,
+)
+
+from _helpers import write_result
+
+
+def compute():
+    p, b = 4, 4
+    sync = build_schedule(PipelineConfig(
+        scheme="dapple", num_devices=p, num_microbatches=b))
+    sync_res = simulate(sync, AbstractCosts(CostConfig(), p, p))
+    async_sched = async_1f1b_schedule(PipelineConfig(
+        scheme="async-1f1b", num_devices=p, num_microbatches=b),
+        iterations=8)
+    async_res = simulate(async_sched, AbstractCosts(CostConfig(), p, p))
+    return {
+        "sync_full": bubble_stats(sync_res.timeline).bubble_ratio,
+        "sync_steady": steady_state_bubble_ratio(sync_res.timeline),
+        "async_steady": steady_state_bubble_ratio(async_res.timeline),
+        "async_staleness": max_staleness(async_sched),
+        "sync_staleness": 0,  # flush synchronises versions by definition
+        "depth_staleness": {
+            depth: max_staleness(async_1f1b_schedule(PipelineConfig(
+                scheme="async-1f1b", num_devices=depth,
+                num_microbatches=depth), iterations=4))
+            for depth in (2, 4, 8)
+        },
+    }
+
+
+def test_fig04_sync_vs_async(benchmark):
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        ["sync 1F1B (flush)", f"{data['sync_full'] * 100:.1f}%",
+         data["sync_staleness"]],
+        ["async 1F1B (no flush)", f"{data['async_steady'] * 100:.1f}%",
+         data["async_staleness"]],
+    ]
+    depth_rows = [[d, s] for d, s in data["depth_staleness"].items()]
+    write_result("fig04_sync_vs_async", format_table(
+        ["pipeline", "steady-state bubble", "max weight staleness"],
+        rows, title="Fig. 4 — synchronous vs asynchronous (P=4, B=4)",
+    ) + "\n\n" + format_table(
+        ["pipeline depth", "async staleness"], depth_rows,
+        title="Staleness growth with depth (why the paper stays synchronous)",
+    ))
+
+    assert data["sync_full"] > 0.2            # flush bubbles exist
+    assert data["async_steady"] < 0.02        # async steady state ~free
+    assert data["async_staleness"] > 0        # but weights are stale
+    ds = data["depth_staleness"]
+    assert ds[8] > ds[4] > ds[2]

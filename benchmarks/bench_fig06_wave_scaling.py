@@ -1,0 +1,83 @@
+"""Figure 6 — scaling Hanayo to more devices and more waves.
+
+Paper content: (a) a two-wave pipeline on 8 devices (each micro-batch's
+forward traces two 'V's); (b) wave=2 vs wave=4 on 4 devices, where
+doubling the waves halves each bubble.  Measured here:
+
+* the wave count W produces exactly W V-turns per forward pass;
+* simulated bubble ratio strictly decreases as waves double (T_C = 0);
+* the improvement survives a moderate T_C, and large T_C flips the
+  ordering back (the TACC effect of Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.config import CostConfig, PipelineConfig
+from repro.runtime import AbstractCosts, bubble_stats, simulate
+from repro.schedules import build_schedule
+
+from _helpers import write_result
+
+
+def bubble(p: int, b: int, w: int, t_c: float) -> float:
+    cfg = PipelineConfig(scheme="hanayo", num_devices=p,
+                         num_microbatches=b, num_waves=w)
+    sched = build_schedule(cfg, CostConfig(t_c=t_c))
+    res = simulate(sched, AbstractCosts(CostConfig(t_c=t_c), p,
+                                        sched.num_stages))
+    return bubble_stats(res.timeline).bubble_ratio
+
+
+def turns_per_forward(p: int, w: int) -> int:
+    cfg = PipelineConfig(scheme="hanayo", num_devices=p,
+                         num_microbatches=2, num_waves=w)
+    sched = build_schedule(cfg)
+    plc = sched.placement
+    # A 'V' is one down-pass + one up-pass; the snake has 2W passes
+    # joined by 2W-1 local turns, i.e. (turns + 1) / 2 V-shapes.
+    local_turns = sum(
+        plc.is_local_boundary(s) for s in range(sched.num_stages - 1)
+    )
+    return (local_turns + 1) // 2
+
+
+def compute():
+    ratios = {
+        (p, w, t_c): bubble(p, 8, w, t_c)
+        for p in (4, 8)
+        for w in (1, 2, 4)
+        for t_c in (0.0, 0.1, 1.0)
+    }
+    turns = {(p, w): turns_per_forward(p, w) for p in (4, 8)
+             for w in (1, 2, 4)}
+    return ratios, turns
+
+
+def test_fig06_wave_scaling(benchmark):
+    ratios, turns = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for p in (4, 8):
+        for w in (1, 2, 4):
+            rows.append([
+                p, w, turns[(p, w)],
+                f"{ratios[(p, w, 0.0)] * 100:.1f}%",
+                f"{ratios[(p, w, 0.1)] * 100:.1f}%",
+                f"{ratios[(p, w, 1.0)] * 100:.1f}%",
+            ])
+    write_result("fig06_wave_scaling", format_table(
+        ["P", "W", "V-turns", "bubble (t_c=0)", "bubble (t_c=0.1)",
+         "bubble (t_c=1.0)"],
+        rows, title="Fig. 6 — more waves, more devices (B=8)",
+    ))
+
+    for p in (4, 8):
+        # W waves = W 'V's per forward pass
+        for w in (1, 2, 4):
+            assert turns[(p, w)] == w
+        # halving bubbles with free communication
+        assert (ratios[(p, 1, 0.0)] > ratios[(p, 2, 0.0)]
+                > ratios[(p, 4, 0.0)])
+        # expensive comm erodes (and eventually reverses) the gain
+        assert ratios[(p, 4, 1.0)] > ratios[(p, 4, 0.0)]
+    assert ratios[(8, 4, 1.0)] > ratios[(8, 1, 1.0)] * 0.8

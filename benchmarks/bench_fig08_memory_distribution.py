@@ -1,0 +1,100 @@
+"""Figure 8 — peak-memory distribution over 32 GPUs on TACC Lonestar6.
+
+Paper content: four panels (BERT-64 and GPT-128, each at (P=8, N=4) and
+(P=16, N=2)) showing per-GPU peak memory for GPipe, DAPPLE, Chimera and
+Hanayo on 40 GB A100s.  Text claims: GPipe and DAPPLE have comparable
+highest peaks but GPipe OOMs in two settings; Chimera and Hanayo have
+lower highest peaks; variances — GPipe 1.33, DAPPLE 16.85, Chimera
+2.86, Hanayo 1.44 (DAPPLE's skew is the story, exact values are
+cluster-specific).
+
+Measured here: the per-device peak distribution of every scheme in all
+four settings, the OOM verdicts against 40 GB, and the variance
+ordering DAPPLE >> Chimera > Hanayo.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.config import CostConfig, PipelineConfig
+from repro.models import A100_40G, bert_64, gpt_128, stage_costs
+from repro.runtime import AbstractCosts, memory_stats, simulate
+from repro.schedules import build_schedule
+
+from _helpers import write_result
+
+#: (model, P, D, B, microbatch size); batches chosen to fill the 40 GB
+#: cards the way the paper's batch-2/batch-4 settings do — the GPT
+#: stack's deeper activation footprint is what pushes GPipe over the
+#: limit in two of the four settings.
+SETTINGS = [
+    (bert_64, 8, 4, 16, 2),
+    (bert_64, 16, 2, 32, 2),
+    (gpt_128, 8, 4, 16, 3),
+    (gpt_128, 16, 2, 32, 3),
+]
+SCHEMES = [("gpipe", 1), ("dapple", 1), ("chimera", 1), ("hanayo", 2)]
+
+
+def measure(model_fn, scheme, p, b, w, mb_size):
+    model = model_fn()
+    cfg = PipelineConfig(scheme=scheme, num_devices=p, num_microbatches=b,
+                         num_waves=w, microbatch_size=mb_size)
+    sched = build_schedule(cfg)
+    res = simulate(sched, AbstractCosts(CostConfig(), p, sched.num_stages))
+    costs = stage_costs(model, sched.num_stages, A100_40G, mb_size)
+    return memory_stats(sched, res.timeline, costs)
+
+
+def compute():
+    out = {}
+    for model_fn, p, d, b, mb in SETTINGS:
+        for scheme, w in SCHEMES:
+            mem = measure(model_fn, scheme, p, b, w, mb)
+            out[(model_fn().name, p, scheme)] = mem
+    return out
+
+
+def test_fig08_memory_distribution(benchmark):
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    cap = A100_40G.memory_bytes
+    rows = []
+    oom_count = {s: 0 for s, _ in SCHEMES}
+    for (model, p, scheme), mem in data.items():
+        oom = not mem.fits(cap)
+        if oom:
+            oom_count[scheme] += 1
+        rows.append([
+            model, p, scheme,
+            f"{mem.highest_peak / 2**30:.1f}",
+            f"{mem.mean_peak / 2**30:.1f}",
+            f"{mem.variance:.2f}",
+            "OOM" if oom else "fits",
+        ])
+    write_result("fig08_memory_distribution", format_table(
+        ["model", "P", "scheme", "highest peak GiB", "mean GiB",
+         "variance GiB^2", "40GB verdict"],
+        rows, title="Fig. 8 — peak memory across GPUs (TACC A100-40G)",
+    ))
+
+    # paper claims, per setting:
+    for model_fn, p, d, b, mb in SETTINGS:
+        name = model_fn().name
+        gpipe = data[(name, p, "gpipe")]
+        dapple = data[(name, p, "dapple")]
+        chimera = data[(name, p, "chimera")]
+        hanayo = data[(name, p, "hanayo")]
+        # GPipe highest peak >= everyone (it retains all activations)
+        assert gpipe.highest_peak >= dapple.highest_peak * 0.999
+        # DAPPLE's skew dominates the variance ranking
+        assert dapple.variance > chimera.variance
+        assert dapple.variance > hanayo.variance
+        # Hanayo's balance: variance within the GPipe..DAPPLE band,
+        # near the flat end
+        assert hanayo.variance < 0.5 * dapple.variance
+    # GPipe OOMs in two settings while Hanayo never does (paper: "GPipe
+    # caused Out of Memory errors in two settings")
+    assert oom_count["gpipe"] == 2
+    assert oom_count["hanayo"] == 0
+    assert oom_count["dapple"] == 0 and oom_count["chimera"] == 0
+    benchmark.extra_info["gpipe_oom_settings"] = oom_count["gpipe"]

@@ -1,0 +1,76 @@
+"""Figure 12 — strong scaling: a fixed batch on 8 → 32 TACC GPUs.
+
+Paper content: total batch fixed at 4 (the 40 GB limit); GPipe and
+DAPPLE OOM at 8 GPUs; Hanayo wins all three sizes, beating Chimera by
+~8-9%, with speedups of 188.4% (16 GPUs) and 337.5% (32 GPUs) over its
+own 8-GPU result — the fine-tuning use case.
+
+Shape asserted here: GPipe/DAPPLE OOM at 8 devices while Chimera-wave
+and Hanayo fit (their balanced schedules peak lower); Hanayo is fastest
+everywhere; its 16- and 32-device speedups land near the paper's
+super-linear-ish band (the extra devices also relieve memory pressure).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, speedup, strong_scaling
+from repro.cluster import make_tacc
+from repro.models import bert_64
+
+from _helpers import gap, write_result
+
+SCHEMES = ("gpipe", "dapple", "chimera-wave", "hanayo")
+DEVICES = (8, 16, 32)
+
+
+def compute():
+    # A fixed batch of 48 sequences saturates the 40 GB cards at 8
+    # devices (the paper's "batch size of 4 ... already reaches
+    # Lonestar6's 40GB memory limit" in its batch units).
+    return strong_scaling(
+        SCHEMES, make_tacc, bert_64(),
+        device_counts=DEVICES, total_batch=48,
+        target_microbatches=16,
+    )
+
+
+def test_fig12_strong_scaling(benchmark):
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for i, devices in enumerate(DEVICES):
+        row = [devices]
+        for scheme in SCHEMES:
+            point = out[scheme][i]
+            row.append(f"{point.throughput:.2f}" if point.throughput
+                       else "OOM")
+        rows.append(row)
+    s = speedup(out["hanayo"])
+    write_result("fig12_strong_scaling", format_table(
+        ["devices", *SCHEMES],
+        rows,
+        title="Fig. 12 — strong scaling, fixed batch, BERT on TACC "
+              "(paper: G/D OOM at 8 GPUs; Hanayo speedup 1.88x / 3.38x)\n"
+              f"Hanayo speedup: "
+              f"{', '.join(f'{x:.2f}x' for x in s)}",
+    ))
+
+    # GPipe OOMs at 8 devices (all B micro-batch activations resident on
+    # 40 GB cards) while the wave schedules fit.  Paper also OOMs DAPPLE
+    # here; our greedy Hanayo matches rather than undercuts DAPPLE's
+    # worst-device activation peak, so DAPPLE survives — the deviation
+    # is recorded in EXPERIMENTS.md.
+    assert out["gpipe"][0].throughput is None
+    assert out["hanayo"][0].throughput is not None
+    assert out["chimera-wave"][0].throughput is not None
+    # Hanayo wins every size it runs
+    for i in range(len(DEVICES)):
+        h = out["hanayo"][i].throughput
+        for scheme in SCHEMES:
+            t = out[scheme][i].throughput
+            if scheme != "hanayo" and t:
+                assert h > t, (scheme, DEVICES[i])
+    # speedup grows with devices, in a paper-like band
+    assert 1.3 < s[1] < 2.5
+    assert s[2] > s[1]
+    assert 2.0 < s[2] < 4.5
+    benchmark.extra_info["hanayo_speedup"] = [round(x, 2) for x in s]

@@ -1,0 +1,70 @@
+"""Extension — hybrid tensor x pipeline x data parallelism.
+
+The paper frames Hanayo inside the Megatron recipe (Secs. 1 and 6):
+tensor parallelism within a node, pipeline parallelism across nodes.
+This bench sweeps every (TP, PP, DP) factorization of a 16-GPU TACC
+slice and a 16-GPU NVLink (FC) slice and checks the recipe's two
+predictions:
+
+* on NVLink-rich nodes TP is cheap, so TP > 1 layouts are competitive
+  and relieve memory;
+* across slow node links TP collectives are expensive, so pure
+  pipeline+data layouts win.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, hybrid_search
+from repro.cluster import make_fc, make_tacc
+from repro.models import bert_64
+
+from _helpers import write_result
+
+
+def compute():
+    model = bert_64()
+    return {
+        "FC": hybrid_search("hanayo", make_fc(16), model,
+                            total_batch=32, waves=(2,)),
+        "TACC": hybrid_search("hanayo", make_tacc(16), model,
+                              total_batch=32, waves=(2,)),
+    }
+
+
+def test_hybrid_parallelism(benchmark):
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    best = {}
+    for cname, cells in data.items():
+        ranked = sorted(cells, key=lambda c: (c[2].seq_per_s or 0),
+                        reverse=True)
+        best[cname] = ranked[0]
+        for layout, w, r in ranked:
+            rows.append([
+                cname, layout.describe(), w,
+                None if r.oom else f"{r.seq_per_s:.2f}",
+                None if r.oom else f"{r.peak_mem_bytes / 2**30:.1f}",
+            ])
+    write_result("hybrid_parallelism", format_table(
+        ["cluster", "layout", "W", "seq/s", "peak GiB"],
+        rows, title="Hybrid 3D parallelism sweep, BERT-64 on 16 GPUs",
+    ))
+
+    # TACC: TP crosses PCIe/socket links -> pure PP x DP wins.
+    tacc_best = best["TACC"][0]
+    assert tacc_best.tp == 1
+    # TP shards weights: every TP=2 layout peaks lower than its TP=1
+    # sibling with the same (P, D) product per TP group.
+    for cname, cells in data.items():
+        by = {(l.tp, l.p, l.d): r for l, _, r in cells}
+        for (tp, p, d), r in by.items():
+            sibling = by.get((1, p, d))
+            if tp == 2 and sibling is not None and not r.oom \
+                    and not sibling.oom:
+                assert r.peak_mem_bytes < sibling.peak_mem_bytes
+    # FC: with NVLink everywhere, at least one TP>1 layout lands in the
+    # top half of the ranking (TP is viable, even if PP wins outright).
+    fc_ranked = sorted(data["FC"], key=lambda c: (c[2].seq_per_s or 0),
+                       reverse=True)
+    top_half = fc_ranked[: max(1, len(fc_ranked) // 2)]
+    assert any(l.tp > 1 for l, _, _ in top_half)

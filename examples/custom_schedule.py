@@ -1,0 +1,92 @@
+"""Author a custom pipeline schedule through the unified framework.
+
+The paper's runtime is decoupled from the scheduling algorithm: any
+placement + policy pair becomes an executable action list.  This
+example builds a *user-defined* scheme — a "lazy wave" that prioritises
+draining old micro-batches over chasing the wave front — validates it,
+compiles it, checks it against a rendezvous backend, simulates it, and
+finally executes it for real on the NumPy engine to prove gradients
+still match.
+
+Run:  python examples/custom_schedule.py
+"""
+
+import numpy as np
+
+from repro.actions import compile_schedule, count_messages, validate_actions
+from repro.config import CostConfig, PipelineConfig
+from repro.engine import PipelineTrainer, make_batch, sequential_step
+from repro.models import tiny_model
+from repro.runtime import AbstractCosts, bubble_stats, simulate
+from repro.schedules import (
+    GreedyPolicy,
+    Schedule,
+    greedy_order,
+    validate,
+    wave_priority,
+)
+from repro.schedules.placement import SnakePlacement
+from repro.types import OpKind
+from repro.viz import render_gantt
+
+
+def lazy_wave_priority(op):
+    """Micro-batch FIFO everywhere — drain before exploring."""
+    if op.kind is OpKind.BACKWARD:
+        return (0, op.microbatch, op.stage)
+    return (1, op.microbatch, -op.stage)
+
+
+def build_custom(p: int, b: int) -> Schedule:
+    cfg = PipelineConfig(scheme="hanayo", num_devices=p,
+                         num_microbatches=b, num_waves=1)
+    sched = Schedule.empty("lazy-wave", cfg, SnakePlacement(p, 1))
+    policy = GreedyPolicy(priority=lazy_wave_priority,
+                          open_cap=lambda d: 2 * p, cap_mode="chunks")
+    return greedy_order(sched, policy)
+
+
+def main() -> None:
+    p = b = 4
+    custom = build_custom(p, b)
+    validate(custom)  # structural invariants hold
+    print(f"custom schedule: {custom.describe()}")
+
+    lists = compile_schedule(custom)
+    validate_actions(lists, rendezvous=True)  # NCCL-safe with batching
+    print(f"compiled: {count_messages(lists)} P2P messages, "
+          "rendezvous-deadlock-free")
+
+    res = simulate(custom, AbstractCosts(CostConfig(), p, custom.num_stages))
+    print(f"bubble ratio: "
+          f"{bubble_stats(res.timeline).bubble_ratio * 100:.1f}% "
+          "(compare the stock wave policy below)")
+    print(render_gantt(res.timeline, width=90))
+
+    # Stock Hanayo policy on the same shape, for contrast.
+    cfg = PipelineConfig(scheme="hanayo", num_devices=p,
+                         num_microbatches=b, num_waves=1)
+    stock = Schedule.empty("stock-wave", cfg, SnakePlacement(p, 1))
+    greedy_order(stock, GreedyPolicy(priority=wave_priority,
+                                     open_cap=lambda d: 2 * p,
+                                     cap_mode="chunks"))
+    res2 = simulate(stock, AbstractCosts(CostConfig(), p, stock.num_stages))
+    print(f"stock wave policy bubble: "
+          f"{bubble_stats(res2.timeline).bubble_ratio * 100:.1f}%")
+
+    # The runtime executes *any* valid schedule with exact gradients.
+    spec = tiny_model(num_layers=8, hidden=16, heads=2, seq_len=6, vocab=32)
+    trainer = PipelineTrainer(spec, cfg, seed=1)
+    trainer.schedule = custom
+    trainer.actions = compile_schedule(custom, add_step=False)
+    inputs, targets = make_batch(spec, b, seed=3)
+    result = trainer.train_step(inputs, targets)
+    ref = sequential_step(spec, custom.num_stages, inputs, targets, seed=1)
+    worst = max(float(np.max(np.abs(result.grads[k] - ref.grads[k])))
+                for k in ref.grads)
+    print(f"\nexecuted on the NumPy engine: loss={result.loss:.6f}, "
+          f"max grad diff vs sequential = {worst:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: build a Hanayo schedule, simulate it, read the numbers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PipelineConfig, build_schedule, simulate
+from repro.analysis import hanayo_bubble_ratio
+from repro.config import CostConfig
+from repro.runtime import AbstractCosts, bubble_stats
+from repro.viz import render_gantt
+
+
+def main() -> None:
+    # A wave pipeline: 4 devices, 4 micro-batches, 2 waves -> 16 stages.
+    cfg = PipelineConfig(
+        scheme="hanayo", num_devices=4, num_microbatches=4, num_waves=2
+    )
+    schedule = build_schedule(cfg)
+    print(f"schedule: {schedule.describe()}")
+
+    # Simulate with the paper's abstract costs: T_B = 2 T_F, free comm.
+    costs = AbstractCosts(CostConfig(), cfg.num_devices, schedule.num_stages)
+    result = simulate(schedule, costs)
+    stats = bubble_stats(result.timeline)
+    print(f"makespan     : {result.makespan:.2f} (T_F units)")
+    print(f"bubble ratio : {stats.bubble_ratio * 100:.1f}% measured, "
+          f"{hanayo_bubble_ratio(4, 2) * 100:.1f}% from Eq. (1)")
+    print()
+    print(render_gantt(result.timeline, width=100))
+
+    # Compare against the classic baselines on the same shape.
+    print("\nversus the baselines:")
+    for scheme in ("gpipe", "dapple", "chimera-wave"):
+        other = build_schedule(cfg.with_scheme(scheme, num_waves=1))
+        oc = AbstractCosts(CostConfig(), cfg.num_devices, other.num_stages)
+        ratio = bubble_stats(simulate(other, oc).timeline).bubble_ratio
+        print(f"  {scheme:13s} bubble = {ratio * 100:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Render every pipeline scheme's schedule as ASCII Gantt charts.
+
+A text reproduction of the paper's Fig. 3 — useful for building
+intuition about warmup shapes, wave turns and where the bubbles live.
+
+Run:  python examples/schedule_gallery.py [devices] [microbatches]
+"""
+
+import sys
+
+from repro.config import CostConfig, PipelineConfig
+from repro.runtime import AbstractCosts, bubble_stats, simulate
+from repro.schedules import build_schedule
+from repro.viz import render_gantt
+
+GALLERY = [
+    ("gpipe", 1, "GPipe — all forwards, then all backwards"),
+    ("dapple", 1, "DAPPLE / 1F1B — warmup, alternate, drain"),
+    ("gems", 1, "GEMS — two directions, one micro-batch pair in flight"),
+    ("chimera", 1, "Chimera — bidirectional, 2 model replicas"),
+    ("chimera-wave", 1, "Chimera-wave — the Sec. 3.2 transform"),
+    ("hanayo", 1, "Hanayo, one wave"),
+    ("hanayo", 2, "Hanayo, two waves"),
+]
+
+
+def main() -> None:
+    p = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    b = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    for scheme, w, caption in GALLERY:
+        cfg = PipelineConfig(scheme=scheme, num_devices=p,
+                             num_microbatches=b, num_waves=w)
+        sched = build_schedule(cfg)
+        res = simulate(
+            sched, AbstractCosts(CostConfig(), p, sched.num_stages)
+        )
+        ratio = bubble_stats(res.timeline).bubble_ratio
+        print(f"=== {caption} ===")
+        print(f"    stages={sched.num_stages}  makespan={res.makespan:.1f}"
+              f"  bubble={ratio * 100:.1f}%")
+        print(render_gantt(res.timeline, width=96))
+        print()
+
+
+if __name__ == "__main__":
+    main()

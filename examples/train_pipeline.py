@@ -1,0 +1,64 @@
+"""Really *train* a model through the pipeline runtime.
+
+Builds a small transformer from the same spec type as the paper's
+models, compiles a Hanayo schedule to action lists, executes them on
+one thread per simulated device with P2P channels, verifies the
+gradients against a sequential run, then trains for a few optimizer
+steps.
+
+Run:  python examples/train_pipeline.py
+"""
+
+import numpy as np
+
+from repro.config import PipelineConfig
+from repro.engine import (
+    Adam,
+    PipelineTrainer,
+    make_batch,
+    sequential_step,
+)
+from repro.models import tiny_model
+
+
+def main() -> None:
+    spec = tiny_model(num_layers=8, hidden=32, heads=4, seq_len=12,
+                      vocab=64)
+    cfg = PipelineConfig(
+        scheme="hanayo", num_devices=4, num_microbatches=4, num_waves=1
+    )
+    trainer = PipelineTrainer(spec, cfg, seed=0)
+    print(f"model     : {spec.describe()}")
+    print(f"pipeline  : {cfg.describe()} -> {trainer.schedule.num_stages} "
+          f"stages")
+
+    inputs, targets = make_batch(spec, cfg.num_microbatches,
+                                 microbatch_size=2, seed=42)
+
+    # 1. Correctness: the pipeline is a pure re-ordering of sequential
+    #    training, so gradients must agree to float64 accuracy.
+    result = trainer.train_step(inputs, targets)
+    reference = sequential_step(spec, trainer.schedule.num_stages,
+                                inputs, targets, seed=0)
+    worst = max(
+        float(np.max(np.abs(result.grads[k] - reference.grads[k])))
+        for k in reference.grads
+    )
+    print(f"loss      : pipeline {result.loss:.6f} "
+          f"/ sequential {reference.loss:.6f}")
+    print(f"grad diff : {worst:.2e} (max abs over "
+          f"{len(result.grads)} tensors)")
+    print(f"messages  : {result.messages_sent} P2P tensors exchanged")
+
+    # 2. Training: a few Adam steps through the full pipeline path.
+    trainer = PipelineTrainer(spec, cfg, seed=0)
+    optimizer = Adam(trainer.parameter_stages(), lr=3e-3)
+    print("\ntraining:")
+    for step in range(5):
+        trainer.zero_grad()
+        out = trainer.train_step(inputs, targets, optimizer=optimizer)
+        print(f"  step {step}: loss = {out.loss:.4f}")
+
+
+if __name__ == "__main__":
+    main()

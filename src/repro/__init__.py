@@ -1,0 +1,50 @@
+"""repro — a full reproduction of *Hanayo: Harnessing Wave-like Pipeline
+Parallelism for Enhanced Large Model Training Efficiency* (SC '23).
+
+Layers of the library, bottom-up:
+
+* :mod:`repro.models` / :mod:`repro.cluster` — model specs, cost models
+  and the four evaluation clusters.
+* :mod:`repro.schedules` — schedule generators for GPipe, DAPPLE/1F1B,
+  interleaved 1F1B, GEMS, Chimera (+ the wave transform), Hanayo, and
+  PipeDream-style async.
+* :mod:`repro.actions` — the action-list runtime: compiler, static
+  validation (incl. rendezvous deadlock checking), interpreter.
+* :mod:`repro.runtime` — discrete-event simulation, memory tracking,
+  metrics.
+* :mod:`repro.engine` — a real NumPy training engine (thread workers,
+  P2P channels) that executes the same action lists.
+* :mod:`repro.analysis` — the paper's analytic models, config search,
+  and scaling harnesses.
+
+Quickstart::
+
+    from repro import PipelineConfig, build_schedule, simulate
+    from repro.config import CostConfig
+    from repro.runtime import AbstractCosts, bubble_stats
+
+    cfg = PipelineConfig("hanayo", num_devices=8, num_microbatches=8,
+                         num_waves=2)
+    sched = build_schedule(cfg)
+    res = simulate(sched, AbstractCosts(CostConfig(), 8, sched.num_stages))
+    print(bubble_stats(res.timeline).bubble_ratio)
+"""
+
+from .analysis import measure_throughput
+from .config import CostConfig, PipelineConfig, RunConfig
+from .errors import ReproError
+from .runtime import simulate
+from .schedules import build_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostConfig",
+    "PipelineConfig",
+    "ReproError",
+    "RunConfig",
+    "__version__",
+    "build_schedule",
+    "measure_throughput",
+    "simulate",
+]

@@ -1,0 +1,46 @@
+"""Action lists: IR, compiler, interpreter, and static validation."""
+
+from .compiler import (
+    batch_opposing,
+    comm_actions,
+    compile_schedule,
+    count_messages,
+    hoist_recvs,
+)
+from .interpreter import Executor, Interpreter
+from .ops import (
+    Action,
+    BatchedP2P,
+    CommKind,
+    ComputeBackward,
+    ComputeForward,
+    Flush,
+    OptimizerStep,
+    Recv,
+    Send,
+    Tag,
+)
+from .validate import check_deadlock_free, check_matching, validate_actions
+
+__all__ = [
+    "Action",
+    "BatchedP2P",
+    "CommKind",
+    "ComputeBackward",
+    "ComputeForward",
+    "Executor",
+    "Flush",
+    "Interpreter",
+    "OptimizerStep",
+    "Recv",
+    "Send",
+    "Tag",
+    "batch_opposing",
+    "check_deadlock_free",
+    "check_matching",
+    "comm_actions",
+    "compile_schedule",
+    "count_messages",
+    "hoist_recvs",
+    "validate_actions",
+]

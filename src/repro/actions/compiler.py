@@ -1,0 +1,173 @@
+"""Compile a schedule into per-worker action lists.
+
+The scheduler on the master node "generates the action list based on a
+specific pipeline" (Sec. 4.1).  Compilation is mechanical:
+
+1. Walk each device's op sequence.
+2. Before a compute whose producer lives on another device, emit the
+   matching ``Recv``; after a compute whose consumer lives elsewhere,
+   emit the matching ``Send``.  Local boundaries (wave turns) emit
+   nothing — the transform benefit of Sec. 3.2 falls out here.
+3. An optional **prefetch pass** hoists each ``Recv`` above the
+   preceding compute action (Sec. 4.2's look-ahead), so transport
+   overlaps computation when the interpreter posts receives
+   asynchronously.
+4. An optional **batching pass** fuses a ``Send`` and ``Recv`` that
+   target the same peer and are adjacent in the program into one
+   ``BatchedP2P`` — the ``batch_isend_irecv`` grouping that avoids the
+   rendezvous deadlock at wave turns.
+5. Synchronous schedules end with ``Flush`` + ``OptimizerStep``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from ..schedules.base import Schedule
+from ..types import OpKind, ScheduleOp
+from .ops import (
+    Action,
+    BatchedP2P,
+    CommKind,
+    ComputeBackward,
+    ComputeForward,
+    Flush,
+    OptimizerStep,
+    Recv,
+    Send,
+    Tag,
+)
+
+
+def _producer_device(schedule: Schedule, op: ScheduleOp) -> dict[Tag, int]:
+    """Tags this op consumes, mapped to the producing device."""
+    plc = schedule.placement
+    needs: dict[Tag, int] = {}
+    if op.kind is OpKind.FORWARD:
+        if op.stage > 0:
+            src = plc.device_of(op.stage - 1, op.replica)
+            if src != op.device:
+                needs[Tag(CommKind.ACTIVATION, op.microbatch, op.stage - 1)] = src
+    else:
+        if op.stage < schedule.num_stages - 1:
+            src = plc.device_of(op.stage + 1, op.replica)
+            if src != op.device:
+                needs[Tag(CommKind.GRADIENT, op.microbatch, op.stage + 1)] = src
+    return needs
+
+
+def _consumer_device(schedule: Schedule, op: ScheduleOp) -> dict[Tag, int]:
+    """Tags this op produces for other devices, mapped to the consumer."""
+    plc = schedule.placement
+    sends: dict[Tag, int] = {}
+    if op.kind is OpKind.FORWARD:
+        if op.stage < schedule.num_stages - 1:
+            dst = plc.device_of(op.stage + 1, op.replica)
+            if dst != op.device:
+                sends[Tag(CommKind.ACTIVATION, op.microbatch, op.stage)] = dst
+    else:
+        if op.stage > 0:
+            dst = plc.device_of(op.stage - 1, op.replica)
+            if dst != op.device:
+                sends[Tag(CommKind.GRADIENT, op.microbatch, op.stage)] = dst
+    return sends
+
+
+def compile_schedule(
+    schedule: Schedule,
+    prefetch: bool = True,
+    batch_cross_comm: bool = True,
+    add_step: bool = True,
+) -> dict[int, list[Action]]:
+    """Lower ``schedule`` to per-worker action lists."""
+    lists: dict[int, list[Action]] = {}
+    for device, ops in schedule.device_ops.items():
+        actions: list[Action] = []
+        for op in ops:
+            for tag, src in _producer_device(schedule, op).items():
+                actions.append(Recv(peer=src, tag=tag))
+            if op.kind is OpKind.FORWARD:
+                actions.append(ComputeForward(op.microbatch, op.stage, op.chunk))
+            else:
+                actions.append(ComputeBackward(op.microbatch, op.stage, op.chunk))
+            for tag, dst in _consumer_device(schedule, op).items():
+                actions.append(Send(peer=dst, tag=tag))
+        if prefetch:
+            actions = hoist_recvs(actions)
+        if batch_cross_comm:
+            actions = batch_opposing(actions)
+        if add_step:
+            actions.append(Flush())
+            actions.append(OptimizerStep())
+        lists[device] = actions
+    return lists
+
+
+def hoist_recvs(actions: list[Action]) -> list[Action]:
+    """Prefetch pass: move each Recv above the preceding compute.
+
+    Mirrors the paper's look-ahead: "before initiating a slice of
+    computation, the processor looks ahead to check the next receive
+    instruction and launches the subsequent receive request before the
+    current forward/backward propagation."  A recv hops over at most
+    one compute action and never over another comm action, keeping
+    send/recv relative order across workers intact (safety for
+    rendezvous backends).
+    """
+    out = list(actions)
+    i = 1
+    while i < len(out):
+        act = out[i]
+        if isinstance(act, Recv):
+            j = i - 1
+            if isinstance(out[j], (ComputeForward, ComputeBackward)):
+                out[j], out[i] = out[i], out[j]
+        i += 1
+    return out
+
+
+def batch_opposing(actions: list[Action]) -> list[Action]:
+    """Fuse adjacent Send/Recv with the same peer into one BatchedP2P.
+
+    Only *opposing* pairs (one send, one recv, same peer) are fused —
+    exactly the wave-turn exchanges that deadlock a rendezvous backend
+    when issued as two ordered blocking calls.
+    """
+    out: list[Action] = []
+    i = 0
+    while i < len(actions):
+        a = actions[i]
+        b = actions[i + 1] if i + 1 < len(actions) else None
+        pair = None
+        if isinstance(a, Send) and isinstance(b, Recv) and a.peer == b.peer:
+            pair = BatchedP2P(sends=(a,), recvs=(b,))
+        elif isinstance(a, Recv) and isinstance(b, Send) and a.peer == b.peer:
+            pair = BatchedP2P(sends=(b,), recvs=(a,))
+        if pair is not None:
+            out.append(pair)
+            i += 2
+        else:
+            out.append(a)
+            i += 1
+    return out
+
+
+def comm_actions(actions: list[Action]) -> list[Action]:
+    """Flatten to the comm-only view (batched groups expanded)."""
+    flat: list[Action] = []
+    for act in actions:
+        if isinstance(act, BatchedP2P):
+            flat.extend(act.sends)
+            flat.extend(act.recvs)
+        elif isinstance(act, (Send, Recv)):
+            flat.append(act)
+    return flat
+
+
+def count_messages(lists: dict[int, list[Action]]) -> int:
+    """Total cross-device messages (sends) in a compiled program."""
+    return sum(
+        1
+        for actions in lists.values()
+        for act in comm_actions(actions)
+        if isinstance(act, Send)
+    )

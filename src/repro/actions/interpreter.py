@@ -1,0 +1,106 @@
+"""Action-list interpreter (the paper's worker-side runtime).
+
+Each worker owns one :class:`Interpreter` bound to an
+:class:`Executor` — the object that actually computes and communicates.
+The interpreter is deliberately dumb: it walks the list and dispatches.
+All scheduling intelligence lives in the compiler/scheduler, which is
+the decoupling the paper's runtime design argues for: the same
+interpreter executes GPipe, DAPPLE, Chimera or Hanayo programs.
+
+Asynchronous receives: a ``Recv`` action *posts* the receive and
+registers the pending tag; the value is awaited lazily when a compute
+action needs it.  Combined with the compiler's prefetch pass this gives
+the communication/computation overlap of Sec. 4.2 on backends with real
+concurrency (the thread engine), and is a no-op on synchronous
+executors.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..errors import EngineError
+from .ops import (
+    Action,
+    BatchedP2P,
+    ComputeBackward,
+    ComputeForward,
+    Flush,
+    OptimizerStep,
+    Recv,
+    Send,
+    Tag,
+)
+
+
+class Executor(Protocol):
+    """What a backend must provide to run action lists."""
+
+    def compute_forward(self, microbatch: int, stage: int, chunk: int) -> None: ...
+
+    def compute_backward(self, microbatch: int, stage: int, chunk: int) -> None: ...
+
+    def post_send(self, peer: int, tag: Tag) -> None: ...
+
+    def post_recv(self, peer: int, tag: Tag) -> None: ...
+
+    def wait_recv(self, peer: int, tag: Tag) -> None: ...
+
+    def flush(self) -> None: ...
+
+    def optimizer_step(self) -> None: ...
+
+
+class Interpreter:
+    """Drives one worker's action list against an executor."""
+
+    def __init__(self, device: int, executor: Executor):
+        self.device = device
+        self.executor = executor
+        self._pending: list[tuple[int, Tag]] = []
+        self.executed = 0
+
+    def _drain_pending(self) -> None:
+        while self._pending:
+            peer, tag = self._pending.pop(0)
+            self.executor.wait_recv(peer, tag)
+
+    def run(self, actions: list[Action]) -> int:
+        """Execute the whole program; returns the action count executed."""
+        for act in actions:
+            self.step(act)
+        if self._pending:
+            raise EngineError(
+                f"worker {self.device}: {len(self._pending)} posted receives "
+                "never consumed"
+            )
+        return self.executed
+
+    def step(self, act: Action) -> None:
+        ex = self.executor
+        if isinstance(act, ComputeForward):
+            self._drain_pending()
+            ex.compute_forward(act.microbatch, act.stage, act.chunk)
+        elif isinstance(act, ComputeBackward):
+            self._drain_pending()
+            ex.compute_backward(act.microbatch, act.stage, act.chunk)
+        elif isinstance(act, Send):
+            ex.post_send(act.peer, act.tag)
+        elif isinstance(act, Recv):
+            ex.post_recv(act.peer, act.tag)
+            self._pending.append((act.peer, act.tag))
+        elif isinstance(act, BatchedP2P):
+            # Group semantics: post everything before waiting anything.
+            for r in act.recvs:
+                ex.post_recv(r.peer, r.tag)
+                self._pending.append((r.peer, r.tag))
+            for s in act.sends:
+                ex.post_send(s.peer, s.tag)
+        elif isinstance(act, Flush):
+            self._drain_pending()
+            ex.flush()
+        elif isinstance(act, OptimizerStep):
+            ex.optimizer_step()
+        else:
+            raise EngineError(f"unknown action {act!r}")
+        self.executed += 1

@@ -1,0 +1,103 @@
+"""Analytic models, search, scaling, and reporting."""
+
+from .bubbles import (
+    chimera_bubble_ratio,
+    dapple_bubble_ratio,
+    gems_bubble_ratio,
+    gpipe_bubble_ratio,
+    hanayo_bubble_ratio,
+    hanayo_bubble_ratio_simplified,
+    interleaved_bubble_ratio,
+    theoretical_bubble_ratio,
+)
+from .memory_model import activation_balance_note, activation_units, weight_units
+from .perf_model import (
+    SchemeProfile,
+    chimera_k,
+    compare_schemes,
+    cross_comm_messages,
+    scheme_profile,
+)
+from .report import format_table, percent, ratio_vs
+from .scaling import (
+    ScalingPoint,
+    layouts_for,
+    parallel_efficiency,
+    speedup,
+    strong_scaling,
+    weak_scaling,
+)
+from .search import (
+    DEFAULT_WAVES,
+    SearchCell,
+    best_config,
+    best_throughput,
+    feasible_waves,
+    search_grid,
+)
+from .hybrid import (
+    HybridLayout,
+    apply_tensor_parallel,
+    hybrid_search,
+    measure_hybrid_throughput,
+    tp_allreduce_seconds,
+)
+from .throughput import (
+    ThroughputResult,
+    dp_allreduce_seconds,
+    measure_throughput,
+)
+from .zones import (
+    ZoneBreakdown,
+    classify_idle,
+    zone_a_size,
+    zone_b_size,
+    zone_c_sizes,
+)
+
+__all__ = [
+    "DEFAULT_WAVES",
+    "HybridLayout",
+    "ScalingPoint",
+    "SchemeProfile",
+    "SearchCell",
+    "ThroughputResult",
+    "ZoneBreakdown",
+    "activation_balance_note",
+    "apply_tensor_parallel",
+    "activation_units",
+    "best_config",
+    "best_throughput",
+    "chimera_bubble_ratio",
+    "chimera_k",
+    "classify_idle",
+    "compare_schemes",
+    "cross_comm_messages",
+    "dapple_bubble_ratio",
+    "dp_allreduce_seconds",
+    "feasible_waves",
+    "format_table",
+    "gems_bubble_ratio",
+    "gpipe_bubble_ratio",
+    "hybrid_search",
+    "hanayo_bubble_ratio",
+    "hanayo_bubble_ratio_simplified",
+    "interleaved_bubble_ratio",
+    "layouts_for",
+    "measure_throughput",
+    "measure_hybrid_throughput",
+    "parallel_efficiency",
+    "percent",
+    "ratio_vs",
+    "scheme_profile",
+    "search_grid",
+    "speedup",
+    "strong_scaling",
+    "theoretical_bubble_ratio",
+    "tp_allreduce_seconds",
+    "weak_scaling",
+    "weight_units",
+    "zone_a_size",
+    "zone_b_size",
+    "zone_c_sizes",
+]

@@ -1,0 +1,150 @@
+"""Analytic bubble-ratio formulas (paper Sec. 3.4 and Fig. 1).
+
+Conventions follow Table 1: ``T_F``/``T_B`` are the forward/backward
+time of one device-worth of layers, ``T_C`` one P2P transfer, ``P``
+devices, ``B`` micro-batches, ``W`` waves.  The paper's theoretical
+figures assume ``B = P`` and ``T_B = 2 T_F``; the functions below keep
+``B`` explicit where the classic derivations have it.
+
+``hanayo_bubble_ratio`` is Equation (1) verbatim; the other schemes use
+the closed forms from their original papers (GPipe/DAPPLE) or derived
+from the schedule structure (GEMS, Chimera) — each derivation is in the
+docstring so the numbers are auditable.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+def _check(p: int, t_f: float, t_b: float, t_c: float) -> None:
+    if p < 2:
+        raise ConfigError("bubble formulas need P >= 2")
+    if t_f <= 0 or t_b <= 0 or t_c < 0:
+        raise ConfigError("costs must be positive (t_c >= 0)")
+
+
+def hanayo_bubble_ratio(p: int, w: int, t_f: float = 1.0,
+                        t_b: float = 2.0, t_c: float = 0.0) -> float:
+    """Equation (1) of the paper, verbatim.
+
+    ::
+
+             (1/W)·T_B + (1 + 2W + 2/P + (P−2)/3)·T_C
+        ------------------------------------------------------------
+        (P/(P−1))·T_F + (1/(2W) + P/(P−1))·T_B + ((P−2)/2 + 4W)·T_C
+
+    With ``T_B = 2 T_F`` and ``T_C = 0`` this reduces to the paper's
+    ``(2P−2) / (3PW + P − 1)``, which decreases in the wave count W.
+    """
+    _check(p, t_f, t_b, t_c)
+    if w < 1:
+        raise ConfigError("wave count must be >= 1")
+    num = (1.0 / w) * t_b + (1 + 2 * w + 2.0 / p + (p - 2) / 3.0) * t_c
+    den = (
+        (p / (p - 1.0)) * t_f
+        + (1.0 / (2 * w) + p / (p - 1.0)) * t_b
+        + ((p - 2) / 2.0 + 4 * w) * t_c
+    )
+    return num / den
+
+
+def hanayo_bubble_ratio_simplified(p: int, w: int) -> float:
+    """The paper's simplified form ``(2P−2)/(3PW+P−1)``.
+
+    Assumes ``T_B = 2 T_F`` and ``T_C = 0``.
+    """
+    _check(p, 1.0, 2.0, 0.0)
+    return (2.0 * p - 2) / (3.0 * p * w + p - 1)
+
+
+def gpipe_bubble_ratio(p: int, b: int, t_f: float = 1.0,
+                       t_b: float = 2.0, t_c: float = 0.0) -> float:
+    """GPipe/DAPPLE: ``(P−1)`` slots of fill plus drain.
+
+    Device 0 idles for ``(P−1)(T_F + T_B + 2T_C)`` while the leading
+    micro-batch traverses the pipeline and returns; every device is
+    busy ``B (T_F + T_B)``.  DAPPLE reorders for memory, not for time,
+    so it shares this ratio (Sec. 5.2: "GPipe and DAPPLE maintain
+    similar throughput").
+    """
+    _check(p, t_f, t_b, t_c)
+    if b < 1:
+        raise ConfigError("B must be >= 1")
+    idle = (p - 1) * (t_f + t_b + 2 * t_c)
+    busy = b * (t_f + t_b)
+    return idle / (idle + busy)
+
+
+dapple_bubble_ratio = gpipe_bubble_ratio
+
+
+def gems_bubble_ratio(p: int, t_f: float = 1.0, t_b: float = 2.0,
+                      t_c: float = 0.0) -> float:
+    """GEMS: at most two micro-batches in flight → bubble ``1 − 2/P``.
+
+    Each micro-batch pair occupies the pipeline end to end
+    (``P (T_F + T_B + 2 T_C)`` per pair of opposing micro-batches)
+    while each device computes only ``2 (T_F + T_B)`` of it; B cancels.
+    """
+    _check(p, t_f, t_b, t_c)
+    pair_span = p * (t_f + t_b + 2 * t_c) / 2.0
+    busy = t_f + t_b
+    return 1.0 - busy / pair_span
+
+
+def chimera_bubble_ratio(p: int, b: int | None = None, t_f: float = 1.0,
+                         t_b: float = 2.0, t_c: float = 0.0) -> float:
+    """Chimera with two replicas (Li & Hoefler, 2021).
+
+    Each direction carries ``B/2`` micro-batches; the opposing pipeline
+    fills the steady-state bubbles, leaving ``(P/2 − 1)`` fill/drain
+    slots exposed: idle ≈ ``(P/2 − 1)(T_F + T_B + 2 T_C)`` against busy
+    ``B (T_F + T_B)`` per device.  The paper's Fig. 2 additionally
+    charges the cross-communication constant ``K = P²/2 − P`` messages,
+    folded in through :mod:`repro.analysis.perf_model`.
+    """
+    _check(p, t_f, t_b, t_c)
+    if b is None:
+        b = p
+    idle = (p / 2.0 - 1) * (t_f + t_b + 2 * t_c)
+    busy = b * (t_f + t_b)
+    return idle / (idle + busy)
+
+
+def interleaved_bubble_ratio(p: int, v: int, b: int | None = None,
+                             t_f: float = 1.0, t_b: float = 2.0,
+                             t_c: float = 0.0) -> float:
+    """Megatron interleaved 1F1B with ``v`` virtual chunks per device.
+
+    The fill/drain shrinks by the chunk count: idle ≈
+    ``(P−1)(T_F+T_B)/v`` (Narayanan et al., 2021), at the price of
+    ``v``-times the P2P volume (charged by the perf model, not here).
+    """
+    _check(p, t_f, t_b, t_c)
+    if v < 1:
+        raise ConfigError("chunk count must be >= 1")
+    if b is None:
+        b = p
+    idle = (p - 1) * (t_f + t_b) / v + (p - 1) * 2 * t_c
+    busy = b * (t_f + t_b)
+    return idle / (idle + busy)
+
+
+#: Scheme name → callable(P, B, W, t_f, t_b, t_c) used by Fig. 1 bench.
+def theoretical_bubble_ratio(scheme: str, p: int, b: int | None = None,
+                             w: int = 1, t_f: float = 1.0,
+                             t_b: float = 2.0, t_c: float = 0.0) -> float:
+    b = p if b is None else b
+    if scheme in ("gpipe", "dapple"):
+        return gpipe_bubble_ratio(p, b, t_f, t_b, t_c)
+    if scheme == "gems":
+        return gems_bubble_ratio(p, t_f, t_b, t_c)
+    if scheme == "chimera":
+        return chimera_bubble_ratio(p, b, t_f, t_b, t_c)
+    if scheme == "interleaved":
+        return interleaved_bubble_ratio(p, w, b, t_f, t_b, t_c)
+    if scheme in ("hanayo", "chimera-wave"):
+        w = 1 if scheme == "chimera-wave" else w
+        return hanayo_bubble_ratio(p, w, t_f, t_b, t_c)
+    raise ConfigError(f"no theoretical bubble formula for {scheme!r}")

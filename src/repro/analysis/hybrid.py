@@ -1,0 +1,195 @@
+"""Hybrid tensor × pipeline × data parallelism (paper Secs. 1 and 6).
+
+The paper positions pipeline parallelism inside the standard Megatron
+recipe: tensor parallelism *within* a node (cheap collectives over
+NVLink), pipeline parallelism *across* nodes (cheap P2P), data
+parallelism on top.  This module adds the tensor-parallel dimension to
+the throughput harness so that recipe can be searched and the paper's
+placement claim checked quantitatively.
+
+Tensor-parallel cost model (Megatron-style column/row splits): a degree
+``t`` divides every stage's compute and weights by ``t`` and inserts
+two all-reduces of the boundary tensor per layer per micro-batch
+(one in the attention block, one in the MLP), executed within the TP
+group's ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cluster.presets import Cluster
+from ..cluster.topology import ring_transfer_chain
+from ..config import PipelineConfig
+from ..errors import ConfigError, OutOfMemoryError
+from ..models.costs import StageCosts, stage_costs
+from ..models.spec import ModelSpec
+from ..runtime.costs import ConcreteCosts
+from ..runtime.memory import memory_stats
+from ..runtime.metrics import bubble_stats
+from ..runtime.simulator import simulate
+from ..schedules.factory import build_schedule
+from .throughput import ThroughputResult, dp_allreduce_seconds, _pipeline_comm
+
+
+def tp_allreduce_seconds(cluster: Cluster, tp: int,
+                         nbytes: float) -> float:
+    """One tensor-parallel all-reduce over the first TP group's ranks."""
+    if tp <= 1:
+        return 0.0
+    ranks = list(range(tp))
+    return ring_transfer_chain(cluster.topology, ranks, nbytes)
+
+
+def apply_tensor_parallel(
+    costs: StageCosts,
+    cluster: Cluster,
+    model: ModelSpec,
+    tp: int,
+    microbatch_size: int,
+    layers_per_stage: float,
+) -> StageCosts:
+    """Shard stage costs over a TP group and charge its collectives."""
+    if tp < 1:
+        raise ConfigError("tensor-parallel degree must be >= 1")
+    if tp == 1:
+        return costs
+    if tp > cluster.gpus_per_node:
+        raise ConfigError(
+            f"TP degree {tp} exceeds the node size "
+            f"{cluster.gpus_per_node} (TP wants NVLink locality)"
+        )
+    ar = tp_allreduce_seconds(cluster, tp,
+                              model.boundary_bytes(microbatch_size))
+    # 2 all-reduces per layer per pass; backward mirrors them.
+    per_stage_comm = 2.0 * layers_per_stage * ar
+    return StageCosts(
+        forward=tuple(f / tp + per_stage_comm for f in costs.forward),
+        backward=tuple(b / tp + per_stage_comm for b in costs.backward),
+        boundary_bytes=costs.boundary_bytes,
+        weight_bytes=tuple(w / tp for w in costs.weight_bytes),
+        activation_bytes=tuple(a / tp for a in costs.activation_bytes),
+    )
+
+
+@dataclass(frozen=True)
+class HybridLayout:
+    """A full 3D layout: tensor x pipeline x data parallel."""
+
+    tp: int
+    p: int
+    d: int
+
+    @property
+    def devices(self) -> int:
+        return self.tp * self.p * self.d
+
+    def describe(self) -> str:
+        return f"TP={self.tp} x PP={self.p} x DP={self.d}"
+
+
+def measure_hybrid_throughput(
+    scheme: str,
+    cluster: Cluster,
+    model: ModelSpec,
+    layout: HybridLayout,
+    num_microbatches: int,
+    w: int = 1,
+    microbatch_size: int = 1,
+    dp_overlap: float = 0.9,
+) -> ThroughputResult:
+    """Throughput of one (TP, PP, DP) layout on a cluster.
+
+    TP groups occupy contiguous in-node ranks; the pipeline's P2P hops
+    then connect *node-distance* peers, which is modeled by spacing
+    pipeline ranks ``tp`` apart in the cluster topology.
+    """
+    if layout.devices > cluster.num_devices:
+        raise ConfigError(
+            f"{layout.describe()} needs {layout.devices} devices; "
+            f"cluster has {cluster.num_devices}"
+        )
+    cfg = PipelineConfig(
+        scheme=scheme, num_devices=layout.p,
+        num_microbatches=num_microbatches, num_waves=w,
+        data_parallel=layout.d, microbatch_size=microbatch_size,
+    )
+    schedule = build_schedule(cfg)
+    base = stage_costs(model, schedule.num_stages, cluster.device,
+                       microbatch_size)
+    layers_per_stage = (model.num_layers + 2) / schedule.num_stages
+    costs = apply_tensor_parallel(base, cluster, model, layout.tp,
+                                  microbatch_size, layers_per_stage)
+
+    # Pipeline peers sit `tp` ranks apart (rank = tp_rank + tp * pp_rank).
+    class _Spaced(ConcreteCosts):
+        def transfer_time(self, src: int, dst: int, stage: int) -> float:
+            if src == dst:
+                return 0.0
+            return cluster.topology.transfer_time(
+                src * layout.tp, dst * layout.tp, self.stage_costs.boundary_bytes
+            )
+
+    result = simulate(schedule, _Spaced(costs, _pipeline_comm(cluster, 0, layout.p)))
+    stats = bubble_stats(result.timeline)
+    mem = memory_stats(schedule, result.timeline, costs)
+    try:
+        mem.check_capacity(cluster.device.memory_bytes)
+    except OutOfMemoryError as exc:
+        return ThroughputResult(
+            config=cfg, cluster_name=cluster.name, model_name=model.name,
+            seq_per_s=None, bubble_ratio=None,
+            peak_mem_bytes=mem.highest_peak, iteration_s=None,
+            oom_device=exc.device,
+        )
+    grad_bytes = max(
+        sum(costs.weight_bytes[stage]
+            for stage, _r in schedule.placement.stages_on(dev))
+        for dev in range(layout.p)
+    ) / 16.0 * 4.0
+    overhead = dp_allreduce_seconds(cluster, layout.p * layout.tp,
+                                    layout.d, grad_bytes)
+    iteration = result.makespan + overhead * (1.0 - dp_overlap)
+    seqs = num_microbatches * microbatch_size * layout.d
+    return ThroughputResult(
+        config=cfg, cluster_name=cluster.name, model_name=model.name,
+        seq_per_s=seqs / iteration, bubble_ratio=stats.bubble_ratio,
+        peak_mem_bytes=mem.highest_peak, iteration_s=iteration,
+    )
+
+
+def hybrid_search(
+    scheme: str,
+    cluster: Cluster,
+    model: ModelSpec,
+    total_batch: int,
+    waves: tuple[int, ...] = (1, 2, 4),
+) -> list[tuple[HybridLayout, int, ThroughputResult]]:
+    """Sweep (TP, PP, DP) factorizations of the cluster's device count."""
+    n = cluster.num_devices
+    out = []
+    tp = 1
+    while tp <= cluster.gpus_per_node:
+        rest = n // tp
+        p = rest
+        while p >= 2:
+            d = rest // p
+            if tp * p * d == n:
+                b = max(1, min(total_batch // d, p))
+                mb = max(1, (total_batch // d) // b)
+                wave_opts = (waves if scheme == "hanayo" else (1,))
+                for w in wave_opts:
+                    if 2 * w * p > model.num_layers + 2:
+                        continue
+                    try:
+                        r = measure_hybrid_throughput(
+                            scheme, cluster, model,
+                            HybridLayout(tp, p, d), b, w=w,
+                            microbatch_size=mb,
+                        )
+                    except ConfigError:
+                        continue
+                    out.append((HybridLayout(tp, p, d), w, r))
+            p //= 2
+        tp *= 2
+    return out

@@ -1,0 +1,78 @@
+"""Analytic memory model in the units of the paper's Fig. 3 axes.
+
+* **Weight units** ``Mw`` — one unit is a ``model / P`` slice (weights +
+  grads + optimizer).  Every scheme except Chimera stores exactly one
+  unit per device; Chimera's bidirectional replicas store two.
+* **Activation units** ``Ma`` — one unit is the saved activations of
+  one device-worth of layers for one micro-batch.  GPipe retains all
+  ``B`` micro-batches; DAPPLE's warmup bounds device 0 at ``min(B, P)``;
+  wave schemes admit up to ``2WP`` chunk activations per device — the
+  same ``min(B, P)`` device-load budget as DAPPLE's worst device, but
+  spread evenly over the pipeline instead of skewed toward device 0.
+
+The byte-accurate numbers for Fig. 8 come from replaying real schedules
+(:mod:`repro.runtime.memory`); this module is the closed-form view the
+Fig. 2 comparison uses, and the two are cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+def weight_units(scheme: str) -> float:
+    """Model-weight copies per device, in ``model/P`` units."""
+    if scheme == "chimera":
+        return 2.0
+    if scheme in ("gpipe", "dapple", "gems", "chimera-wave", "hanayo",
+                  "interleaved", "async-1f1b"):
+        return 1.0
+    raise ConfigError(f"unknown scheme {scheme!r}")
+
+
+def activation_units(scheme: str, p: int, b: int | None = None,
+                     w: int = 1) -> float:
+    """Worst-device live activations, in device-load units."""
+    if p < 1:
+        raise ConfigError("P must be >= 1")
+    b = p if b is None else b
+    if scheme == "gpipe":
+        return float(b)
+    if scheme in ("dapple", "async-1f1b"):
+        return float(min(b, p))
+    if scheme == "gems":
+        return 2.0 / p + 1.0 / p  # one micro-batch per direction in flight
+    if scheme == "chimera":
+        # Each direction admits ~P/2 micro-batches of half the device's
+        # chunks (each chunk is a model/P slice but the device holds 2).
+        return min(b, p) / 2.0 + 1.0
+    if scheme in ("chimera-wave", "hanayo"):
+        w = 1 if scheme == "chimera-wave" else w
+        if w < 1:
+            raise ConfigError("wave count must be >= 1")
+        # The chunk-mode admission cap grants each device 2*W*P live
+        # chunk activations = P device-loads — the same worst-device
+        # budget as DAPPLE, but spent *uniformly* across devices (the
+        # balance story of Fig. 8) instead of all on device 0.
+        return float(min(b, p))
+    if scheme == "interleaved":
+        return (min(b, p) + 1.0) / w
+    raise ConfigError(f"unknown scheme {scheme!r}")
+
+
+def activation_balance_note(scheme: str) -> str:
+    """Qualitative balance across devices (the Fig. 8 variance story)."""
+    notes = {
+        "gpipe": "balanced but uniformly high (all B micro-batches live)",
+        "dapple": "strongly skewed: device 0 holds P, last device holds 1",
+        "gems": "balanced and minimal, at a severe bubble cost",
+        "chimera": "balanced; pays 2x weights instead",
+        "chimera-wave": "balanced: every device touches early and late stages",
+        "hanayo": "balanced: every device touches early and late stages",
+        "interleaved": "moderately skewed",
+        "async-1f1b": "skewed like dapple, plus weight stash copies",
+    }
+    try:
+        return notes[scheme]
+    except KeyError:
+        raise ConfigError(f"unknown scheme {scheme!r}") from None

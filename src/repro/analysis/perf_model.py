@@ -1,0 +1,96 @@
+"""The unified performance model of pipeline parallelism (paper Fig. 2).
+
+Fig. 2 compares the state-of-the-art schemes along two axes — bubble
+ratio and memory consumption — in the shared symbol vocabulary of
+Table 1.  :func:`scheme_profile` returns that row for any scheme, and
+:func:`compare_schemes` reproduces the whole table, including Chimera's
+cross-communication constant ``K = P²/2 − P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .bubbles import theoretical_bubble_ratio
+from .memory_model import activation_units, weight_units
+
+
+@dataclass(frozen=True)
+class SchemeProfile:
+    """One row of the Fig. 2 comparison."""
+
+    scheme: str
+    bubble_ratio: float
+    weight_memory_units: float      # Mw per device, model/P chunks = 1 unit
+    activation_memory_units: float  # Ma on the worst device, device-loads
+    cross_comm_messages: int        # exposed cross-communications / iter
+
+    def describe(self) -> str:
+        return (f"{self.scheme:12s} bubble={self.bubble_ratio * 100:5.1f}%  "
+                f"Mw={self.weight_memory_units:.1f}  "
+                f"Ma={self.activation_memory_units:.2f}  "
+                f"xcomm={self.cross_comm_messages}")
+
+
+def chimera_k(p: int) -> float:
+    """The paper's ``K = P²/2 − P`` cross-communication count."""
+    if p < 2:
+        raise ConfigError("K needs P >= 2")
+    return p * p / 2.0 - p
+
+
+def cross_comm_messages(scheme: str, p: int, b: int, w: int = 1) -> int:
+    """P2P messages per micro-batch-iteration that cross devices.
+
+    Forward + backward each cross every device boundary once per
+    micro-batch; wave and interleaved placements multiply boundaries.
+    Wave turns are free (same device), which is the snake placement's
+    whole point.
+    """
+    if scheme in ("gpipe", "dapple", "async-1f1b"):
+        boundaries = p - 1
+    elif scheme == "gems":
+        boundaries = p - 1  # per direction; directions alternate
+    elif scheme == "chimera":
+        boundaries = p - 1  # per replica chain
+    elif scheme == "chimera-wave":
+        boundaries = 2 * (p - 1)  # S=2P stages, 2 turns free
+    elif scheme == "hanayo":
+        # S = 2WP stages, 2W turns are local → 2WP − 1 − 2W + 1 hops
+        boundaries = 2 * w * (p - 1)
+    elif scheme == "interleaved":
+        # every chunk boundary crosses devices, including wrap-arounds
+        boundaries = w * p - 1
+    else:
+        raise ConfigError(f"unknown scheme {scheme!r}")
+    return 2 * b * boundaries
+
+
+def scheme_profile(scheme: str, p: int, b: int | None = None,
+                   w: int = 1, t_f: float = 1.0, t_b: float = 2.0,
+                   t_c: float = 0.0) -> SchemeProfile:
+    b = p if b is None else b
+    return SchemeProfile(
+        scheme=scheme,
+        bubble_ratio=theoretical_bubble_ratio(scheme, p, b, w, t_f, t_b, t_c),
+        weight_memory_units=weight_units(scheme),
+        activation_memory_units=activation_units(scheme, p, b, w),
+        cross_comm_messages=cross_comm_messages(scheme, p, b, w),
+    )
+
+
+def compare_schemes(p: int, b: int | None = None,
+                    waves: tuple[int, ...] = (2, 4),
+                    t_f: float = 1.0, t_b: float = 2.0,
+                    t_c: float = 0.0) -> list[SchemeProfile]:
+    """The full Fig. 2 table for one (P, B) point."""
+    rows = [
+        scheme_profile("gpipe", p, b, 1, t_f, t_b, t_c),
+        scheme_profile("dapple", p, b, 1, t_f, t_b, t_c),
+        scheme_profile("gems", p, b, 1, t_f, t_b, t_c),
+        scheme_profile("chimera", p, b, 1, t_f, t_b, t_c),
+    ]
+    for w in waves:
+        rows.append(scheme_profile("hanayo", p, b, w, t_f, t_b, t_c))
+    return rows

@@ -1,0 +1,52 @@
+"""Fixed-width table rendering for benchmark output.
+
+Benches print "paper vs measured" rows; this keeps them aligned and
+consistent without pulling in a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "OOM"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def percent(value: float | None) -> str:
+    return "-" if value is None else f"{value * 100:.1f}%"
+
+
+def ratio_vs(new: float | None, old: float | None) -> str:
+    """Speedup of ``new`` over ``old`` as a signed percentage string."""
+    if not new or not old:
+        return "-"
+    return f"{(new / old - 1) * 100:+.1f}%"

@@ -1,0 +1,131 @@
+"""Configuration search (paper Sec. 5.3 / Fig. 10).
+
+For every scheme the paper searches the (pipeline size, data-parallel
+size) grid — plus the wave count for Hanayo — and reports each cell's
+throughput, marking OOM cells.  :func:`search_grid` reproduces that
+table; :func:`best_config` picks the winner the scaling figures use.
+
+The search is **total-batch-centric**: a layout ``(P, D)`` splits the
+job's ``total_batch`` sequences into ``D`` pipeline shards of
+``total_batch / D`` sequences, which are then cut into micro-batches.
+This keeps every cell processing the same work, so throughputs are
+comparable — the fairness rule of Sec. 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.presets import Cluster
+from ..errors import ConfigError
+from ..models.spec import ModelSpec
+from .throughput import ThroughputResult, measure_throughput
+
+#: wave counts the paper explores (H-2 / H-4 / H-8 in Fig. 9)
+DEFAULT_WAVES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class SearchCell:
+    """One (P, D, variant) point of the search grid."""
+
+    p: int
+    d: int
+    w: int
+    result: ThroughputResult
+
+    @property
+    def throughput(self) -> float:
+        return self.result.seq_per_s if self.result.seq_per_s else 0.0
+
+
+def feasible_waves(model: ModelSpec, p: int,
+                   waves: tuple[int, ...] = DEFAULT_WAVES) -> list[int]:
+    """Wave counts with at least one layer per stage."""
+    total_layers = model.num_layers + 2  # embedding + head
+    return [w for w in waves if 2 * w * p <= total_layers]
+
+
+def split_batch(total_batch: int, d: int, p: int, scheme: str,
+                target_microbatches: int | None = None) -> tuple[int, int] | None:
+    """(num_microbatches, microbatch_size) for one pipeline shard.
+
+    Returns None when the layout cannot host the batch (fewer sequences
+    than DP shards, or an odd micro-batch count for a bidirectional
+    scheme that cannot be fixed by merging).
+    """
+    per_pipeline = total_batch // d
+    if per_pipeline < 1:
+        return None
+    target = target_microbatches if target_microbatches else p
+    b = min(per_pipeline, target)
+    if scheme in ("chimera", "chimera-wave", "gems"):
+        if b % 2:
+            b -= 1
+        if b < 2:
+            return None
+    mb_size = per_pipeline // b
+    return b, mb_size
+
+
+def search_grid(
+    scheme: str,
+    cluster: Cluster,
+    model: ModelSpec,
+    layouts: tuple[tuple[int, int], ...],
+    total_batch: int,
+    target_microbatches: int | None = None,
+    waves: tuple[int, ...] = DEFAULT_WAVES,
+) -> list[SearchCell]:
+    """Evaluate a scheme over (P, D) layouts, searching waves for Hanayo.
+
+    Infeasible cells (layout cannot host the batch, or the model has too
+    few layers for the stage count) are skipped, mirroring the paper's
+    empty grid slots.
+    """
+    cells: list[SearchCell] = []
+    for p, d in layouts:
+        if p * d > cluster.num_devices:
+            raise ConfigError(
+                f"layout ({p},{d}) exceeds cluster {cluster.name}"
+            )
+        shape = split_batch(total_batch, d, p, scheme, target_microbatches)
+        if shape is None:
+            continue
+        b, mb_size = shape
+        wave_options = (
+            feasible_waves(model, p, waves) if scheme == "hanayo" else [1]
+        )
+        for w in wave_options:
+            try:
+                result = measure_throughput(
+                    scheme, cluster, model, p=p, d=d, w=w,
+                    num_microbatches=b, microbatch_size=mb_size,
+                )
+            except ConfigError:
+                continue
+            cells.append(SearchCell(p=p, d=d, w=w, result=result))
+    return cells
+
+
+def best_config(cells: list[SearchCell]) -> SearchCell:
+    """Highest-throughput non-OOM cell."""
+    alive = [c for c in cells if not c.result.oom]
+    if not alive:
+        raise ConfigError("every searched configuration OOMs")
+    return max(alive, key=lambda c: c.throughput)
+
+
+def best_throughput(
+    scheme: str,
+    cluster: Cluster,
+    model: ModelSpec,
+    layouts: tuple[tuple[int, int], ...],
+    total_batch: int,
+    target_microbatches: int | None = None,
+    waves: tuple[int, ...] = DEFAULT_WAVES,
+) -> SearchCell:
+    """Search then pick, in one call (what the scaling figures do)."""
+    cells = search_grid(scheme, cluster, model, layouts, total_batch,
+                        target_microbatches, waves)
+    return best_config(cells)

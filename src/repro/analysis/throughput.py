@@ -1,0 +1,162 @@
+"""End-to-end throughput measurement on a modeled cluster.
+
+This is the harness behind Figs. 9–12: pick a scheme and a parallel
+layout (``D`` pipelines of ``P`` devices each), lower the model onto the
+cluster's GPUs, simulate one training iteration, gate it against GPU
+memory, and convert the makespan into sequences/second including the
+data-parallel gradient all-reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.comm_model import CommModel, Transfer
+from ..cluster.presets import Cluster
+from ..cluster.topology import ring_transfer_chain
+from ..config import PipelineConfig, RunConfig
+from ..errors import ConfigError, OutOfMemoryError
+from ..models.costs import stage_costs
+from ..models.spec import ModelSpec
+from ..runtime.costs import ConcreteCosts
+from ..runtime.memory import memory_stats
+from ..runtime.metrics import bubble_stats
+from ..runtime.simulator import simulate
+from ..schedules.factory import build_schedule
+
+
+def _pipeline_comm(cluster: Cluster, pipeline_index: int, p: int) -> CommModel:
+    """Comm model seen by one pipeline, with ranks offset into the cluster.
+
+    Pipelines are laid out in contiguous rank blocks: pipeline ``i``
+    owns cluster ranks ``[i*P, (i+1)*P)`` — the standard Megatron
+    layout that keeps pipeline P2P local and spreads DP across blocks.
+    """
+    base = pipeline_index * p
+
+    class _Shifted(CommModel):
+        def __init__(self) -> None:
+            super().__init__(topology=cluster.topology)
+
+        def transfer_time(self, transfer: Transfer) -> float:
+            return super().transfer_time(
+                Transfer(transfer.src + base, transfer.dst + base,
+                         transfer.nbytes)
+            )
+
+    return _Shifted()
+
+
+@dataclass
+class ThroughputResult:
+    """One measured configuration."""
+
+    config: PipelineConfig
+    cluster_name: str
+    model_name: str
+    seq_per_s: float | None          # None ⇔ OOM
+    bubble_ratio: float | None
+    peak_mem_bytes: float | None
+    iteration_s: float | None
+    oom_device: int | None = None
+
+    @property
+    def oom(self) -> bool:
+        return self.seq_per_s is None
+
+    def describe(self) -> str:
+        if self.oom:
+            return (f"{self.config.describe():40s} {self.cluster_name:5s} "
+                    f"OOM (device {self.oom_device})")
+        return (f"{self.config.describe():40s} {self.cluster_name:5s} "
+                f"{self.seq_per_s:6.2f} seq/s  "
+                f"bubble={self.bubble_ratio * 100:4.1f}%  "
+                f"peak={self.peak_mem_bytes / 2**30:5.1f} GiB")
+
+
+def dp_allreduce_seconds(cluster: Cluster, p: int, d: int,
+                         grad_bytes_per_device: float) -> float:
+    """Ring all-reduce of one device's gradient shard across D replicas.
+
+    DP groups are the ranks ``{g, g+P, g+2P, ...}``; the slowest group
+    member bounds the iteration.  Returns 0 for D == 1.
+    """
+    if d <= 1:
+        return 0.0
+    worst = 0.0
+    for g in range(p):
+        ranks = [g + i * p for i in range(d)]
+        worst = max(worst, ring_transfer_chain(
+            cluster.topology, ranks, grad_bytes_per_device
+        ))
+    return worst
+
+
+def measure_throughput(
+    scheme: str,
+    cluster: Cluster,
+    model: ModelSpec,
+    p: int,
+    num_microbatches: int,
+    d: int = 1,
+    w: int = 1,
+    microbatch_size: int = 1,
+    run: RunConfig | None = None,
+    enforce_memory: bool = True,
+    dp_overlap: float = 0.9,
+) -> ThroughputResult:
+    """Simulate one configuration and return sequences/second (or OOM).
+
+    ``dp_overlap`` is the fraction of the data-parallel gradient
+    all-reduce hidden under backward compute (bucketed all-reduce as in
+    Megatron/DeepSpeed); only the remainder extends the iteration.
+    """
+    if not (0.0 <= dp_overlap <= 1.0):
+        raise ConfigError("dp_overlap must be in [0, 1]")
+    if p * d > cluster.num_devices:
+        raise ConfigError(
+            f"layout P={p} x D={d} exceeds cluster of {cluster.num_devices}"
+        )
+    cfg = PipelineConfig(
+        scheme=scheme,
+        num_devices=p,
+        num_microbatches=num_microbatches,
+        num_waves=w,
+        data_parallel=d,
+        microbatch_size=microbatch_size,
+    )
+    schedule = build_schedule(cfg)
+    costs = stage_costs(model, schedule.num_stages, cluster.device,
+                        microbatch_size)
+    oracle = ConcreteCosts(costs, _pipeline_comm(cluster, 0, p))
+    result = simulate(schedule, oracle, run)
+    stats = bubble_stats(result.timeline)
+    mem = memory_stats(schedule, result.timeline, costs)
+    if enforce_memory:
+        try:
+            mem.check_capacity(cluster.device.memory_bytes)
+        except OutOfMemoryError as exc:
+            return ThroughputResult(
+                config=cfg, cluster_name=cluster.name, model_name=model.name,
+                seq_per_s=None, bubble_ratio=None, peak_mem_bytes=mem.highest_peak,
+                iteration_s=None, oom_device=exc.device,
+            )
+    # Gradients are fp32 shards of the device's parameters (weight_bytes
+    # bundles params+grads+optimizer at 16 B/param; grads alone are 4).
+    grad_bytes = max(
+        sum(costs.weight_bytes[stage]
+            for stage, _r in schedule.placement.stages_on(dev))
+        for dev in range(p)
+    ) / 16.0 * 4.0
+    overhead = dp_allreduce_seconds(cluster, p, d, grad_bytes)
+    iteration = result.makespan + overhead * (1.0 - dp_overlap)
+    seqs = cfg.num_microbatches * cfg.microbatch_size * d
+    return ThroughputResult(
+        config=cfg,
+        cluster_name=cluster.name,
+        model_name=model.name,
+        seq_per_s=seqs / iteration,
+        bubble_ratio=stats.bubble_ratio,
+        peak_mem_bytes=mem.highest_peak,
+        iteration_s=iteration,
+    )

@@ -1,0 +1,88 @@
+"""Bubble-zone decomposition of wave pipelines (paper Fig. 7 / Sec. 3.4).
+
+Four bubble species appear in a Hanayo iteration:
+
+* **Zone A** — waiting for forward activations from a peer; single
+  bubble size ``T_F / 2W + T_C``.
+* **Zone B** — the forward/backward duration mismatch; size
+  ``(P − LR) / 2W · (T_B − T_F) + 2 T_C`` at local rank ``LR``.
+* **Zone C** — waiting on backward chains; sizes ``T_B + 2T_C`` and
+  ``T_B + T_C``.
+* **Zone D** — cross-communication batching stalls (NCCL grouping).
+
+The empirical classifier walks a simulated timeline and attributes each
+idle gap to a zone by the ops flanking it, so the analytic sizes above
+can be checked against executed schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..types import OpKind, Timeline
+
+
+@dataclass(frozen=True)
+class ZoneBreakdown:
+    """Idle time attributed to each bubble zone, per iteration."""
+
+    zone_a: float   # idle before a forward
+    zone_b: float   # idle between forward phase and backward phase
+    zone_c: float   # idle between backwards
+    tail: float     # idle after a device's last op until makespan
+
+    @property
+    def total(self) -> float:
+        return self.zone_a + self.zone_b + self.zone_c + self.tail
+
+
+def zone_a_size(p: int, w: int, t_f: float = 1.0, t_c: float = 0.0) -> float:
+    """Analytic single-bubble size in Zone A: ``T_F / 2W + T_C``."""
+    if w < 1 or p < 2:
+        raise ConfigError("need W >= 1 and P >= 2")
+    return t_f / (2.0 * w) + t_c
+
+
+def zone_b_size(p: int, w: int, local_rank: int, t_f: float = 1.0,
+                t_b: float = 2.0, t_c: float = 0.0) -> float:
+    """Analytic Zone-B bubble at ``local_rank``:
+    ``(P − LR)/2W · (T_B − T_F) + 2 T_C``."""
+    if not (0 <= local_rank < p):
+        raise ConfigError(f"local rank {local_rank} outside [0, {p})")
+    return (p - local_rank) / (2.0 * w) * (t_b - t_f) + 2.0 * t_c
+
+
+def zone_c_sizes(t_b: float = 2.0, t_c: float = 0.0) -> tuple[float, float]:
+    """Analytic Zone-C bubble sizes: ``T_B + 2T_C`` and ``T_B + T_C``."""
+    return (t_b + 2.0 * t_c, t_b + t_c)
+
+
+def classify_idle(timeline: Timeline) -> ZoneBreakdown:
+    """Attribute every idle gap in a timeline to a bubble zone.
+
+    Gap taxonomy by flanking op kinds: a gap ending in a forward is
+    Zone A (waiting for an activation); forward→backward gaps are
+    Zone B (the F/B mismatch at the phase boundary); backward→backward
+    gaps are Zone C.  Idle after the device's last op (the flush skew)
+    is reported separately as ``tail``.
+    """
+    makespan = timeline.makespan
+    a = b = c = tail = 0.0
+    for d in timeline.devices:
+        spans = timeline.device_spans(d)
+        prev_end = 0.0
+        prev_kind: OpKind | None = None
+        for span in spans:
+            gap = span.start - prev_end
+            if gap > 1e-12:
+                if span.op.kind is OpKind.FORWARD:
+                    a += gap
+                elif prev_kind is OpKind.FORWARD or prev_kind is None:
+                    b += gap
+                else:
+                    c += gap
+            prev_end = span.end
+            prev_kind = span.op.kind
+        tail += max(0.0, makespan - prev_end)
+    return ZoneBreakdown(zone_a=a, zone_b=b, zone_c=c, tail=tail)

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``gallery``   render a scheme's schedule as an ASCII Gantt chart
+``simulate``  simulate a configuration and print bubble/makespan stats
+``advise``    search (scheme, P, D, W) for a model on a cluster
+``trace``     export a simulated schedule as a Chrome/Perfetto trace
+``train``     run a real (NumPy) pipeline training step and verify it
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_table
+from .config import CostConfig, PipelineConfig
+from .errors import ReproError
+from .runtime import AbstractCosts, bubble_stats, simulate
+
+
+def _add_shape_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scheme", default="hanayo",
+                   help="pipeline scheme (default: hanayo)")
+    p.add_argument("-p", "--devices", type=int, default=4)
+    p.add_argument("-b", "--microbatches", type=int, default=4)
+    p.add_argument("-w", "--waves", type=int, default=1)
+    p.add_argument("--t-c", type=float, default=0.0,
+                   help="abstract P2P cost (T_F units)")
+
+
+def _build(args) -> tuple:
+    from .schedules import build_schedule
+    cfg = PipelineConfig(
+        scheme=args.scheme, num_devices=args.devices,
+        num_microbatches=args.microbatches, num_waves=args.waves,
+    )
+    costs = CostConfig(t_c=args.t_c)
+    sched = build_schedule(cfg, costs)
+    oracle = AbstractCosts(costs, cfg.num_devices, sched.num_stages)
+    return cfg, sched, simulate(sched, oracle)
+
+
+def cmd_gallery(args) -> int:
+    from .viz import render_gantt
+    _, sched, res = _build(args)
+    stats = bubble_stats(res.timeline)
+    print(sched.describe())
+    print(f"makespan={res.makespan:.2f}  "
+          f"bubble={stats.bubble_ratio * 100:.1f}%")
+    print(render_gantt(res.timeline, width=args.width))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    _, sched, res = _build(args)
+    stats = bubble_stats(res.timeline)
+    rows = [[d, f"{stats.busy[d]:.2f}", f"{stats.idle[d]:.2f}",
+             f"{stats.per_device_ratio[d] * 100:.1f}%"]
+            for d in sorted(stats.busy)]
+    print(format_table(
+        ["device", "busy", "idle", "bubble"],
+        rows,
+        title=(f"{sched.describe()}  makespan={res.makespan:.2f}  "
+               f"aggregate bubble={stats.bubble_ratio * 100:.1f}%"),
+    ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .viz.trace import write_chrome_trace
+    _, sched, res = _build(args)
+    write_chrome_trace(res.timeline, args.output)
+    print(f"wrote {args.output} "
+          f"({sum(len(s) for s in res.timeline.spans.values())} spans); "
+          "open it at https://ui.perfetto.dev")
+    return 0
+
+
+def cmd_advise(args) -> int:
+    from .analysis import layouts_for, search_grid
+    from .cluster import get_cluster
+    from .models import bert_64, gpt_128
+
+    model = {"bert": bert_64, "gpt": gpt_128}[args.model]()
+    cluster = get_cluster(args.cluster, args.devices)
+    rows = []
+    for scheme in ("gpipe", "dapple", "chimera-wave", "hanayo"):
+        for c in search_grid(scheme, cluster, model,
+                             layouts_for(args.devices), args.batch):
+            rows.append([
+                scheme, c.p, c.d, c.w,
+                None if c.result.oom else f"{c.throughput:.2f}",
+            ])
+    rows.sort(key=lambda r: float(r[4]) if r[4] else -1.0, reverse=True)
+    print(format_table(["scheme", "P", "D", "W", "seq/s"], rows[:args.top],
+                       title=f"{model.name} on {cluster.describe()}, "
+                             f"batch {args.batch}"))
+    return 0
+
+
+def cmd_train(args) -> int:
+    import numpy as np
+
+    from .engine import PipelineTrainer, make_batch, sequential_step
+    from .models import tiny_model
+
+    spec = tiny_model(num_layers=max(args.devices * 2 * args.waves, 4),
+                      hidden=16, heads=2, seq_len=6, vocab=32)
+    cfg = PipelineConfig(scheme=args.scheme, num_devices=args.devices,
+                         num_microbatches=args.microbatches,
+                         num_waves=args.waves)
+    trainer = PipelineTrainer(spec, cfg, seed=0)
+    inputs, targets = make_batch(spec, args.microbatches, seed=1)
+    res = trainer.train_step(inputs, targets)
+    ref = sequential_step(spec, trainer.schedule.num_stages, inputs,
+                          targets, seed=0)
+    worst = max(float(np.max(np.abs(res.grads[k] - ref.grads[k])))
+                for k in ref.grads)
+    print(f"pipeline loss {res.loss:.6f} / sequential {ref.loss:.6f} / "
+          f"max grad diff {worst:.2e} / {res.messages_sent} messages")
+    return 0 if worst < 1e-9 else 1
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hanayo (SC '23) wave pipeline parallelism, reproduced",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("gallery", help="ASCII Gantt of a schedule")
+    _add_shape_args(g)
+    g.add_argument("--width", type=int, default=100)
+    g.set_defaults(fn=cmd_gallery)
+
+    s = sub.add_parser("simulate", help="per-device bubble stats")
+    _add_shape_args(s)
+    s.set_defaults(fn=cmd_simulate)
+
+    t = sub.add_parser("trace", help="export a Chrome/Perfetto trace")
+    _add_shape_args(t)
+    t.add_argument("-o", "--output", default="pipeline_trace.json")
+    t.set_defaults(fn=cmd_trace)
+
+    a = sub.add_parser("advise", help="configuration search")
+    a.add_argument("--cluster", default="TACC",
+                   choices=["PC", "FC", "TACC", "TC"])
+    a.add_argument("--model", default="bert", choices=["bert", "gpt"])
+    a.add_argument("-n", "--devices", type=int, default=8)
+    a.add_argument("--batch", type=int, default=16)
+    a.add_argument("--top", type=int, default=10)
+    a.set_defaults(fn=cmd_advise)
+
+    tr = sub.add_parser("train", help="real NumPy pipeline step + verify")
+    _add_shape_args(tr)
+    tr.set_defaults(fn=cmd_train)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

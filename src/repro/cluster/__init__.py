@@ -1,0 +1,42 @@
+"""Cluster topologies, presets, and the communication cost model."""
+
+from .comm_model import CommModel, Transfer
+from .presets import (
+    Cluster,
+    all_clusters,
+    get_cluster,
+    make_fc,
+    make_pc,
+    make_tacc,
+    make_tc,
+)
+from .topology import (
+    CLOUD_NET,
+    INTER_NODE,
+    NVLINK2,
+    NVLINK3,
+    PCIE4,
+    LinkClass,
+    Topology,
+    ring_transfer_chain,
+)
+
+__all__ = [
+    "CLOUD_NET",
+    "INTER_NODE",
+    "NVLINK2",
+    "NVLINK3",
+    "PCIE4",
+    "Cluster",
+    "CommModel",
+    "LinkClass",
+    "Topology",
+    "Transfer",
+    "all_clusters",
+    "get_cluster",
+    "make_fc",
+    "make_pc",
+    "make_tacc",
+    "make_tc",
+    "ring_transfer_chain",
+]

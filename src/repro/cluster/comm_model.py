@@ -1,0 +1,98 @@
+"""Communication-time model used by the discrete-event simulator.
+
+Resolves a (source rank, destination rank, bytes) triple to seconds via
+the cluster topology, and models the paper's batched cross-communication
+(Sec. 4.2): opposing transfers between the same device pair issued in
+one ``batch_isend_irecv`` share the wire sequentially but pay a single
+launch latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .presets import Cluster
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point message."""
+
+    src: int
+    dst: int
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ConfigError("negative transfer size")
+
+
+class CommModel:
+    """Transfer-time oracle over a topology.
+
+    ``uniform_tc`` overrides the topology with a flat per-message cost —
+    this is how abstract-cost experiments (Fig. 1 style, ``T_C``
+    symbolics) run through the same simulator code path.
+    """
+
+    def __init__(self, topology: Topology | None = None,
+                 uniform_tc: float | None = None):
+        if topology is None and uniform_tc is None:
+            raise ConfigError("CommModel needs a topology or a uniform cost")
+        self.topology = topology
+        self.uniform_tc = uniform_tc
+
+    @classmethod
+    def from_cluster(cls, cluster: Cluster) -> "CommModel":
+        return cls(topology=cluster.topology)
+
+    @classmethod
+    def uniform(cls, t_c: float) -> "CommModel":
+        if t_c < 0:
+            raise ConfigError("t_c must be >= 0")
+        return cls(uniform_tc=t_c)
+
+    def transfer_time(self, transfer: Transfer) -> float:
+        if transfer.src == transfer.dst:
+            return 0.0
+        if self.uniform_tc is not None:
+            return self.uniform_tc
+        assert self.topology is not None
+        return self.topology.transfer_time(transfer.src, transfer.dst,
+                                           transfer.nbytes)
+
+    def batched_time(self, transfers: list[Transfer]) -> float:
+        """Duration of one batched isend/irecv group.
+
+        Transfers between distinct pairs proceed in parallel; transfers
+        sharing an unordered device pair serialize on the wire but pay
+        the launch latency once.  The group completes when its slowest
+        pair completes (NCCL group semantics).
+        """
+        if not transfers:
+            return 0.0
+        by_pair: dict[frozenset[int], list[Transfer]] = {}
+        for t in transfers:
+            if t.src == t.dst:
+                continue
+            by_pair.setdefault(frozenset((t.src, t.dst)), []).append(t)
+        if not by_pair:
+            return 0.0
+        pair_times = []
+        for group in by_pair.values():
+            times = [self.transfer_time(t) for t in group]
+            if self.uniform_tc is not None:
+                # Uniform mode: t_c is a per-message cost with no
+                # latency/bandwidth split; batching saves nothing but
+                # serialization is still modeled.
+                pair_times.append(sum(times))
+                continue
+            assert self.topology is not None
+            link = self.topology.effective_link(group[0].src, group[0].dst)
+            serialized = link.latency + sum(
+                t.nbytes / link.bandwidth for t in group
+            )
+            pair_times.append(serialized)
+        return max(pair_times)

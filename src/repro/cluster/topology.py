@@ -1,0 +1,127 @@
+"""Device interconnect topology.
+
+A :class:`Topology` is an undirected multigraph of devices where each
+edge carries a :class:`LinkClass` (NVLink generation, PCIe, inter-node
+fabric).  Communication cost between two ranks is resolved by the best
+link class on the shortest path — a deliberate simplification of NCCL
+ring construction that preserves the ordering the paper relies on:
+NVLink pairs ≫ PCIe ≫ cross-node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LinkClass:
+    """A class of interconnect with an alpha-beta cost model."""
+
+    name: str
+    bandwidth: float   # bytes / second, effective
+    latency: float     # seconds per message
+
+    def transfer_time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ConfigError(f"negative transfer size {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+# Effective (not peak) bandwidths under training congestion; see
+# DESIGN.md §6.  The inter-node figure reflects a shared, contended NIC
+# per 3-GPU Lonestar6 node, not the fabric's line rate.
+NVLINK3 = LinkClass("nvlink3", 200e9, 5e-6)
+NVLINK2 = LinkClass("nvlink2", 100e9, 8e-6)
+PCIE4 = LinkClass("pcie4", 6e9, 15e-6)
+INTER_NODE = LinkClass("ib-shared", 1.5e9, 25e-6)
+CLOUD_NET = LinkClass("cloud-vpc", 2.5e9, 30e-6)
+
+
+class Topology:
+    """Interconnect graph over ``num_devices`` ranks."""
+
+    def __init__(self, name: str, num_devices: int):
+        if num_devices < 1:
+            raise ConfigError("num_devices must be >= 1")
+        self.name = name
+        self.num_devices = num_devices
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(range(num_devices))
+
+    def add_link(self, a: int, b: int, link: LinkClass) -> None:
+        if not (0 <= a < self.num_devices and 0 <= b < self.num_devices):
+            raise ConfigError(f"link ({a},{b}) outside device range")
+        if a == b:
+            raise ConfigError("self links are implicit (zero cost)")
+        existing = self._graph.get_edge_data(a, b)
+        # Keep the fastest link if several are declared between a pair.
+        if existing is None or existing["link"].bandwidth < link.bandwidth:
+            self._graph.add_edge(a, b, link=link, weight=1.0 / link.bandwidth)
+
+    def link_between(self, a: int, b: int) -> LinkClass | None:
+        """Direct link between two ranks, if any."""
+        data = self._graph.get_edge_data(a, b)
+        return None if data is None else data["link"]
+
+    def effective_link(self, a: int, b: int) -> LinkClass:
+        """Link class governing a transfer from ``a`` to ``b``.
+
+        Direct edge if present; otherwise the bottleneck (slowest) link
+        along the bandwidth-shortest path, with per-hop latency summed.
+        Same-rank transfers are free and must be filtered by callers.
+        """
+        if a == b:
+            raise ConfigError("effective_link called for a self transfer")
+        direct = self.link_between(a, b)
+        if direct is not None:
+            return direct
+        try:
+            path = nx.shortest_path(self._graph, a, b, weight="weight")
+        except nx.NetworkXNoPath as exc:
+            raise ConfigError(
+                f"{self.name}: no route between {a} and {b}"
+            ) from exc
+        links = [self._graph[u][v]["link"] for u, v in zip(path, path[1:])]
+        bottleneck = min(links, key=lambda l: l.bandwidth)
+        total_latency = sum(l.latency for l in links)
+        return LinkClass(
+            name=f"path({bottleneck.name}x{len(links)})",
+            bandwidth=bottleneck.bandwidth,
+            latency=total_latency,
+        )
+
+    def transfer_time(self, a: int, b: int, nbytes: float) -> float:
+        if a == b:
+            return 0.0
+        return self.effective_link(a, b).transfer_time(nbytes)
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self._graph) if self.num_devices > 1 else True
+
+    def neighbors(self, rank: int) -> list[int]:
+        return sorted(self._graph.neighbors(rank))
+
+    def __repr__(self) -> str:
+        return (f"Topology({self.name!r}, devices={self.num_devices}, "
+                f"links={self._graph.number_of_edges()})")
+
+
+def ring_transfer_chain(topology: Topology, ranks: list[int], nbytes: float) -> float:
+    """Time for a chain of P2P transfers along consecutive rank pairs.
+
+    Used by the data-parallel all-reduce model: a ring all-reduce of
+    ``nbytes`` over ``len(ranks)`` devices costs ``2*(n-1)/n * nbytes``
+    over the slowest link in the ring.
+    """
+    n = len(ranks)
+    if n < 2:
+        return 0.0
+    slowest = max(
+        topology.effective_link(a, b).transfer_time(nbytes / n)
+        for a, b in zip(ranks, ranks[1:] + ranks[:1])
+    )
+    return 2 * (n - 1) * slowest

@@ -1,0 +1,49 @@
+"""Real NumPy execution engine: layers, channels, workers, trainer."""
+
+from .channels import PeerNetwork, batch_isend_irecv
+from .dataparallel import DataParallelPipelines, DPStepResult, allreduce_average
+from .executor import EngineExecutor
+from .layers import (
+    Embedding,
+    Gelu,
+    Head,
+    Layer,
+    LayerNorm,
+    Linear,
+    MultiHeadAttention,
+    TransformerBlock,
+    instantiate_layer,
+)
+from .module import StageModule, build_stages
+from .optimizer import SGD, Adam, Optimizer
+from .reference import ReferenceResult, sequential_step, sequential_step_on
+from .trainer import PipelineTrainer, StepResult, make_batch
+
+__all__ = [
+    "Adam",
+    "DPStepResult",
+    "DataParallelPipelines",
+    "Embedding",
+    "EngineExecutor",
+    "Gelu",
+    "Head",
+    "Layer",
+    "LayerNorm",
+    "Linear",
+    "MultiHeadAttention",
+    "Optimizer",
+    "PeerNetwork",
+    "PipelineTrainer",
+    "ReferenceResult",
+    "SGD",
+    "StageModule",
+    "StepResult",
+    "TransformerBlock",
+    "allreduce_average",
+    "batch_isend_irecv",
+    "build_stages",
+    "instantiate_layer",
+    "make_batch",
+    "sequential_step",
+    "sequential_step_on",
+]

@@ -1,0 +1,113 @@
+"""Point-to-point channels between thread workers.
+
+Emulates the NCCL/mpi4py communication surface the paper's runtime
+uses: ordered per-pair message streams, tag-matched receives, a
+``batch_isend_irecv``-style grouped post, and timeout-based deadlock
+detection (a hung pipeline raises :class:`DeadlockError` instead of
+hanging the test suite).
+
+Sends are buffered (non-blocking): this matches
+``torch.distributed.isend`` semantics and is what makes prefetch
+overlap possible with plain threads.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import CommError, DeadlockError
+from ..actions.ops import Tag
+
+
+@dataclass
+class _Mailbox:
+    q: "queue.Queue[tuple[Tag, Any]]" = field(default_factory=queue.Queue)
+    #: out-of-order arrivals parked until their tag is requested
+    parked: dict[Tag, Any] = field(default_factory=dict)
+
+
+class PeerNetwork:
+    """All-to-all P2P fabric over ``num_devices`` thread workers."""
+
+    def __init__(self, num_devices: int, timeout_s: float = 30.0):
+        if num_devices < 1:
+            raise CommError("PeerNetwork needs >= 1 device")
+        self.num_devices = num_devices
+        self.timeout_s = timeout_s
+        self._boxes: dict[tuple[int, int], _Mailbox] = {
+            (src, dst): _Mailbox()
+            for src in range(num_devices)
+            for dst in range(num_devices)
+            if src != dst
+        }
+        self._lock = threading.Lock()
+        self.sent_messages = 0
+
+    def _box(self, src: int, dst: int) -> _Mailbox:
+        try:
+            return self._boxes[(src, dst)]
+        except KeyError:
+            raise CommError(
+                f"invalid channel {src}->{dst} (devices={self.num_devices})"
+            ) from None
+
+    def send(self, src: int, dst: int, tag: Tag, payload: Any) -> None:
+        """Non-blocking buffered send."""
+        self._box(src, dst).q.put((tag, payload))
+        with self._lock:
+            self.sent_messages += 1
+
+    def recv(self, dst: int, src: int, tag: Tag) -> Any:
+        """Blocking tag-matched receive.
+
+        Out-of-order messages on the same channel are parked; a missing
+        message raises :class:`DeadlockError` after the timeout rather
+        than blocking forever.
+        """
+        box = self._box(src, dst)
+        if tag in box.parked:
+            return box.parked.pop(tag)
+        while True:
+            try:
+                got_tag, payload = box.q.get(timeout=self.timeout_s)
+            except queue.Empty:
+                raise DeadlockError(
+                    f"device {dst}: timed out waiting for {tag} from {src}"
+                ) from None
+            if got_tag == tag:
+                return payload
+            if got_tag in box.parked:
+                raise CommError(
+                    f"duplicate in-flight message {got_tag} on {src}->{dst}"
+                )
+            box.parked[got_tag] = payload
+
+    def drain_check(self) -> None:
+        """Assert every channel is empty (end-of-iteration hygiene)."""
+        leftovers = []
+        for (src, dst), box in self._boxes.items():
+            if not box.q.empty() or box.parked:
+                leftovers.append((src, dst, box.q.qsize(), len(box.parked)))
+        if leftovers:
+            raise CommError(f"undrained channels after run: {leftovers}")
+
+
+def batch_isend_irecv(
+    network: PeerNetwork,
+    device: int,
+    sends: list[tuple[int, Tag, Any]],
+    recvs: list[tuple[int, Tag]],
+) -> list[Any]:
+    """Grouped post: issue all sends, then wait all receives.
+
+    With buffered channels the grouping is about *ordering discipline*
+    (all posts precede all waits), mirroring the NCCL requirement the
+    paper handles; the deadlock the grouping prevents is demonstrated by
+    the rendezvous-mode validator in :mod:`repro.actions.validate`.
+    """
+    for dst, tag, payload in sends:
+        network.send(device, dst, tag, payload)
+    return [network.recv(device, src, tag) for src, tag in recvs]

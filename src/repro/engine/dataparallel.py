@@ -1,0 +1,79 @@
+"""Data parallelism across pipeline replicas (all-reduce emulation).
+
+The paper folds Chimera's model replication into standard data
+parallelism (Sec. 3.2); this module provides that DP layer for the real
+engine: ``D`` independent :class:`PipelineTrainer` replicas process
+disjoint micro-batch shards, then gradients are averaged — a ring
+all-reduce's numerical result, computed centrally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PipelineConfig
+from ..errors import ConfigError, EngineError
+from ..models.spec import ModelSpec
+from .trainer import PipelineTrainer, StepResult
+
+
+def allreduce_average(grads_list: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    """Element-wise average of named gradient dicts (all-reduce / D)."""
+    if not grads_list:
+        raise EngineError("allreduce of zero participants")
+    names = set(grads_list[0])
+    for g in grads_list[1:]:
+        if set(g) != names:
+            raise EngineError("gradient name mismatch across replicas")
+    d = len(grads_list)
+    return {
+        name: sum(g[name] for g in grads_list) / d for name in names
+    }
+
+
+@dataclass
+class DPStepResult:
+    loss: float
+    grads: dict[str, np.ndarray]
+    replica_results: list[StepResult]
+
+
+class DataParallelPipelines:
+    """``D`` pipeline replicas with gradient averaging."""
+
+    def __init__(self, spec: ModelSpec, config: PipelineConfig, seed: int = 0):
+        if config.data_parallel < 1:
+            raise ConfigError("data_parallel must be >= 1")
+        self.spec = spec
+        self.config = config
+        self.trainers = [
+            PipelineTrainer(spec, config, seed=seed)
+            for _ in range(config.data_parallel)
+        ]
+
+    def train_step(
+        self,
+        inputs: dict[int, np.ndarray],
+        targets: dict[int, np.ndarray],
+    ) -> DPStepResult:
+        """Shard micro-batches round-robin over replicas and step.
+
+        ``inputs`` holds ``B * D`` micro-batches; replica ``r`` takes
+        those with ``m % D == r``, re-indexed to ``0..B-1`` locally.
+        """
+        b, d = self.config.num_microbatches, self.config.data_parallel
+        if set(inputs) != set(range(b * d)):
+            raise EngineError(f"need {b * d} micro-batches, got {len(inputs)}")
+        results: list[StepResult] = []
+        for r, trainer in enumerate(self.trainers):
+            local_in = {i: inputs[i * d + r] for i in range(b)}
+            local_tg = {i: targets[i * d + r] for i in range(b)}
+            results.append(trainer.train_step(local_in, local_tg))
+        grads = allreduce_average([res.grads for res in results])
+        return DPStepResult(
+            loss=float(np.mean([res.loss for res in results])),
+            grads=grads,
+            replica_results=results,
+        )

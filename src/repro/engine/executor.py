@@ -1,0 +1,186 @@
+"""The NumPy executor: binds action lists to real stage modules.
+
+One :class:`EngineExecutor` per worker thread.  It owns the device's
+model chunks, routes boundary tensors (locally or through the
+:class:`~repro.engine.channels.PeerNetwork`), evaluates the loss on the
+final stage, and seeds the backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..actions.ops import CommKind, Tag
+from ..errors import EngineError
+from ..schedules.base import Schedule
+from ..types import OpKind
+from . import tensor_ops as T
+from .channels import PeerNetwork
+from .module import StageModule
+
+
+class EngineExecutor:
+    """Executor protocol implementation over NumPy stages."""
+
+    def __init__(
+        self,
+        device: int,
+        schedule: Schedule,
+        stages: dict[int, StageModule],   # chunk -> module
+        network: PeerNetwork,
+        microbatch_inputs: dict[int, np.ndarray],
+        microbatch_targets: dict[int, np.ndarray],
+        optimizer=None,
+    ):
+        self.device = device
+        self.schedule = schedule
+        self.stages = stages
+        self.network = network
+        self.inputs = microbatch_inputs
+        self.targets = microbatch_targets
+        self.optimizer = optimizer
+        self.num_stages = schedule.num_stages
+        # boundary tensors produced locally: (kind, m, stage) -> array
+        self._outputs: dict[tuple, Any] = {}
+        # tensors received from peers
+        self._inbox: dict[Tag, Any] = {}
+        self._loss_cache: dict[int, tuple] = {}
+        self.losses: dict[int, float] = {}
+        self.steps_applied = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _chunk_module(self, stage: int, chunk: int) -> StageModule:
+        try:
+            module = self.stages[chunk]
+        except KeyError:
+            raise EngineError(
+                f"device {self.device} has no chunk {chunk} (stage {stage})"
+            ) from None
+        return module
+
+    def _take_input(self, microbatch: int, stage: int) -> np.ndarray:
+        """Fetch the forward input of ``stage`` for a micro-batch."""
+        if stage == 0:
+            try:
+                return self.inputs[microbatch]
+            except KeyError:
+                raise EngineError(
+                    f"no input bound for micro-batch {microbatch}"
+                ) from None
+        replica = self.schedule.replica_of(microbatch)
+        src = self.schedule.placement.device_of(stage - 1, replica)
+        key = (CommKind.ACTIVATION, microbatch, stage - 1)
+        if src == self.device:
+            return self._outputs.pop(key)
+        tag = Tag(*key)
+        try:
+            return self._inbox.pop(tag)
+        except KeyError:
+            raise EngineError(
+                f"device {self.device}: activation {tag} not received "
+                f"before compute (missing Recv in the action list?)"
+            ) from None
+
+    def _take_grad(self, microbatch: int, stage: int) -> np.ndarray:
+        """Fetch the output-gradient of ``stage`` for a micro-batch."""
+        if stage == self.num_stages - 1:
+            return self._loss_grad(microbatch)
+        replica = self.schedule.replica_of(microbatch)
+        src = self.schedule.placement.device_of(stage + 1, replica)
+        key = (CommKind.GRADIENT, microbatch, stage + 1)
+        if src == self.device:
+            return self._outputs.pop(key)
+        tag = Tag(*key)
+        try:
+            return self._inbox.pop(tag)
+        except KeyError:
+            raise EngineError(
+                f"device {self.device}: gradient {tag} not received "
+                f"before compute"
+            ) from None
+
+    def _loss_grad(self, microbatch: int) -> np.ndarray:
+        try:
+            cache = self._loss_cache.pop(microbatch)
+        except KeyError:
+            raise EngineError(
+                f"backward of m{microbatch} before its loss forward"
+            ) from None
+        # Mean over micro-batches: each contributes 1/B of the grad.
+        return T.cross_entropy_backward(
+            cache, scale=1.0 / self.schedule.num_microbatches
+        )
+
+    # -- Executor protocol ------------------------------------------------
+
+    def compute_forward(self, microbatch: int, stage: int, chunk: int) -> None:
+        module = self._chunk_module(stage, chunk)
+        x = self._take_input(microbatch, stage)
+        y = module.forward(microbatch, x)
+        if stage == self.num_stages - 1:
+            targets = self.targets.get(microbatch)
+            if targets is None:
+                raise EngineError(
+                    f"no targets bound for micro-batch {microbatch}"
+                )
+            loss, cache = T.cross_entropy_forward(y, targets)
+            self.losses[microbatch] = loss
+            self._loss_cache[microbatch] = cache
+        else:
+            self._outputs[(CommKind.ACTIVATION, microbatch, stage)] = y
+
+    def compute_backward(self, microbatch: int, stage: int, chunk: int) -> None:
+        module = self._chunk_module(stage, chunk)
+        dy = self._take_grad(microbatch, stage)
+        dx = module.backward(microbatch, dy)
+        if stage > 0:
+            if dx is None:
+                raise EngineError(
+                    f"stage {stage} returned no input grad but is not first"
+                )
+            self._outputs[(CommKind.GRADIENT, microbatch, stage)] = dx
+
+    def post_send(self, peer: int, tag: Tag) -> None:
+        key = (tag.kind, tag.microbatch, tag.stage)
+        try:
+            payload = self._outputs.pop(key)
+        except KeyError:
+            raise EngineError(
+                f"device {self.device}: send of {tag} before it was produced"
+            ) from None
+        self.network.send(self.device, peer, tag, payload)
+
+    def post_recv(self, peer: int, tag: Tag) -> None:
+        # Buffered channels: the message is already in flight (or will
+        # be); actual matching happens in wait_recv.
+        pass
+
+    def wait_recv(self, peer: int, tag: Tag) -> None:
+        self._inbox[tag] = self.network.recv(self.device, peer, tag)
+
+    def flush(self) -> None:
+        leftovers = [
+            str(m) for mod in self.stages.values()
+            for m in sorted(mod.live_microbatches())
+        ]
+        if leftovers:
+            raise EngineError(
+                f"device {self.device}: flush with live activations "
+                f"for micro-batches {leftovers}"
+            )
+
+    def optimizer_step(self) -> None:
+        if self.optimizer is not None:
+            self.optimizer.step()
+        self.steps_applied += 1
+
+    # -- post-run accessors ------------------------------------------------
+
+    def mean_loss(self) -> float:
+        """Mean loss over the micro-batches this device evaluated."""
+        if not self.losses:
+            raise EngineError("this device does not hold the final stage")
+        return float(np.mean(list(self.losses.values())))

@@ -1,0 +1,254 @@
+"""Real (NumPy) transformer layers with explicit backward passes.
+
+These instantiate the :class:`~repro.models.spec.ModelSpec` layer stack
+so that pipeline schedules can be *executed*, not just simulated — the
+gradient-equivalence tests compare every schedule against a sequential
+run of the same layers.
+
+Contract: ``forward(x)`` returns ``(y, ctx)``; ``backward(dy, ctx)``
+returns ``dx`` and accumulates parameter gradients into ``grads``
+(gradient accumulation across micro-batches is the caller dividing by
+``B`` at the loss, matching standard pipeline training).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EngineError
+from ..models.spec import LayerKind, LayerSpec
+from . import tensor_ops as T
+
+
+class Layer:
+    """Base layer: named parameters plus matching gradient buffers."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    def _add_param(self, name: str, value: np.ndarray) -> None:
+        self.params[name] = value
+        self.grads[name] = np.zeros_like(value)
+
+    def zero_grad(self) -> None:
+        for g in self.grads.values():
+            g[...] = 0.0
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray, ctx: object) -> np.ndarray:
+        raise NotImplementedError
+
+    def param_count(self) -> int:
+        return sum(p.size for p in self.params.values())
+
+
+class Linear(Layer):
+    def __init__(self, d_in: int, d_out: int, rng: np.random.Generator):
+        super().__init__()
+        scale = 1.0 / np.sqrt(d_in)
+        self._add_param("w", rng.normal(0.0, scale, size=(d_in, d_out)))
+        self._add_param("b", np.zeros(d_out))
+
+    def forward(self, x):
+        y, cache = T.linear_forward(x, self.params["w"], self.params["b"])
+        return y, cache
+
+    def backward(self, dy, ctx):
+        dx, dw, db = T.linear_backward(dy, ctx, self.params["w"])
+        self.grads["w"] += dw
+        self.grads["b"] += db
+        return dx
+
+
+class LayerNorm(Layer):
+    def __init__(self, d: int):
+        super().__init__()
+        self._add_param("gamma", np.ones(d))
+        self._add_param("beta", np.zeros(d))
+
+    def forward(self, x):
+        y, cache = T.layernorm_forward(x, self.params["gamma"], self.params["beta"])
+        return y, cache
+
+    def backward(self, dy, ctx):
+        dx, dgamma, dbeta = T.layernorm_backward(dy, ctx)
+        self.grads["gamma"] += dgamma
+        self.grads["beta"] += dbeta
+        return dx
+
+
+class Gelu(Layer):
+    def forward(self, x):
+        return T.gelu_forward(x)
+
+    def backward(self, dy, ctx):
+        return T.gelu_backward(dy, ctx)
+
+
+class MultiHeadAttention(Layer):
+    """Bidirectional multi-head self-attention (BERT-style)."""
+
+    def __init__(self, hidden: int, heads: int, rng: np.random.Generator,
+                 causal: bool = False):
+        super().__init__()
+        if hidden % heads:
+            raise EngineError(f"hidden {hidden} % heads {heads} != 0")
+        self.h = hidden
+        self.n = heads
+        self.dh = hidden // heads
+        self.causal = causal
+        scale = 1.0 / np.sqrt(hidden)
+        self._add_param("wqkv", rng.normal(0.0, scale, size=(hidden, 3 * hidden)))
+        self._add_param("bqkv", np.zeros(3 * hidden))
+        self._add_param("wo", rng.normal(0.0, scale, size=(hidden, hidden)))
+        self._add_param("bo", np.zeros(hidden))
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        # (B, S, h) -> (B, n, S, dh)
+        b, s, _ = x.shape
+        return x.reshape(b, s, self.n, self.dh).transpose(0, 2, 1, 3)
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        b, n, s, dh = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, s, n * dh)
+
+    def forward(self, x):
+        qkv, x_cache = T.linear_forward(x, self.params["wqkv"], self.params["bqkv"])
+        q, k, v = np.split(qkv, 3, axis=-1)
+        qh, kh, vh = self._split(q), self._split(k), self._split(v)
+        scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(self.dh)
+        if self.causal:
+            s = scores.shape[-1]
+            mask = np.triu(np.ones((s, s), dtype=bool), k=1)
+            scores = np.where(mask, -1e30, scores)
+        attn, attn_cache = T.softmax_forward(scores, axis=-1)
+        ctx_h = attn @ vh
+        merged = self._merge(ctx_h)
+        out, merged_cache = T.linear_forward(merged, self.params["wo"], self.params["bo"])
+        return out, (x_cache, qh, kh, vh, attn_cache, merged_cache)
+
+    def backward(self, dy, ctx):
+        x_cache, qh, kh, vh, attn, merged_cache = ctx
+        dmerged, dwo, dbo = T.linear_backward(dy, merged_cache, self.params["wo"])
+        self.grads["wo"] += dwo
+        self.grads["bo"] += dbo
+        dctx_h = self._split(dmerged)
+        dattn = dctx_h @ vh.transpose(0, 1, 3, 2)
+        dvh = attn.transpose(0, 1, 3, 2) @ dctx_h
+        dscores = T.softmax_backward(dattn, attn, axis=-1)
+        if self.causal:
+            s = dscores.shape[-1]
+            mask = np.triu(np.ones((s, s), dtype=bool), k=1)
+            dscores = np.where(mask, 0.0, dscores)
+        dscores = dscores / np.sqrt(self.dh)
+        dqh = dscores @ kh
+        dkh = dscores.transpose(0, 1, 3, 2) @ qh
+        dqkv = np.concatenate(
+            [self._merge(dqh), self._merge(dkh), self._merge(dvh)], axis=-1
+        )
+        dx, dwqkv, dbqkv = T.linear_backward(dqkv, x_cache, self.params["wqkv"])
+        self.grads["wqkv"] += dwqkv
+        self.grads["bqkv"] += dbqkv
+        return dx
+
+
+class TransformerBlock(Layer):
+    """Pre-LN block: x + attn(ln1(x)); x + mlp(ln2(x))."""
+
+    def __init__(self, hidden: int, heads: int, ffn_mult: int,
+                 rng: np.random.Generator, causal: bool = False):
+        super().__init__()
+        self.ln1 = LayerNorm(hidden)
+        self.attn = MultiHeadAttention(hidden, heads, rng, causal)
+        self.ln2 = LayerNorm(hidden)
+        self.fc1 = Linear(hidden, ffn_mult * hidden, rng)
+        self.act = Gelu()
+        self.fc2 = Linear(ffn_mult * hidden, hidden, rng)
+        self._subs = [self.ln1, self.attn, self.ln2, self.fc1, self.act, self.fc2]
+        for i, sub in enumerate(self._subs):
+            for name, p in sub.params.items():
+                self.params[f"{i}.{name}"] = p
+                self.grads[f"{i}.{name}"] = sub.grads[name]
+
+    def zero_grad(self) -> None:
+        for sub in self._subs:
+            sub.zero_grad()
+
+    def forward(self, x):
+        n1, c1 = self.ln1.forward(x)
+        a, ca = self.attn.forward(n1)
+        r1 = x + a
+        n2, c2 = self.ln2.forward(r1)
+        f1, cf1 = self.fc1.forward(n2)
+        g, cg = self.act.forward(f1)
+        f2, cf2 = self.fc2.forward(g)
+        y = r1 + f2
+        return y, (c1, ca, c2, cf1, cg, cf2)
+
+    def backward(self, dy, ctx):
+        c1, ca, c2, cf1, cg, cf2 = ctx
+        df2 = self.fc2.backward(dy, cf2)
+        dg = self.act.backward(df2, cg)
+        dn2 = self.fc1.backward(dg, cf1)
+        dr1 = self.ln2.backward(dn2, c2) + dy
+        da = self.attn.backward(dr1, ca)
+        dx = self.ln1.backward(da, c1) + dr1
+        return dx
+
+
+class Embedding(Layer):
+    """Token + learned positional embedding; input is int ids (B, S)."""
+
+    def __init__(self, vocab: int, hidden: int, max_seq: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self._add_param("tok", rng.normal(0.0, 0.02, size=(vocab, hidden)))
+        self._add_param("pos", rng.normal(0.0, 0.02, size=(max_seq, hidden)))
+
+    def forward(self, ids):
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise EngineError("Embedding expects integer token ids")
+        s = ids.shape[-1]
+        y = self.params["tok"][ids] + self.params["pos"][:s]
+        return y, ids
+
+    def backward(self, dy, ctx):
+        ids = ctx
+        np.add.at(self.grads["tok"], ids, dy)
+        self.grads["pos"][: dy.shape[1]] += dy.sum(axis=0)
+        return None  # nothing upstream of the embedding
+
+
+class Head(Layer):
+    """Final projection to vocabulary logits."""
+
+    def __init__(self, hidden: int, vocab: int, rng: np.random.Generator):
+        super().__init__()
+        self.proj = Linear(hidden, vocab, rng)
+        self.params = self.proj.params
+        self.grads = self.proj.grads
+
+    def zero_grad(self) -> None:
+        self.proj.zero_grad()
+
+    def forward(self, x):
+        return self.proj.forward(x)
+
+    def backward(self, dy, ctx):
+        return self.proj.backward(dy, ctx)
+
+
+def instantiate_layer(spec: LayerSpec, seq_len: int,
+                      rng: np.random.Generator, causal: bool) -> Layer:
+    """Build the real layer for one spec entry."""
+    if spec.kind is LayerKind.TRANSFORMER:
+        return TransformerBlock(spec.hidden, spec.heads, spec.ffn_mult, rng,
+                                causal)
+    if spec.kind is LayerKind.EMBEDDING:
+        return Embedding(spec.vocab, spec.hidden, seq_len, rng)
+    if spec.kind is LayerKind.HEAD:
+        return Head(spec.hidden, spec.vocab, rng)
+    raise EngineError(f"cannot instantiate {spec.kind}")

@@ -1,0 +1,127 @@
+"""Stage modules: contiguous layer runs with per-micro-batch activation state."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EngineError
+from ..models.spec import ModelSpec
+from .layers import Layer, instantiate_layer
+
+
+class StageModule:
+    """One pipeline stage: a contiguous run of layers.
+
+    Forward caches the layer contexts per micro-batch; backward consumes
+    and frees them.  Parameter gradients accumulate across micro-batches
+    until :meth:`zero_grad`.
+
+    With ``recompute=True`` the stage implements activation
+    checkpointing: forward keeps only its boundary *input*, and backward
+    first re-runs the forward to rebuild the layer contexts — trading a
+    second forward pass for dropping the per-layer activation cache
+    (the Sec.-6 memory-saving technique, orthogonal to the schedule).
+    """
+
+    def __init__(self, stage_id: int, layers: list[Layer],
+                 recompute: bool = False):
+        self.stage_id = stage_id
+        self.layers = layers
+        self.recompute = recompute
+        self._ctx: dict[int, list[object]] = {}
+        self._saved_input: dict[int, np.ndarray] = {}
+
+    def _run_forward(self, x: np.ndarray) -> tuple[np.ndarray, list[object]]:
+        ctxs: list[object] = []
+        for layer in self.layers:
+            x, ctx = layer.forward(x)
+            ctxs.append(ctx)
+        return x, ctxs
+
+    def forward(self, microbatch: int, x: np.ndarray) -> np.ndarray:
+        if microbatch in self._ctx or microbatch in self._saved_input:
+            raise EngineError(
+                f"stage {self.stage_id}: duplicate forward for m{microbatch}"
+            )
+        y, ctxs = self._run_forward(x)
+        if self.recompute:
+            self._saved_input[microbatch] = x
+        else:
+            self._ctx[microbatch] = ctxs
+        return y
+
+    def backward(self, microbatch: int, dy: np.ndarray) -> np.ndarray | None:
+        if self.recompute:
+            try:
+                x = self._saved_input.pop(microbatch)
+            except KeyError:
+                raise EngineError(
+                    f"stage {self.stage_id}: backward for m{microbatch} "
+                    "without a cached forward"
+                ) from None
+            _, ctxs = self._run_forward(x)
+        else:
+            try:
+                ctxs = self._ctx.pop(microbatch)
+            except KeyError:
+                raise EngineError(
+                    f"stage {self.stage_id}: backward for m{microbatch} "
+                    "without a cached forward"
+                ) from None
+        for layer, ctx in zip(reversed(self.layers), reversed(ctxs)):
+            dy = layer.backward(dy, ctx)
+        return dy
+
+    def live_microbatches(self) -> set[int]:
+        return set(self._ctx) | set(self._saved_input)
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def named_params(self) -> dict[str, np.ndarray]:
+        return {
+            f"s{self.stage_id}.l{i}.{name}": p
+            for i, layer in enumerate(self.layers)
+            for name, p in layer.params.items()
+        }
+
+    def named_grads(self) -> dict[str, np.ndarray]:
+        return {
+            f"s{self.stage_id}.l{i}.{name}": g
+            for i, layer in enumerate(self.layers)
+            for name, g in layer.grads.items()
+        }
+
+    def param_count(self) -> int:
+        return sum(layer.param_count() for layer in self.layers)
+
+
+def build_stages(
+    spec: ModelSpec,
+    num_stages: int,
+    seed: int = 0,
+    causal: bool | None = None,
+    recompute: bool = False,
+) -> list[StageModule]:
+    """Instantiate the spec's layers and split them into stages.
+
+    The split uses the same cost-balanced contiguous partition as the
+    simulator's cost model (:func:`repro.models.costs.partition_layers`)
+    so that simulated and executed stage boundaries agree.  The RNG is
+    consumed in layer order, making parameters independent of the stage
+    count — the seed alone fixes the model, which is what lets a P-stage
+    pipeline be compared against a 1-stage sequential reference.
+    """
+    from ..models.costs import partition_layers
+
+    causal = spec.name.startswith("gpt") if causal is None else causal
+    rng = np.random.default_rng(seed)
+    groups = partition_layers(spec, num_stages)
+    stages: list[StageModule] = []
+    for sid, group in enumerate(groups):
+        layers = [
+            instantiate_layer(l, spec.seq_len, rng, causal) for l in group
+        ]
+        stages.append(StageModule(sid, layers, recompute=recompute))
+    return stages

@@ -1,0 +1,80 @@
+"""NumPy optimizers operating on stage modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EngineError
+from .module import StageModule
+
+
+class Optimizer:
+    """Base: binds to stage modules, steps on their (param, grad) pairs."""
+
+    def __init__(self, stages: list[StageModule]):
+        if not stages:
+            raise EngineError("optimizer needs at least one stage")
+        self.stages = stages
+
+    def _pairs(self):
+        for stage in self.stages:
+            params = stage.named_params()
+            grads = stage.named_grads()
+            for name in params:
+                yield name, params[name], grads[name]
+
+    def zero_grad(self) -> None:
+        for stage in self.stages:
+            stage.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    def __init__(self, stages: list[StageModule], lr: float = 0.1,
+                 momentum: float = 0.0):
+        super().__init__(stages)
+        if lr <= 0:
+            raise EngineError("lr must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        for name, p, g in self._pairs():
+            if self.momentum:
+                v = self._velocity.setdefault(name, np.zeros_like(p))
+                v *= self.momentum
+                v += g
+                p -= self.lr * v
+            else:
+                p -= self.lr * g
+
+
+class Adam(Optimizer):
+    def __init__(self, stages: list[StageModule], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8):
+        super().__init__(stages)
+        if lr <= 0:
+            raise EngineError("lr must be positive")
+        self.lr = lr
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.t = 0
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.t += 1
+        for name, p, g in self._pairs():
+            m = self._m.setdefault(name, np.zeros_like(p))
+            v = self._v.setdefault(name, np.zeros_like(p))
+            m *= self.b1
+            m += (1 - self.b1) * g
+            v *= self.b2
+            v += (1 - self.b2) * g * g
+            mhat = m / (1 - self.b1**self.t)
+            vhat = v / (1 - self.b2**self.t)
+            p -= self.lr * mhat / (np.sqrt(vhat) + self.eps)

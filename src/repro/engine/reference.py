@@ -1,0 +1,64 @@
+"""Sequential single-worker reference implementation.
+
+Runs the same stages, micro-batches and loss scaling as the pipeline
+trainer but on one thread with no schedule at all — plain loop over
+micro-batches, forward then backward.  Pipeline parallelism must be a
+pure reordering of this computation, so gradients must match to
+floating-point accumulation order (float64 ⇒ ~1e-12 relative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.spec import ModelSpec
+from . import tensor_ops as T
+from .module import StageModule, build_stages
+
+
+@dataclass
+class ReferenceResult:
+    loss: float
+    per_microbatch_loss: dict[int, float]
+    grads: dict[str, np.ndarray]
+
+
+def sequential_step(
+    spec: ModelSpec,
+    num_stages: int,
+    inputs: dict[int, np.ndarray],
+    targets: dict[int, np.ndarray],
+    seed: int = 0,
+) -> ReferenceResult:
+    """One full training iteration without any parallelism."""
+    stages = build_stages(spec, num_stages, seed=seed)
+    return sequential_step_on(stages, inputs, targets)
+
+
+def sequential_step_on(
+    stages: list[StageModule],
+    inputs: dict[int, np.ndarray],
+    targets: dict[int, np.ndarray],
+) -> ReferenceResult:
+    """Run the iteration on existing stages (grads accumulate in place)."""
+    b = len(inputs)
+    losses: dict[int, float] = {}
+    for m in sorted(inputs):
+        x = inputs[m]
+        for stage in stages:
+            x = stage.forward(m, x)
+        loss, cache = T.cross_entropy_forward(x, targets[m])
+        losses[m] = loss
+        dy = T.cross_entropy_backward(cache, scale=1.0 / b)
+        for stage in reversed(stages):
+            dy = stage.backward(m, dy)
+    grads: dict[str, np.ndarray] = {}
+    for stage in stages:
+        grads.update(stage.named_grads())
+    return ReferenceResult(
+        loss=float(np.mean(list(losses.values()))),
+        per_microbatch_loss=losses,
+        grads=grads,
+    )

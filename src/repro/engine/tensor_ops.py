@@ -1,0 +1,118 @@
+"""Numerically careful NumPy kernels with hand-written backward passes.
+
+All kernels return ``(output, cache)`` from the forward and take
+``(grad_output, cache)`` in the backward — the contract the layer
+classes build on.  Everything runs in float64 so that pipeline-vs-
+sequential gradient equivalence can be asserted to ~1e-12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+_GELU_A = 0.044715
+
+
+def gelu_forward(x: np.ndarray) -> tuple[np.ndarray, tuple]:
+    """tanh-approximated GELU (the transformer default)."""
+    inner = _GELU_C * (x + _GELU_A * x**3)
+    t = np.tanh(inner)
+    y = 0.5 * x * (1.0 + t)
+    return y, (x, t)
+
+
+def gelu_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
+    x, t = cache
+    dinner = _GELU_C * (1.0 + 3.0 * _GELU_A * x**2)
+    dt = (1.0 - t**2) * dinner
+    return dy * (0.5 * (1.0 + t) + 0.5 * x * dt)
+
+
+def softmax_forward(x: np.ndarray, axis: int = -1) -> tuple[np.ndarray, np.ndarray]:
+    """Shift-stabilised softmax; cache is the output itself."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    y = e / np.sum(e, axis=axis, keepdims=True)
+    return y, y
+
+
+def softmax_backward(dy: np.ndarray, y: np.ndarray, axis: int = -1) -> np.ndarray:
+    inner = np.sum(dy * y, axis=axis, keepdims=True)
+    return (dy - inner) * y
+
+
+def layernorm_forward(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> tuple[np.ndarray, tuple]:
+    """LayerNorm over the last axis."""
+    mu = x.mean(axis=-1, keepdims=True)
+    xc = x - mu
+    var = (xc**2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = xc * inv_std
+    y = gamma * xhat + beta
+    return y, (xhat, inv_std, gamma)
+
+
+def layernorm_backward(
+    dy: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns (dx, dgamma, dbeta)."""
+    xhat, inv_std, gamma = cache
+    d = xhat.shape[-1]
+    dgamma = np.sum(dy * xhat, axis=tuple(range(dy.ndim - 1)))
+    dbeta = np.sum(dy, axis=tuple(range(dy.ndim - 1)))
+    dxhat = dy * gamma
+    dx = (
+        dxhat
+        - dxhat.mean(axis=-1, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    assert dx.shape[-1] == d
+    return dx, dgamma, dbeta
+
+
+def linear_forward(
+    x: np.ndarray, w: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """y = x @ w + b over the last axis; cache is x."""
+    return x @ w + b, x
+
+
+def linear_backward(
+    dy: np.ndarray, x: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns (dx, dw, db) for arbitrary leading batch dims."""
+    dx = dy @ w.T
+    x2 = x.reshape(-1, x.shape[-1])
+    dy2 = dy.reshape(-1, dy.shape[-1])
+    dw = x2.T @ dy2
+    db = dy2.sum(axis=0)
+    return dx, dw, db
+
+
+def cross_entropy_forward(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, tuple]:
+    """Mean token-level cross entropy.
+
+    ``logits``: (..., vocab) floats; ``targets``: (...) int ids.
+    """
+    probs, _ = softmax_forward(logits, axis=-1)
+    flat = probs.reshape(-1, probs.shape[-1])
+    idx = targets.reshape(-1)
+    n = idx.shape[0]
+    picked = flat[np.arange(n), idx]
+    loss = float(-np.log(np.maximum(picked, 1e-300)).mean())
+    return loss, (probs, targets)
+
+
+def cross_entropy_backward(cache: tuple, scale: float = 1.0) -> np.ndarray:
+    """d(loss * scale)/dlogits."""
+    probs, targets = cache
+    flat = probs.reshape(-1, probs.shape[-1]).copy()
+    idx = targets.reshape(-1)
+    n = idx.shape[0]
+    flat[np.arange(n), idx] -= 1.0
+    return (flat / n * scale).reshape(probs.shape)

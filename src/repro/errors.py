@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class SchedulingError(ReproError):
+    """A schedule could not be constructed (bad shape, greedy deadlock)."""
+
+
+class ValidationError(ReproError):
+    """A schedule or action list violates a structural invariant."""
+
+
+class CommError(ReproError):
+    """A communication primitive was misused (unmatched send/recv)."""
+
+
+class DeadlockError(CommError):
+    """The action graph or live channel state contains a cycle."""
+
+
+class OutOfMemoryError(ReproError):
+    """Modeled device memory was exceeded.
+
+    Mirrors a CUDA OOM: raised by the memory tracker when the peak
+    footprint passes device capacity.  Carries the device and the peak
+    in bytes so benches can report which rank OOM'd.
+    """
+
+    def __init__(self, device: int, peak_bytes: int, capacity_bytes: int):
+        self.device = device
+        self.peak_bytes = peak_bytes
+        self.capacity_bytes = capacity_bytes
+        super().__init__(
+            f"device {device}: peak {peak_bytes / 2**30:.2f} GiB exceeds "
+            f"capacity {capacity_bytes / 2**30:.2f} GiB"
+        )
+
+
+class EngineError(ReproError):
+    """The NumPy execution engine hit an internal inconsistency."""

@@ -1,0 +1,31 @@
+"""Model specifications and cost models."""
+
+from .costs import (
+    A100_40G,
+    A100_80G,
+    BACKWARD_RATIO,
+    V100_32G,
+    DeviceModel,
+    StageCosts,
+    partition_layers,
+    stage_costs,
+)
+from .spec import LayerKind, LayerSpec, ModelSpec
+from .zoo import bert_64, gpt_128, tiny_model
+
+__all__ = [
+    "A100_40G",
+    "A100_80G",
+    "BACKWARD_RATIO",
+    "V100_32G",
+    "DeviceModel",
+    "LayerKind",
+    "LayerSpec",
+    "ModelSpec",
+    "StageCosts",
+    "bert_64",
+    "gpt_128",
+    "partition_layers",
+    "stage_costs",
+    "tiny_model",
+]

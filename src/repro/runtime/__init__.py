@@ -1,0 +1,32 @@
+"""Discrete-event runtime: cost oracles, simulator, memory, metrics."""
+
+from .costs import AbstractCosts, ConcreteCosts, CostOracle
+from .memory import MemoryStats, memory_stats, static_memory
+from .metrics import (
+    BubbleStats,
+    bubble_stats,
+    compute_time_lower_bound,
+    kind_time,
+    steady_state_bubble_ratio,
+    throughput_seq_per_s,
+)
+from .simulator import SimResult, TrainingSimResult, simulate, simulate_training
+
+__all__ = [
+    "AbstractCosts",
+    "BubbleStats",
+    "ConcreteCosts",
+    "CostOracle",
+    "MemoryStats",
+    "SimResult",
+    "TrainingSimResult",
+    "bubble_stats",
+    "compute_time_lower_bound",
+    "kind_time",
+    "memory_stats",
+    "simulate",
+    "simulate_training",
+    "static_memory",
+    "steady_state_bubble_ratio",
+    "throughput_seq_per_s",
+]

@@ -1,0 +1,95 @@
+"""Metrics extracted from simulated timelines.
+
+The paper's headline metric is the **bubble ratio** — the fraction of
+device-time spent idle inside the pipeline's active window — plus
+throughput in sequences per second for the evaluation figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..schedules.base import Schedule
+from ..types import OpKind, Timeline
+
+
+@dataclass(frozen=True)
+class BubbleStats:
+    """Idle-time accounting for one simulated iteration."""
+
+    makespan: float
+    busy: dict[int, float]          # per device compute time
+    idle: dict[int, float]          # per device makespan - busy
+    bubble_ratio: float             # aggregate: idle / (P * makespan)
+    per_device_ratio: dict[int, float]
+
+
+def bubble_stats(timeline: Timeline) -> BubbleStats:
+    """Aggregate bubble accounting over the whole iteration window.
+
+    The window is ``[0, makespan]`` on every device — the paper's
+    convention, where warm-up and drain idleness count as bubbles.
+    """
+    makespan = timeline.makespan
+    busy = {d: timeline.busy_time(d) for d in timeline.devices}
+    idle = {d: makespan - b for d, b in busy.items()}
+    denom = makespan * max(1, len(busy))
+    ratio = sum(idle.values()) / denom if denom > 0 else 0.0
+    per_device = {
+        d: (idle[d] / makespan if makespan > 0 else 0.0) for d in busy
+    }
+    return BubbleStats(
+        makespan=makespan,
+        busy=busy,
+        idle=idle,
+        bubble_ratio=ratio,
+        per_device_ratio=per_device,
+    )
+
+
+def steady_state_bubble_ratio(timeline: Timeline, trim: float = 0.25) -> float:
+    """Bubble ratio excluding a ``trim`` fraction at both ends.
+
+    Asynchronous schedules have no flush, so their meaningful number is
+    the steady-state idle fraction (paper Fig. 4(b)); trimming removes
+    the one-time warm-up and the artificial end-of-simulation drain.
+    """
+    makespan = timeline.makespan
+    lo, hi = makespan * trim, makespan * (1 - trim)
+    window = hi - lo
+    if window <= 0:
+        return 0.0
+    ratios = []
+    for d in timeline.devices:
+        busy = 0.0
+        for span in timeline.device_spans(d):
+            busy += max(0.0, min(span.end, hi) - max(span.start, lo))
+        ratios.append(1.0 - busy / window)
+    return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def throughput_seq_per_s(
+    makespan_s: float,
+    num_microbatches: int,
+    microbatch_size: int,
+    data_parallel: int = 1,
+    overhead_s: float = 0.0,
+) -> float:
+    """Sequences per second for one iteration of the full job."""
+    if makespan_s <= 0:
+        raise ValueError("makespan must be positive")
+    total = num_microbatches * microbatch_size * data_parallel
+    return total / (makespan_s + overhead_s)
+
+
+def compute_time_lower_bound(schedule: Schedule, duration_of) -> float:
+    """Per-device compute if bubbles were zero: max over devices of work."""
+    work: dict[int, float] = {}
+    for op in schedule.all_ops():
+        work[op.device] = work.get(op.device, 0.0) + duration_of(op)
+    return max(work.values()) if work else 0.0
+
+
+def kind_time(timeline: Timeline, kind: OpKind) -> float:
+    """Total device-time spent in ops of ``kind`` (for sanity checks)."""
+    return sum(t.duration for t in timeline.iter_ops() if t.op.kind is kind)

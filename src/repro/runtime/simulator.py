@@ -1,0 +1,158 @@
+"""Discrete-event execution of a schedule against a cost oracle.
+
+Each device executes its schedule list **in order** (the order *is* the
+program — reordering here would silently change the algorithm under
+test).  An op starts when the device is free and its input tensors have
+arrived; arrival of a cross-device tensor is its producer's completion
+plus the transfer time.
+
+Prefetching (paper Sec. 4.2) decides *who pays* for the transfer:
+
+* ``prefetch=True`` — receives are posted ahead (asynchronous
+  communication), so transfers overlap the receiver's previous compute
+  and only surface as waiting when the receiver is otherwise idle.
+* ``prefetch=False`` — the receiver blocks for each transfer: the
+  transfer occupies its timeline as an explicit recv span.
+
+The gap between those two modes is the paper's communication-overlap
+claim, which `benchmarks/bench_ablation_prefetch.py` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import RunConfig
+from ..errors import SchedulingError
+from ..schedules.base import Schedule
+from ..types import OpKind, ScheduleOp, TimedOp, Timeline
+from .costs import CostOracle
+
+
+@dataclass
+class SimResult:
+    """Everything a simulation produces."""
+
+    schedule: Schedule
+    timeline: Timeline
+    #: per-device explicit recv spans (only populated without prefetch)
+    recv_busy: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return self.timeline.makespan
+
+
+@dataclass
+class TrainingSimResult:
+    """A multi-iteration training run (synchronous schedules).
+
+    A flush separates iterations, so every iteration replays the same
+    timeline; total time is ``iterations * (makespan + step_cost)``.
+    """
+
+    iteration: SimResult
+    iterations: int
+    step_cost: float
+
+    @property
+    def iteration_time(self) -> float:
+        return self.iteration.makespan + self.step_cost
+
+    @property
+    def total_time(self) -> float:
+        return self.iterations * self.iteration_time
+
+
+def simulate_training(
+    schedule: Schedule,
+    costs: CostOracle,
+    run: RunConfig | None = None,
+    step_cost: float = 0.0,
+) -> TrainingSimResult:
+    """Simulate ``run.iterations`` flushed iterations.
+
+    The flush makes iterations independent, so one simulation suffices;
+    ``step_cost`` charges the optimizer step + any per-iteration sync.
+    """
+    run = run or RunConfig()
+    if step_cost < 0:
+        raise SchedulingError("step_cost must be >= 0")
+    one = simulate(schedule, costs, run)
+    return TrainingSimResult(iteration=one, iterations=run.iterations,
+                             step_cost=step_cost)
+
+
+def simulate(
+    schedule: Schedule,
+    costs: CostOracle,
+    run: RunConfig | None = None,
+) -> SimResult:
+    """Execute ``schedule`` under ``costs`` and return its timeline.
+
+    Raises :class:`SchedulingError` if the per-device orders deadlock
+    (an op waits for a producer that is queued behind it) — a condition
+    :func:`repro.schedules.validation.check_executable` rules out for
+    generator-produced schedules, but which hand-written schedules can
+    trigger.
+    """
+    run = run or RunConfig()
+    # Index ops once; dependency lookups are by (kind, microbatch, stage).
+    op_index: dict[tuple, ScheduleOp] = {
+        (op.kind, op.microbatch, op.stage): op for op in schedule.all_ops()
+    }
+    # Producer completion times, filled as ops retire.
+    done: dict[tuple, float] = {}
+    cursors = {d: 0 for d in schedule.device_ops}
+    free_at = {d: 0.0 for d in schedule.device_ops}
+    recv_busy = {d: 0.0 for d in schedule.device_ops}
+    timeline = Timeline()
+    total = schedule.op_count()
+    retired = 0
+
+    while retired < total:
+        progressed = False
+        for d, ops in schedule.device_ops.items():
+            while cursors[d] < len(ops):
+                op = ops[cursors[d]]
+                deps = schedule.dependencies(op)
+                if any(dep not in done for dep in deps):
+                    break
+                data_ready = 0.0
+                blocking_recv = 0.0
+                for dep in deps:
+                    src = op_index[dep].device
+                    t_done = done[dep]
+                    t_comm = costs.transfer_time(src, d, op.stage)
+                    if src == d or t_comm == 0.0:
+                        data_ready = max(data_ready, t_done)
+                    elif run.prefetch:
+                        data_ready = max(data_ready, t_done + t_comm)
+                    else:
+                        # Blocking recv: device participates in the
+                        # transfer, so it occupies the device timeline.
+                        data_ready = max(data_ready, t_done)
+                        blocking_recv += t_comm
+                start = max(free_at[d], data_ready) + blocking_recv
+                recv_busy[d] += blocking_recv
+                end = start + costs.duration(op)
+                timeline.add(TimedOp(op=op, start=start, end=end))
+                free_at[d] = end
+                done[(op.kind, op.microbatch, op.stage)] = end
+                cursors[d] += 1
+                retired += 1
+                progressed = True
+        if not progressed and retired < total:
+            stuck = {
+                d: str(ops[cursors[d]])
+                for d, ops in schedule.device_ops.items()
+                if cursors[d] < len(ops)
+            }
+            raise SchedulingError(
+                f"{schedule.name}: simulation deadlock; heads = {stuck}"
+            )
+
+    # Sort spans per device by start for downstream consumers.
+    for spans in timeline.spans.values():
+        spans.sort(key=lambda t: t.start)
+    return SimResult(schedule=schedule, timeline=timeline, recv_busy=recv_busy)

@@ -1,0 +1,98 @@
+"""PipeDream-style asynchronous 1F1B (no flush) — paper Fig. 4(b).
+
+Asynchronous pipelines drop the end-of-iteration flush: once warm, every
+device alternates forward/backward forever, so steady-state bubbles
+vanish, at the price of updating weights with stale versions.  We
+generate the schedule for ``iterations`` worth of micro-batches as one
+continuous stream and track, per op, which weight version it would read
+under PipeDream's weight-stashing rule — the staleness analysis in
+:mod:`repro.analysis` consumes that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PipelineConfig
+from ..errors import ConfigError
+from ..types import OpKind
+from .base import Schedule
+from .placement import LinearPlacement
+
+
+@dataclass(frozen=True)
+class WeightVersion:
+    """Weight version stamps for an async schedule op."""
+
+    device: int
+    microbatch: int
+    version: int  # number of optimizer updates applied before this op
+
+
+def async_1f1b_schedule(config: PipelineConfig,
+                        iterations: int = 1) -> Schedule:
+    """Continuous 1F1B over ``iterations * B`` micro-batches, no flush."""
+    if config.scheme != "async-1f1b":
+        raise ConfigError(
+            f"async_1f1b_schedule got scheme {config.scheme!r}"
+        )
+    if iterations < 1:
+        raise ConfigError("iterations must be >= 1")
+    p = config.num_devices
+    total = config.num_microbatches * iterations
+    stream = PipelineConfig(
+        scheme="async-1f1b",
+        num_devices=p,
+        num_microbatches=total,
+        data_parallel=config.data_parallel,
+        microbatch_size=config.microbatch_size,
+    )
+    placement = LinearPlacement(p)
+    sched = Schedule.empty("async-1f1b", stream, placement)
+    for d in range(p):
+        warmup = min(total, p - d)
+        f_next = b_next = 0
+        for _ in range(warmup):
+            sched.append(d, sched.make_op(OpKind.FORWARD, f_next, d))
+            f_next += 1
+        while f_next < total:
+            sched.append(d, sched.make_op(OpKind.BACKWARD, b_next, d))
+            b_next += 1
+            sched.append(d, sched.make_op(OpKind.FORWARD, f_next, d))
+            f_next += 1
+        while b_next < total:
+            sched.append(d, sched.make_op(OpKind.BACKWARD, b_next, d))
+            b_next += 1
+    return sched
+
+
+def weight_versions(sched: Schedule) -> list[WeightVersion]:
+    """PipeDream weight-version stamps for every forward op.
+
+    Without a flush, a device applies micro-batch ``m``'s update as soon
+    as its backward completes, so the forward of micro-batch ``m`` on
+    device ``d`` reads weights that have absorbed all backwards executed
+    on ``d`` before that forward in program order.
+    """
+    stamps: list[WeightVersion] = []
+    for d, ops in sched.device_ops.items():
+        updates = 0
+        for op in ops:
+            if op.kind is OpKind.BACKWARD:
+                updates += 1
+            else:
+                stamps.append(WeightVersion(d, op.microbatch, updates))
+    return stamps
+
+
+def max_staleness(sched: Schedule) -> int:
+    """Largest spread of weight versions seen by one micro-batch.
+
+    Synchronous schedules have staleness 0 (all stages read the same
+    version).  PipeDream's spread grows with pipeline depth, which is
+    the convergence concern Sec. 2.3 cites for asynchronous methods.
+    """
+    by_mb: dict[int, list[int]] = {}
+    for stamp in weight_versions(sched):
+        by_mb.setdefault(stamp.microbatch, []).append(stamp.version)
+    return max((max(v) - min(v) for v in by_mb.values()), default=0)

@@ -1,0 +1,134 @@
+"""Schedule IR: per-device ordered op lists plus dataflow dependencies.
+
+Every scheme generator in this package produces a :class:`Schedule`.
+Downstream consumers — the validator, the action-list compiler, the
+discrete-event simulator, and the real NumPy engine — all work from
+this single representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import PipelineConfig
+from ..errors import SchedulingError
+from ..types import OpKind, ScheduleOp
+from .placement import StagePlacement
+
+
+@dataclass
+class Schedule:
+    """A complete synchronous pipeline schedule for one iteration.
+
+    ``device_ops[d]`` is the execution order on device ``d``.  The order
+    encodes the scheme's policy decisions (warmup depth, 1F1B
+    interleaving, wave rolling); timing is assigned later by a cost
+    model.
+    """
+
+    name: str
+    config: PipelineConfig
+    placement: StagePlacement
+    device_ops: dict[int, list[ScheduleOp]]
+    #: micro-batch → replica assignment (Chimera routes half of the
+    #: micro-batches through each direction; others use replica 0).
+    microbatch_replica: dict[int, int] = field(default_factory=dict)
+
+    # -- shape -----------------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        return self.config.num_devices
+
+    @property
+    def num_stages(self) -> int:
+        return self.placement.num_stages
+
+    @property
+    def num_microbatches(self) -> int:
+        return self.config.num_microbatches
+
+    def replica_of(self, microbatch: int) -> int:
+        return self.microbatch_replica.get(microbatch, 0)
+
+    # -- op access -------------------------------------------------------
+
+    def all_ops(self) -> list[ScheduleOp]:
+        return [op for d in sorted(self.device_ops) for op in self.device_ops[d]]
+
+    def ops_for(self, device: int) -> list[ScheduleOp]:
+        return list(self.device_ops.get(device, ()))
+
+    def op_count(self) -> int:
+        return sum(len(ops) for ops in self.device_ops.values())
+
+    def find(self, kind: OpKind, microbatch: int, stage: int) -> ScheduleOp:
+        for ops in self.device_ops.values():
+            for op in ops:
+                if (op.kind, op.microbatch, op.stage) == (kind, microbatch, stage):
+                    return op
+        raise SchedulingError(
+            f"{self.name}: op {kind.short}(m{microbatch},s{stage}) not found"
+        )
+
+    # -- dataflow --------------------------------------------------------
+
+    def dependencies(self, op: ScheduleOp) -> list[tuple[OpKind, int, int]]:
+        """Dataflow predecessors of ``op`` as (kind, microbatch, stage).
+
+        Forward ops wait on the upstream forward of the same
+        micro-batch; backward ops wait on the downstream backward (or,
+        at the last stage, on their own forward).  Every backward also
+        needs its stage's saved activation, i.e. its own forward.
+        """
+        deps: list[tuple[OpKind, int, int]] = []
+        last = self.num_stages - 1
+        if op.kind is OpKind.FORWARD:
+            if op.stage > 0:
+                deps.append((OpKind.FORWARD, op.microbatch, op.stage - 1))
+        else:
+            deps.append((OpKind.FORWARD, op.microbatch, op.stage))
+            if op.stage < last:
+                deps.append((OpKind.BACKWARD, op.microbatch, op.stage + 1))
+        return deps
+
+    def expected_ops(self) -> set[tuple[OpKind, int, int]]:
+        """The complete work set: every (m, s) once forward, once backward."""
+        work: set[tuple[OpKind, int, int]] = set()
+        for m in range(self.num_microbatches):
+            for s in range(self.num_stages):
+                work.add((OpKind.FORWARD, m, s))
+                work.add((OpKind.BACKWARD, m, s))
+        return work
+
+    # -- construction helpers ---------------------------------------------
+
+    def make_op(self, kind: OpKind, microbatch: int, stage: int,
+                replica: int | None = None) -> ScheduleOp:
+        """Build an op with device/chunk resolved through the placement."""
+        r = self.replica_of(microbatch) if replica is None else replica
+        device = self.placement.device_of(stage, r)
+        chunk = self.placement.chunk_of(stage, r)
+        return ScheduleOp(device=device, kind=kind, microbatch=microbatch,
+                          stage=stage, chunk=chunk, replica=r)
+
+    def append(self, device: int, op: ScheduleOp) -> None:
+        if op.device != device:
+            raise SchedulingError(
+                f"{self.name}: op {op} appended to device {device}"
+            )
+        self.device_ops.setdefault(device, []).append(op)
+
+    @classmethod
+    def empty(cls, name: str, config: PipelineConfig,
+              placement: StagePlacement) -> "Schedule":
+        return cls(
+            name=name,
+            config=config,
+            placement=placement,
+            device_ops={d: [] for d in range(config.num_devices)},
+        )
+
+    def describe(self) -> str:
+        return (f"{self.name}: P={self.num_devices} S={self.num_stages} "
+                f"B={self.num_microbatches} ops={self.op_count()}")

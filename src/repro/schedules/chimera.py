@@ -1,0 +1,66 @@
+"""Chimera bidirectional pipelines (Li & Hoefler, SC '21).
+
+Two model replicas live on the same devices with mirrored placements:
+the *down* replica maps stage ``s`` to device ``s``, the *up* replica to
+device ``P-1-s``.  Half of the micro-batches flow through each replica,
+and each replica's computation fills the other's bubbles.  The price is
+twice the weight memory — the limitation Hanayo removes.
+"""
+
+from __future__ import annotations
+
+from ..config import CostConfig, PipelineConfig
+from ..errors import ConfigError
+from ..types import OpKind, ScheduleOp
+from .base import Schedule
+from .greedy import GreedyPolicy, greedy_order
+from .placement import MirrorPlacement
+
+
+def make_chimera_priority(p: int, b: int):
+    """Backward-first; forwards prefer the deepest stage of either replica.
+
+    Ties between the two directions are broken *mirror-symmetrically*:
+    the lower device half leans toward the down replica and the upper
+    half toward the up replica.  This keeps the generated schedule
+    invariant under the (device ``d`` ↔ ``P-1-d``, replica 0 ↔ 1,
+    micro-batch ``j`` ↔ ``B/2+j``) symmetry — the property the paper's
+    Fig. 5 block-swap transform relies on to produce two *identical*
+    wave pipelines.
+    """
+    half_b = b // 2
+
+    def priority(op: ScheduleOp) -> tuple:
+        local_mb = op.microbatch - half_b * op.replica
+        preferred = 0 if op.device < p / 2 else 1
+        tie = 0 if op.replica == preferred else 1
+        if op.kind is OpKind.BACKWARD:
+            return (0, local_mb, tie, op.stage)
+        return (1, -op.stage, local_mb, tie)
+
+    return priority
+
+
+def chimera_schedule(
+    config: PipelineConfig,
+    costs: CostConfig | None = None,
+    open_cap: int | None = None,
+) -> Schedule:
+    """Generate the 2-replica bidirectional Chimera schedule.
+
+    Even micro-batch halves: ``0..B/2-1`` ride the down replica,
+    ``B/2..B-1`` the up replica (the paper's Fig. 3(c) coloring).
+    """
+    if config.scheme != "chimera":
+        raise ConfigError(f"chimera_schedule got scheme {config.scheme!r}")
+    p, b = config.num_devices, config.num_microbatches
+    placement = MirrorPlacement(p)
+    sched = Schedule.empty("chimera", config, placement)
+    half = b // 2
+    sched.microbatch_replica = {
+        m: (0 if m < half else 1) for m in range(b)
+    }
+    cap = max(1, p // 2) if open_cap is None else open_cap
+    policy = GreedyPolicy(priority=make_chimera_priority(p, b),
+                          open_cap=lambda d: cap)
+    return greedy_order(sched, policy, costs)

@@ -1,0 +1,41 @@
+"""DAPPLE / 1F1B (Fan et al., 2020).
+
+Closed-form warmup–steady–drain construction.  Device ``d`` (0-indexed)
+admits ``min(B, P - d)`` warmup forwards, then strictly alternates one
+backward with one forward, then drains the remaining backwards.  This
+bounds live activations on device ``d`` to ``P - d`` micro-batches —
+the uneven memory profile Sec. 2.2 discusses (device 0 peaks like
+GPipe; the last device holds a single activation).
+"""
+
+from __future__ import annotations
+
+from ..config import PipelineConfig
+from ..errors import ConfigError
+from ..types import OpKind
+from .base import Schedule
+from .placement import LinearPlacement
+
+
+def dapple_schedule(config: PipelineConfig) -> Schedule:
+    if config.scheme != "dapple":
+        raise ConfigError(f"dapple_schedule got scheme {config.scheme!r}")
+    p, b = config.num_devices, config.num_microbatches
+    placement = LinearPlacement(p)
+    sched = Schedule.empty("dapple", config, placement)
+    for d in range(p):
+        warmup = min(b, p - d)
+        f_next = 0
+        b_next = 0
+        for _ in range(warmup):
+            sched.append(d, sched.make_op(OpKind.FORWARD, f_next, d))
+            f_next += 1
+        while f_next < b:
+            sched.append(d, sched.make_op(OpKind.BACKWARD, b_next, d))
+            b_next += 1
+            sched.append(d, sched.make_op(OpKind.FORWARD, f_next, d))
+            f_next += 1
+        while b_next < b:
+            sched.append(d, sched.make_op(OpKind.BACKWARD, b_next, d))
+            b_next += 1
+    return sched

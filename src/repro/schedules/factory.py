@@ -1,0 +1,42 @@
+"""Single entry point mapping a :class:`PipelineConfig` to its schedule."""
+
+from __future__ import annotations
+
+from ..config import CostConfig, PipelineConfig
+from ..errors import ConfigError
+from .async_1f1b import async_1f1b_schedule
+from .base import Schedule
+from .chimera import chimera_schedule
+from .dapple import dapple_schedule
+from .gems import gems_schedule
+from .gpipe import gpipe_schedule
+from .hanayo import hanayo_schedule
+from .interleaved import interleaved_schedule
+from .transform import chimera_wave_schedule
+
+
+def build_schedule(config: PipelineConfig,
+                   costs: CostConfig | None = None) -> Schedule:
+    """Construct the schedule for ``config.scheme``.
+
+    ``costs`` influences greedy tie-breaking only; constructive schemes
+    (gpipe, dapple, async-1f1b) ignore it.
+    """
+    scheme = config.scheme
+    if scheme == "gpipe":
+        return gpipe_schedule(config)
+    if scheme == "dapple":
+        return dapple_schedule(config)
+    if scheme == "interleaved":
+        return interleaved_schedule(config, costs)
+    if scheme == "gems":
+        return gems_schedule(config, costs)
+    if scheme == "chimera":
+        return chimera_schedule(config, costs)
+    if scheme == "chimera-wave":
+        return chimera_wave_schedule(config)
+    if scheme == "hanayo":
+        return hanayo_schedule(config, costs)
+    if scheme == "async-1f1b":
+        return async_1f1b_schedule(config)
+    raise ConfigError(f"no generator for scheme {scheme!r}")

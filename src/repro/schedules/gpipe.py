@@ -1,0 +1,28 @@
+"""GPipe: all forwards, then all backwards (Huang et al., 2018).
+
+Closed-form construction: device ``d`` runs ``F(0..B-1)`` in micro-batch
+order, then ``B(0..B-1)``.  All intermediate activations of every
+micro-batch stay alive through the forward phase, which is the memory
+weakness the paper's Fig. 3(a) illustrates.
+"""
+
+from __future__ import annotations
+
+from ..config import PipelineConfig
+from ..errors import ConfigError
+from ..types import OpKind
+from .base import Schedule
+from .placement import LinearPlacement
+
+
+def gpipe_schedule(config: PipelineConfig) -> Schedule:
+    if config.scheme != "gpipe":
+        raise ConfigError(f"gpipe_schedule got scheme {config.scheme!r}")
+    placement = LinearPlacement(config.num_devices)
+    sched = Schedule.empty("gpipe", config, placement)
+    for d in range(config.num_devices):
+        for m in range(config.num_microbatches):
+            sched.append(d, sched.make_op(OpKind.FORWARD, m, d))
+        for m in range(config.num_microbatches):
+            sched.append(d, sched.make_op(OpKind.BACKWARD, m, d))
+    return sched

@@ -1,0 +1,268 @@
+"""Dependency-driven greedy list scheduler.
+
+This is the generator behind the wave-family schedules (Hanayo,
+Chimera, interleaved 1F1B, GEMS).  It simulates a work-conserving
+executor: whenever a device is idle it starts the highest-priority op
+whose dataflow inputs have arrived, subject to a per-device cap on
+*open micro-batches* (a micro-batch is open on a device from its first
+forward there until its last backward there starts).  The cap is the
+memory discipline — it is what turns an eager GPipe-shaped execution
+into 1F1B- and wave-shaped executions — and the priority function is
+the scheme's policy.
+
+The open-micro-batch cap is deadlock-free by construction: ops of an
+already-open micro-batch are never blocked, so the leading micro-batch
+always reaches the last stage and unlocks the backward chain.
+
+The same engine doubles as an order-*verifier*: ``dapple`` built
+constructively and ``dapple`` built greedily must coincide, which the
+test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..config import CostConfig, PipelineConfig
+from ..errors import SchedulingError
+from ..types import OpKind, ScheduleOp
+from .base import Schedule
+from .placement import StagePlacement
+
+#: Priority callables map an op to a sortable tuple; lower runs first.
+Priority = Callable[[ScheduleOp], tuple]
+
+
+def wave_priority(op: ScheduleOp) -> tuple:
+    """Backward-first; forwards chase the wave front (highest stage).
+
+    Backwards drain in micro-batch FIFO order, freeing activations of
+    the oldest micro-batch first.  Among forwards, the highest global
+    stage wins so the leading micro-batch keeps rolling through the
+    wave turns instead of the device farming new micro-batches.
+    """
+    if op.kind is OpKind.BACKWARD:
+        return (0, op.microbatch, op.stage)
+    return (1, -op.stage, op.microbatch)
+
+
+def fifo_priority(op: ScheduleOp) -> tuple:
+    """Backward-first, micro-batch FIFO everywhere (classic 1F1B)."""
+    if op.kind is OpKind.BACKWARD:
+        return (0, op.microbatch, op.stage)
+    return (1, op.microbatch, -op.stage)
+
+
+@dataclass
+class GreedyPolicy:
+    """Policy knobs for the greedy engine.
+
+    ``open_cap(device)`` bounds what a device may *admit*, per pipeline
+    replica — bidirectional schemes (Chimera, GEMS) admit independently
+    per direction, otherwise one direction's admissions would lock the
+    other's wave front out of the device and deadlock the backward
+    chain.  Two accounting modes:
+
+    * ``cap_mode="microbatches"`` — classic 1F1B discipline: at most N
+      micro-batches simultaneously open on the device.  Exact for
+      single-chunk placements (DAPPLE's warmup depth).
+    * ``cap_mode="chunks"`` — at most N live chunk activations (forward
+      run, backward not yet started).  This is the byte-accurate
+      discipline wave placements need: a drained micro-batch parking
+      one cold chunk-0 activation should not block admitting new work.
+      Every already-open micro-batch is exempt from the cap.
+    * ``cap_mode="chunks-strict"`` — like ``chunks`` but only the
+      *oldest* open micro-batch is exempt.  This delays late-comer
+      forwards the way the paper's hand schedules do, trading a little
+      idle time for a strictly lower activation peak (what lets Hanayo
+      fit where DAPPLE OOMs in the strong-scaling figure).
+
+    All modes stay deadlock-free: the exempted (oldest/wave-front)
+    micro-batch always reaches the last stage and unlocks the backward
+    chain, which frees budget.
+    """
+
+    priority: Priority = wave_priority
+    #: device -> admission budget per replica (None = unbounded)
+    open_cap: Callable[[int], int] | None = None
+    cap_mode: str = "microbatches"
+    #: device -> hard live-chunk ceiling (chunk modes only): above it,
+    #: only the oldest open micro-batch may run forwards.  Bounds the
+    #: open-micro-batch exemption's overshoot so the wave's peak stays
+    #: below DAPPLE's without starving the steady state.
+    hard_cap: Callable[[int], int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.cap_mode not in ("microbatches", "chunks", "chunks-strict"):
+            raise SchedulingError(f"unknown cap_mode {self.cap_mode!r}")
+
+    def cap_for(self, device: int) -> int | None:
+        return None if self.open_cap is None else self.open_cap(device)
+
+
+@dataclass
+class _DeviceState:
+    free_at: float = 0.0
+    #: open micro-batches keyed by replica
+    open_mbs: dict[int, set[int]] = field(default_factory=dict)
+    #: live chunk activations keyed by replica (chunks cap mode)
+    live_chunks: dict[int, int] = field(default_factory=dict)
+    ready: list[tuple[float, tuple, ScheduleOp]] = field(default_factory=list)
+
+    def open_set(self, replica: int) -> set[int]:
+        return self.open_mbs.setdefault(replica, set())
+
+
+def greedy_order(
+    schedule: Schedule,
+    policy: GreedyPolicy,
+    costs: CostConfig | None = None,
+) -> Schedule:
+    """Fill ``schedule.device_ops`` with a greedy execution order.
+
+    ``schedule`` must arrive empty but with its placement and
+    micro-batch→replica assignment set; the full work set is derived
+    from the config shape.  Raises :class:`SchedulingError` on deadlock
+    (which indicates a broken placement/cap combination, not bad luck).
+    """
+    costs = costs or CostConfig()
+    cfg = schedule.config
+    num_stages = schedule.num_stages
+    # Per-chunk durations: T_F is one device-worth of layers, spread over
+    # the device's chunks (= num_stages / num_devices stages each).
+    per_stage = cfg.num_devices / num_stages
+    dur = {
+        OpKind.FORWARD: costs.t_f * per_stage,
+        OpKind.BACKWARD: costs.t_b * per_stage,
+    }
+
+    # Build the work set and the dependency graph.
+    ops: dict[tuple, ScheduleOp] = {}
+    for m in range(cfg.num_microbatches):
+        for s in range(num_stages):
+            for kind in (OpKind.FORWARD, OpKind.BACKWARD):
+                op = schedule.make_op(kind, m, s)
+                ops[(kind, m, s)] = op
+
+    dep_count: dict[tuple, int] = {}
+    dependents: dict[tuple, list[tuple]] = {k: [] for k in ops}
+    for key, op in ops.items():
+        deps = schedule.dependencies(op)
+        dep_count[key] = len(deps)
+        for dep in deps:
+            dependents[dep].append(key)
+
+    devices = {d: _DeviceState() for d in range(cfg.num_devices)}
+    done_at: dict[tuple, float] = {}
+    total = len(ops)
+    started = 0
+
+    def data_ready(key: tuple) -> float:
+        op = ops[key]
+        t = 0.0
+        for dep in schedule.dependencies(op):
+            arrival = done_at[dep]
+            if ops[dep].device != op.device:
+                arrival += costs.t_c
+            t = max(t, arrival)
+        return t
+
+    def release(key: tuple) -> None:
+        op = ops[key]
+        devices[op.device].ready.append(
+            (data_ready(key), policy.priority(op), op)
+        )
+
+    for key, count in dep_count.items():
+        if count == 0:
+            release(key)
+
+    # A backward that is the device's last op for its micro-batch closes
+    # the micro-batch (frees the cap slot) when it starts.
+    last_backward: dict[tuple[int, int], tuple] = {}
+    for key, op in ops.items():
+        if op.kind is OpKind.BACKWARD:
+            prev = last_backward.get((op.device, op.microbatch))
+            # "last" backward = the one whose stage drains latest; in a
+            # wave that is the lowest stage on this device.
+            if prev is None or ops[prev].stage > op.stage:
+                last_backward[(op.device, op.microbatch)] = key
+
+    while started < total:
+        # Choose the (device, op) pair with the earliest feasible start.
+        best: tuple[float, tuple, int, ScheduleOp] | None = None
+        for d, state in devices.items():
+            if not state.ready:
+                continue
+            cap = policy.cap_for(d)
+            candidate: tuple[float, tuple, ScheduleOp] | None = None
+            for t_ready, prio, op in state.ready:
+                if cap is not None and op.kind is OpKind.FORWARD:
+                    open_set = state.open_set(op.replica)
+                    if policy.cap_mode == "microbatches":
+                        blocked = (op.microbatch not in open_set
+                                   and len(open_set) >= cap)
+                    elif policy.cap_mode == "chunks":
+                        blocked = (op.microbatch not in open_set
+                                   and state.live_chunks.get(op.replica, 0)
+                                   >= cap)
+                    else:  # chunks-strict
+                        exempt = open_set and op.microbatch == min(open_set)
+                        blocked = (not exempt
+                                   and state.live_chunks.get(op.replica, 0)
+                                   >= cap)
+                    if (
+                        not blocked
+                        and policy.hard_cap is not None
+                        and policy.cap_mode != "microbatches"
+                    ):
+                        live = state.live_chunks.get(op.replica, 0)
+                        oldest = (open_set
+                                  and op.microbatch == min(open_set))
+                        if live >= policy.hard_cap(d) and not oldest:
+                            blocked = True
+                    if blocked:
+                        continue
+                start = max(t_ready, state.free_at)
+                entry = (start, prio, op)
+                if candidate is None or entry[:2] < candidate[:2]:
+                    candidate = entry
+            if candidate is None:
+                continue
+            start, prio, op = candidate
+            entry2 = (start, prio, d, op)
+            if best is None or entry2[:3] < best[:3]:
+                best = entry2
+        if best is None:
+            blocked = sum(len(s.ready) for s in devices.values())
+            raise SchedulingError(
+                f"{schedule.name}: greedy deadlock with {total - started} ops "
+                f"left ({blocked} released but cap-blocked); "
+                "raise the open-micro-batch cap"
+            )
+        start, _, d, op = best
+        state = devices[d]
+        state.ready = [e for e in state.ready if e[2] is not op]
+        end = start + dur[op.kind]
+        state.free_at = end
+        schedule.append(d, op)
+        started += 1
+        key = (op.kind, op.microbatch, op.stage)
+        done_at[key] = end
+        if op.kind is OpKind.FORWARD:
+            state.open_set(op.replica).add(op.microbatch)
+            state.live_chunks[op.replica] = (
+                state.live_chunks.get(op.replica, 0) + 1
+            )
+        else:
+            state.live_chunks[op.replica] = (
+                state.live_chunks.get(op.replica, 0) - 1
+            )
+            if last_backward.get((d, op.microbatch)) == key:
+                state.open_set(op.replica).discard(op.microbatch)
+        for dep_key in dependents[key]:
+            dep_count[dep_key] -= 1
+            if dep_count[dep_key] == 0:
+                release(dep_key)
+    return schedule

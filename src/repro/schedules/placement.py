@@ -1,0 +1,134 @@
+"""Stage-to-device placements.
+
+The placement is what distinguishes the pipeline families:
+
+* **linear** — stage ``s`` on device ``s`` (GPipe, DAPPLE, one direction
+  of Chimera, GEMS).
+* **snake** — boustrophedon: pass 0 runs down the devices, pass 1 back
+  up, and so on.  This is the wave placement of Hanayo; wave *turns*
+  land both stages on the same device, which is why turning is free
+  (Sec. 3.2).
+* **cyclic** — device ``d`` holds stages ``d, d+P, d+2P, ...``
+  (Megatron interleaved 1F1B).
+* **mirror** — two replicas of a linear placement in opposite
+  directions (Chimera's bidirectional pipelines).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class StagePlacement:
+    """Maps (stage, replica) to a device and a local chunk index."""
+
+    def __init__(self, name: str, num_stages: int, num_devices: int,
+                 num_replicas: int = 1):
+        if num_stages < 1 or num_devices < 1:
+            raise ConfigError("placement needs >=1 stage and device")
+        self.name = name
+        self.num_stages = num_stages
+        self.num_devices = num_devices
+        self.num_replicas = num_replicas
+        # chunk index = position of (stage, replica) in the device's list
+        self._stages_on: dict[int, list[tuple[int, int]]] = {
+            d: [] for d in range(num_devices)
+        }
+        for replica in range(num_replicas):
+            for stage in range(num_stages):
+                d = self.device_of(stage, replica)
+                self._stages_on[d].append((stage, replica))
+        self._chunk_of: dict[tuple[int, int], int] = {}
+        for d, pairs in self._stages_on.items():
+            for i, pair in enumerate(pairs):
+                self._chunk_of[pair] = i
+
+    # Subclasses override this single method.
+    def device_of(self, stage: int, replica: int = 0) -> int:
+        raise NotImplementedError
+
+    def stages_on(self, device: int) -> list[tuple[int, int]]:
+        """(stage, replica) pairs resident on ``device``, chunk order."""
+        return list(self._stages_on[device])
+
+    def chunk_of(self, stage: int, replica: int = 0) -> int:
+        return self._chunk_of[(stage, replica)]
+
+    def chunks_on(self, device: int) -> int:
+        return len(self._stages_on[device])
+
+    def is_local_boundary(self, stage: int, replica: int = 0) -> bool:
+        """True if the stage→stage+1 hop stays on one device (wave turn)."""
+        if stage < 0 or stage >= self.num_stages - 1:
+            return False
+        return self.device_of(stage, replica) == self.device_of(stage + 1, replica)
+
+    def _check_stage(self, stage: int, replica: int) -> None:
+        if not (0 <= stage < self.num_stages):
+            raise ConfigError(f"stage {stage} outside [0, {self.num_stages})")
+        if not (0 <= replica < self.num_replicas):
+            raise ConfigError(f"replica {replica} outside [0, {self.num_replicas})")
+
+
+class LinearPlacement(StagePlacement):
+    """Stage ``s`` on device ``s``; requires S == P."""
+
+    def __init__(self, num_devices: int):
+        super().__init__("linear", num_devices, num_devices)
+
+    def device_of(self, stage: int, replica: int = 0) -> int:
+        self._check_stage(stage, replica)
+        return stage
+
+
+class SnakePlacement(StagePlacement):
+    """Boustrophedon wave placement: S = 2 * W * P stages.
+
+    Pass ``k = stage // P`` alternates direction: even passes map
+    offset ``j = stage % P`` to device ``j``; odd passes to ``P-1-j``.
+    Device ``d`` therefore holds ``2W`` chunks and every V-turn of the
+    wave is local to one device.
+    """
+
+    def __init__(self, num_devices: int, num_waves: int):
+        if num_waves < 1:
+            raise ConfigError("num_waves must be >= 1")
+        self.num_waves = num_waves
+        super().__init__("snake", 2 * num_waves * num_devices, num_devices)
+
+    def device_of(self, stage: int, replica: int = 0) -> int:
+        self._check_stage(stage, replica)
+        p = self.num_devices
+        k, j = divmod(stage, p)
+        return j if k % 2 == 0 else p - 1 - j
+
+
+class CyclicPlacement(StagePlacement):
+    """Megatron interleaved placement: device d holds d, d+P, d+2P..."""
+
+    def __init__(self, num_devices: int, chunks: int):
+        if chunks < 1:
+            raise ConfigError("chunks must be >= 1")
+        self.chunks = chunks
+        super().__init__("cyclic", chunks * num_devices, num_devices)
+
+    def device_of(self, stage: int, replica: int = 0) -> int:
+        self._check_stage(stage, replica)
+        return stage % self.num_devices
+
+
+class MirrorPlacement(StagePlacement):
+    """Chimera's two opposing linear pipelines over one device set.
+
+    Replica 0 flows down (stage s on device s); replica 1 flows up
+    (stage s on device P-1-s).  Each device holds one chunk per replica.
+    """
+
+    def __init__(self, num_devices: int):
+        super().__init__("mirror", num_devices, num_devices, num_replicas=2)
+
+    def device_of(self, stage: int, replica: int = 0) -> int:
+        self._check_stage(stage, replica)
+        if replica == 0:
+            return stage
+        return self.num_devices - 1 - stage

@@ -1,0 +1,11 @@
+"""Text visualisation of schedules."""
+
+from .gantt import render_gantt, render_order
+from .trace import timeline_to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "render_gantt",
+    "render_order",
+    "timeline_to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,54 @@
+"""ASCII Gantt rendering of schedules (paper Figs. 3-6 as text).
+
+Each device is one row; time runs left to right in fixed-width cells.
+Forward cells print the micro-batch digit, backward cells print it
+bracketed, idle prints dots — enough to eyeball warmup shapes, wave
+turns and bubbles in a terminal or a doc snippet.
+"""
+
+from __future__ import annotations
+
+from ..types import OpKind, Timeline
+
+
+def render_gantt(
+    timeline: Timeline,
+    width: int = 100,
+    show_stage: bool = False,
+) -> str:
+    """Render a timeline as fixed-width rows, one per device."""
+    makespan = timeline.makespan
+    if makespan <= 0:
+        return "(empty timeline)"
+    scale = width / makespan
+    lines = []
+    for d in timeline.devices:
+        row = ["."] * width
+        for span in timeline.device_spans(d):
+            lo = int(span.start * scale)
+            hi = max(lo + 1, int(span.end * scale))
+            if span.op.kind is OpKind.FORWARD:
+                label = (f"{span.op.stage % 10}" if show_stage
+                         else f"{span.op.microbatch % 10}")
+            else:
+                label = "#" if show_stage else chr(
+                    ord("a") + span.op.microbatch % 26
+                )
+            for i in range(lo, min(hi, width)):
+                row[i] = label
+        lines.append(f"P{d:<2}|" + "".join(row) + "|")
+    legend = "forward = micro-batch digit, backward = letter, idle = '.'"
+    return "\n".join(lines) + f"\n    ({legend})"
+
+
+def render_order(device_ops: dict, max_ops: int = 40) -> str:
+    """Compact textual dump of per-device op order (for debugging)."""
+    lines = []
+    for d in sorted(device_ops):
+        toks = []
+        for op in device_ops[d][:max_ops]:
+            k = "F" if op.kind is OpKind.FORWARD else "B"
+            toks.append(f"{k}{op.microbatch}.{op.stage}")
+        suffix = " ..." if len(device_ops[d]) > max_ops else ""
+        lines.append(f"P{d}: " + " ".join(toks) + suffix)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Shared fixtures and parametrization helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CostConfig, PipelineConfig
+
+#: (scheme, extra kwargs) pairs covering every generator, used by the
+#: cross-scheme structural tests.
+ALL_SCHEMES = [
+    ("gpipe", {}),
+    ("dapple", {}),
+    ("interleaved", {"num_waves": 2}),
+    ("gems", {}),
+    ("chimera", {}),
+    ("chimera-wave", {}),
+    ("hanayo", {"num_waves": 1}),
+    ("hanayo", {"num_waves": 2}),
+    ("async-1f1b", {}),
+]
+
+SYNC_SCHEMES = [s for s in ALL_SCHEMES if s[0] != "async-1f1b"]
+
+
+def scheme_id(param) -> str:
+    scheme, kw = param
+    if "num_waves" in kw:
+        return f"{scheme}-w{kw['num_waves']}"
+    return scheme
+
+
+def make_config(scheme: str, p: int = 4, b: int = 4, **kw) -> PipelineConfig:
+    return PipelineConfig(
+        scheme=scheme, num_devices=p, num_microbatches=b, **kw
+    )
+
+
+@pytest.fixture
+def unit_costs() -> CostConfig:
+    return CostConfig(t_f=1.0, t_b=2.0, t_c=0.0)
+
+
+@pytest.fixture
+def comm_costs() -> CostConfig:
+    return CostConfig(t_f=1.0, t_b=2.0, t_c=0.25)

@@ -1,0 +1,244 @@
+"""Action IR, compiler passes, static validation, interpreter."""
+
+import pytest
+
+from repro.actions import (
+    BatchedP2P,
+    CommKind,
+    ComputeBackward,
+    ComputeForward,
+    Flush,
+    Interpreter,
+    OptimizerStep,
+    Recv,
+    Send,
+    Tag,
+    batch_opposing,
+    check_deadlock_free,
+    check_matching,
+    compile_schedule,
+    count_messages,
+    hoist_recvs,
+    validate_actions,
+)
+from repro.errors import DeadlockError, EngineError, ValidationError
+from repro.schedules import build_schedule
+
+from conftest import ALL_SCHEMES, SYNC_SCHEMES, make_config, scheme_id
+
+
+def compiled(scheme, p=4, b=4, **kw):
+    sched = build_schedule(make_config(scheme, p, b, **kw))
+    return sched, compile_schedule(sched)
+
+
+class TestCompilerStructure:
+    @pytest.mark.parametrize("param", ALL_SCHEMES, ids=scheme_id)
+    def test_matched_and_deadlock_free(self, param):
+        scheme, kw = param
+        _, lists = compiled(scheme, **kw)
+        validate_actions(lists)
+
+    def test_compute_counts(self):
+        sched, lists = compiled("hanayo", num_waves=2)
+        fwd = sum(isinstance(a, ComputeForward)
+                  for acts in lists.values() for a in acts)
+        bwd = sum(isinstance(a, ComputeBackward)
+                  for acts in lists.values() for a in acts)
+        assert fwd == bwd == sched.num_microbatches * sched.num_stages
+
+    def test_local_boundaries_emit_no_comm(self):
+        """A single-device pipeline needs zero messages."""
+        _, lists = compiled("gpipe", p=1, b=4)
+        assert count_messages(lists) == 0
+
+    def test_message_count_matches_perf_model(self):
+        from repro.analysis import cross_comm_messages
+        for scheme, kw in SYNC_SCHEMES:
+            if scheme == "gems":
+                continue  # direction-alternating count differs from model
+            sched, lists = compiled(scheme, 4, 4, **kw)
+            w = kw.get("num_waves", 1)
+            expected = cross_comm_messages(scheme, 4, 4, w)
+            assert count_messages(lists) == expected, scheme
+
+    def test_step_and_flush_last(self):
+        _, lists = compiled("dapple")
+        for acts in lists.values():
+            assert isinstance(acts[-1], OptimizerStep)
+            assert isinstance(acts[-2], Flush)
+
+    def test_no_step_option(self):
+        sched = build_schedule(make_config("dapple", 4, 4))
+        lists = compile_schedule(sched, add_step=False)
+        for acts in lists.values():
+            assert not any(isinstance(a, (Flush, OptimizerStep))
+                           for a in acts)
+
+
+class TestPrefetchPass:
+    def test_recv_hoisted_above_compute(self):
+        acts = [
+            ComputeForward(0, 0, 0),
+            Recv(peer=1, tag=Tag(CommKind.ACTIVATION, 1, 0)),
+            ComputeForward(1, 1, 0),
+        ]
+        out = hoist_recvs(acts)
+        assert isinstance(out[0], Recv)
+        assert isinstance(out[1], ComputeForward)
+
+    def test_recv_never_crosses_comm(self):
+        r1 = Recv(peer=1, tag=Tag(CommKind.ACTIVATION, 0, 0))
+        r2 = Recv(peer=1, tag=Tag(CommKind.ACTIVATION, 1, 0))
+        out = hoist_recvs([r1, r2])
+        assert out == [r1, r2]
+
+    def test_prefetch_preserves_matching(self):
+        for scheme, kw in SYNC_SCHEMES:
+            sched = build_schedule(make_config(scheme, 4, 4, **kw))
+            for pf in (False, True):
+                lists = compile_schedule(sched, prefetch=pf)
+                check_matching(lists)
+
+
+class TestBatchingPass:
+    def test_opposing_pair_fused(self):
+        s = Send(peer=2, tag=Tag(CommKind.ACTIVATION, 0, 3))
+        r = Recv(peer=2, tag=Tag(CommKind.GRADIENT, 1, 4))
+        out = batch_opposing([s, r])
+        assert len(out) == 1 and isinstance(out[0], BatchedP2P)
+        assert out[0].sends == (s,) and out[0].recvs == (r,)
+
+    def test_same_direction_not_fused(self):
+        s1 = Send(peer=2, tag=Tag(CommKind.ACTIVATION, 0, 3))
+        s2 = Send(peer=2, tag=Tag(CommKind.ACTIVATION, 1, 3))
+        assert batch_opposing([s1, s2]) == [s1, s2]
+
+    def test_different_peers_not_fused(self):
+        s = Send(peer=2, tag=Tag(CommKind.ACTIVATION, 0, 3))
+        r = Recv(peer=3, tag=Tag(CommKind.GRADIENT, 1, 4))
+        assert batch_opposing([s, r]) == [s, r]
+
+    @pytest.mark.parametrize("scheme,kw", [
+        ("hanayo", {"num_waves": 1}),
+        ("hanayo", {"num_waves": 2}),
+        ("chimera-wave", {}),
+        ("gpipe", {}),
+        ("dapple", {}),
+    ])
+    def test_rendezvous_safe_with_batching(self, scheme, kw):
+        """Wave schedules survive a rendezvous backend when opposing
+        exchanges are batched (Sec. 4.2's claim)."""
+        sched = build_schedule(make_config(scheme, 4, 4, **kw))
+        lists = compile_schedule(sched, batch_cross_comm=True)
+        check_deadlock_free(lists, rendezvous=True)
+
+
+class TestStaticValidation:
+    def test_unmatched_send_detected(self):
+        lists = {
+            0: [Send(peer=1, tag=Tag(CommKind.ACTIVATION, 0, 0))],
+            1: [],
+        }
+        with pytest.raises(ValidationError, match="unmatched"):
+            check_matching(lists)
+
+    def test_crossed_recv_order_deadlocks(self):
+        """Two workers each waiting for the other's un-issued message."""
+        t01 = Tag(CommKind.ACTIVATION, 0, 0)
+        t10 = Tag(CommKind.ACTIVATION, 1, 1)
+        lists = {
+            0: [Recv(peer=1, tag=t10), Send(peer=1, tag=t01)],
+            1: [Recv(peer=0, tag=t01), Send(peer=0, tag=t10)],
+        }
+        check_matching(lists)
+        with pytest.raises(DeadlockError):
+            check_deadlock_free(lists)
+
+    def test_batching_fixes_the_same_exchange(self):
+        t01 = Tag(CommKind.ACTIVATION, 0, 0)
+        t10 = Tag(CommKind.ACTIVATION, 1, 1)
+        lists = {
+            0: [BatchedP2P(sends=(Send(peer=1, tag=t01),),
+                           recvs=(Recv(peer=1, tag=t10),))],
+            1: [BatchedP2P(sends=(Send(peer=0, tag=t10),),
+                           recvs=(Recv(peer=0, tag=t01),))],
+        }
+        check_deadlock_free(lists, rendezvous=True)
+
+    def test_opposing_blocking_sends_deadlock_under_rendezvous(self):
+        """The exact NCCL hazard: both sides send first."""
+        t01 = Tag(CommKind.ACTIVATION, 0, 0)
+        t10 = Tag(CommKind.ACTIVATION, 1, 1)
+        lists = {
+            0: [Send(peer=1, tag=t01), Recv(peer=1, tag=t10)],
+            1: [Send(peer=0, tag=t10), Recv(peer=0, tag=t01)],
+        }
+        check_deadlock_free(lists, rendezvous=False)  # buffered is fine
+        with pytest.raises(DeadlockError):
+            check_deadlock_free(lists, rendezvous=True)
+
+
+class TestInterpreter:
+    class Recorder:
+        def __init__(self):
+            self.calls = []
+
+        def compute_forward(self, m, s, c):
+            self.calls.append(("F", m, s, c))
+
+        def compute_backward(self, m, s, c):
+            self.calls.append(("B", m, s, c))
+
+        def post_send(self, peer, tag):
+            self.calls.append(("send", peer, str(tag)))
+
+        def post_recv(self, peer, tag):
+            self.calls.append(("post_recv", peer, str(tag)))
+
+        def wait_recv(self, peer, tag):
+            self.calls.append(("wait_recv", peer, str(tag)))
+
+        def flush(self):
+            self.calls.append(("flush",))
+
+        def optimizer_step(self):
+            self.calls.append(("step",))
+
+    def test_lazy_recv_waited_before_compute(self):
+        rec = self.Recorder()
+        interp = Interpreter(0, rec)
+        tag = Tag(CommKind.ACTIVATION, 0, 0)
+        interp.run([
+            Recv(peer=1, tag=tag),
+            ComputeForward(0, 1, 0),
+            Flush(),
+            OptimizerStep(),
+        ])
+        kinds = [c[0] for c in rec.calls]
+        assert kinds == ["post_recv", "wait_recv", "F", "flush", "step"]
+
+    def test_batched_posts_all_before_waits(self):
+        rec = self.Recorder()
+        interp = Interpreter(0, rec)
+        t_in = Tag(CommKind.ACTIVATION, 0, 0)
+        t_out = Tag(CommKind.GRADIENT, 0, 1)
+        interp.run([
+            BatchedP2P(sends=(Send(peer=1, tag=t_out),),
+                       recvs=(Recv(peer=1, tag=t_in),)),
+            ComputeForward(0, 1, 0),
+        ])
+        kinds = [c[0] for c in rec.calls]
+        assert kinds == ["post_recv", "send", "wait_recv", "F"]
+
+    def test_dangling_recv_is_error(self):
+        rec = self.Recorder()
+        interp = Interpreter(0, rec)
+        with pytest.raises(EngineError, match="never consumed"):
+            interp.run([Recv(peer=1, tag=Tag(CommKind.ACTIVATION, 0, 0))])
+
+    def test_unknown_action_rejected(self):
+        rec = self.Recorder()
+        interp = Interpreter(0, rec)
+        with pytest.raises(EngineError):
+            interp.step(object())

@@ -1,0 +1,135 @@
+"""Property-based tests on the action-list pipeline (hypothesis)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.actions import (
+    BatchedP2P,
+    Recv,
+    Send,
+    batch_opposing,
+    comm_actions,
+    compile_schedule,
+    count_messages,
+    hoist_recvs,
+    validate_actions,
+)
+from repro.config import PipelineConfig
+from repro.schedules import build_schedule
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+schemes = st.sampled_from(
+    ["gpipe", "dapple", "hanayo", "chimera", "chimera-wave", "gems"]
+)
+
+
+def valid_config(scheme, p, b, w):
+    if scheme in ("chimera", "chimera-wave", "gems"):
+        b += b % 2
+    if scheme == "chimera" and p % 2:
+        p += 1
+    return PipelineConfig(scheme=scheme, num_devices=p,
+                          num_microbatches=b, num_waves=w)
+
+
+class TestCompilerProperties:
+    @SLOW
+    @given(scheme=schemes, p=st.integers(2, 5), b=st.integers(1, 6),
+           w=st.integers(1, 2), prefetch=st.booleans(),
+           batching=st.booleans())
+    def test_compiled_lists_always_valid(self, scheme, p, b, w,
+                                         prefetch, batching):
+        sched = build_schedule(valid_config(scheme, p, b, w))
+        lists = compile_schedule(sched, prefetch=prefetch,
+                                 batch_cross_comm=batching)
+        validate_actions(lists)
+
+    @SLOW
+    @given(scheme=schemes, p=st.integers(2, 5), b=st.integers(1, 6),
+           w=st.integers(1, 2))
+    def test_passes_preserve_message_count(self, scheme, p, b, w):
+        sched = build_schedule(valid_config(scheme, p, b, w))
+        counts = {
+            (pf, bc): count_messages(
+                compile_schedule(sched, prefetch=pf, batch_cross_comm=bc)
+            )
+            for pf in (False, True)
+            for bc in (False, True)
+        }
+        assert len(set(counts.values())) == 1
+
+    @SLOW
+    @given(scheme=schemes, p=st.integers(2, 4), b=st.integers(1, 4),
+           w=st.integers(1, 2))
+    def test_comm_multiset_invariant_under_passes(self, scheme, p, b, w):
+        """Prefetch/batching reorder and group but never alter the set
+        of (send/recv, peer, tag) operations a worker performs."""
+        sched = build_schedule(valid_config(scheme, p, b, w))
+        plain = compile_schedule(sched, prefetch=False,
+                                 batch_cross_comm=False)
+        fancy = compile_schedule(sched, prefetch=True,
+                                 batch_cross_comm=True)
+
+        def signature(actions):
+            out = []
+            for act in comm_actions(actions):
+                kind = "send" if isinstance(act, Send) else "recv"
+                out.append((kind, act.peer, str(act.tag)))
+            return sorted(out)
+
+        for device in plain:
+            assert signature(plain[device]) == signature(fancy[device])
+
+    @SLOW
+    @given(scheme=st.sampled_from(["hanayo", "chimera-wave", "dapple",
+                                   "gpipe"]),
+           p=st.integers(2, 4), b=st.integers(1, 4), w=st.integers(1, 2))
+    def test_batched_lists_rendezvous_safe(self, scheme, p, b, w):
+        sched = build_schedule(valid_config(scheme, p, b, w))
+        lists = compile_schedule(sched, batch_cross_comm=True)
+        validate_actions(lists, rendezvous=True)
+
+
+class TestPassLocalProperties:
+    @SLOW
+    @given(st.lists(st.sampled_from(["send", "recv", "fwd"]),
+                    min_size=0, max_size=12))
+    def test_hoist_preserves_multiset(self, kinds):
+        from repro.actions.ops import CommKind, ComputeForward, Tag
+        actions = []
+        for i, k in enumerate(kinds):
+            if k == "send":
+                actions.append(Send(peer=1, tag=Tag(CommKind.ACTIVATION, i, 0)))
+            elif k == "recv":
+                actions.append(Recv(peer=1, tag=Tag(CommKind.GRADIENT, i, 0)))
+            else:
+                actions.append(ComputeForward(i, 0, 0))
+        out = hoist_recvs(actions)
+        assert sorted(map(str, out)) == sorted(map(str, actions))
+
+    @SLOW
+    @given(st.lists(st.sampled_from(["send", "recv"]),
+                    min_size=0, max_size=12))
+    def test_batching_preserves_flattened_ops(self, kinds):
+        from repro.actions.ops import CommKind, Tag
+        actions = []
+        for i, k in enumerate(kinds):
+            if k == "send":
+                actions.append(Send(peer=i % 2, tag=Tag(CommKind.ACTIVATION, i, 0)))
+            else:
+                actions.append(Recv(peer=i % 2, tag=Tag(CommKind.GRADIENT, i, 0)))
+        out = batch_opposing(actions)
+        flat = []
+        for act in out:
+            if isinstance(act, BatchedP2P):
+                flat.extend(act.sends)
+                flat.extend(act.recvs)
+            else:
+                flat.append(act)
+        assert sorted(map(str, flat)) == sorted(map(str, actions))

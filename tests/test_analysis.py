@@ -1,0 +1,207 @@
+"""Analytic bubble formulas, the unified perf model, memory model, zones."""
+
+import pytest
+
+from repro.analysis import (
+    activation_balance_note,
+    activation_units,
+    chimera_bubble_ratio,
+    chimera_k,
+    classify_idle,
+    compare_schemes,
+    cross_comm_messages,
+    format_table,
+    gems_bubble_ratio,
+    gpipe_bubble_ratio,
+    hanayo_bubble_ratio,
+    hanayo_bubble_ratio_simplified,
+    interleaved_bubble_ratio,
+    percent,
+    ratio_vs,
+    scheme_profile,
+    theoretical_bubble_ratio,
+    weight_units,
+    zone_a_size,
+    zone_b_size,
+    zone_c_sizes,
+)
+from repro.errors import ConfigError
+
+
+class TestHanayoEquation1:
+    def test_matches_simplified_form(self):
+        """Eq. (1) with T_B = 2 T_F, T_C = 0 reduces to (2P−2)/(3PW+P−1)."""
+        for p in (2, 4, 8, 32):
+            for w in (1, 2, 4, 8):
+                full = hanayo_bubble_ratio(p, w, t_f=1.0, t_b=2.0, t_c=0.0)
+                simple = hanayo_bubble_ratio_simplified(p, w)
+                assert full == pytest.approx(simple), (p, w)
+
+    def test_decreases_in_waves(self):
+        vals = [hanayo_bubble_ratio(8, w) for w in (1, 2, 4, 8)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_paper_figure1_values(self):
+        """Spot values read off Fig. 1: W=2 and W=4 at 8 devices."""
+        assert hanayo_bubble_ratio_simplified(8, 2) == pytest.approx(
+            14 / 55
+        )
+        assert hanayo_bubble_ratio_simplified(8, 4) == pytest.approx(
+            14 / 103
+        )
+
+    def test_comm_term_raises_ratio(self):
+        assert hanayo_bubble_ratio(8, 2, t_c=0.2) > hanayo_bubble_ratio(
+            8, 2, t_c=0.0
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            hanayo_bubble_ratio(1, 1)
+        with pytest.raises(ConfigError):
+            hanayo_bubble_ratio(8, 0)
+
+
+class TestClassicFormulas:
+    def test_gpipe_classic(self):
+        assert gpipe_bubble_ratio(8, 8) == pytest.approx(7 / 15)
+
+    def test_gpipe_more_microbatches_help(self):
+        assert gpipe_bubble_ratio(8, 32) < gpipe_bubble_ratio(8, 8)
+
+    def test_gems_independent_of_b(self):
+        assert gems_bubble_ratio(8) == pytest.approx(1 - 2 / 8)
+
+    def test_chimera_halves_fill(self):
+        c = chimera_bubble_ratio(8, 8)
+        g = gpipe_bubble_ratio(8, 8)
+        assert c < g
+
+    def test_interleaved_chunks_help(self):
+        assert interleaved_bubble_ratio(8, 4) < interleaved_bubble_ratio(8, 2)
+
+    def test_chimera_k(self):
+        assert chimera_k(8) == 8 * 8 / 2 - 8
+
+    def test_dispatcher_covers_all(self):
+        for scheme in ("gpipe", "dapple", "gems", "chimera",
+                       "interleaved", "hanayo", "chimera-wave"):
+            r = theoretical_bubble_ratio(scheme, 8, w=2)
+            assert 0 < r < 1
+        with pytest.raises(ConfigError):
+            theoretical_bubble_ratio("async-1f1b", 8)
+
+    def test_fig1_ordering(self):
+        """The bar ordering of Fig. 1 at both device counts."""
+        for p in (8, 32):
+            gems = theoretical_bubble_ratio("gems", p)
+            gpipe = theoretical_bubble_ratio("gpipe", p)
+            chimera = theoretical_bubble_ratio("chimera", p)
+            h2 = theoretical_bubble_ratio("hanayo", p, w=2)
+            h4 = theoretical_bubble_ratio("hanayo", p, w=4)
+            assert gems > gpipe > chimera > h2 > h4
+
+
+class TestMemoryModelUnits:
+    def test_weight_units(self):
+        assert weight_units("chimera") == 2.0
+        for s in ("gpipe", "dapple", "hanayo", "gems", "chimera-wave"):
+            assert weight_units(s) == 1.0
+        with pytest.raises(ConfigError):
+            weight_units("nope")
+
+    def test_gpipe_holds_everything(self):
+        assert activation_units("gpipe", 8, 32) == 32.0
+
+    def test_dapple_capped_by_depth(self):
+        assert activation_units("dapple", 8, 32) == 8.0
+
+    def test_hanayo_less_than_dapple(self):
+        for w in (1, 2, 4):
+            assert activation_units("hanayo", 8, 8, w) <= activation_units(
+                "dapple", 8, 8
+            )
+
+    def test_hanayo_budget_matches_dapple(self):
+        """Hanayo spends DAPPLE's worst-device budget, uniformly."""
+        for w in (1, 2, 4):
+            assert activation_units("hanayo", 8, 8, w) == activation_units(
+                "dapple", 8, 8
+            )
+
+    def test_balance_notes_exist(self):
+        for s in ("gpipe", "dapple", "hanayo", "chimera"):
+            assert activation_balance_note(s)
+        with pytest.raises(ConfigError):
+            activation_balance_note("nope")
+
+
+class TestPerfModel:
+    def test_cross_comm_wave_turns_free(self):
+        hanayo = cross_comm_messages("hanayo", 8, 8, 2)
+        interleaved = cross_comm_messages("interleaved", 8, 8, 4)
+        # same stage count (32): snake saves the turn hops
+        assert hanayo < 2 * 8 * 31
+        assert interleaved == 2 * 8 * 31
+
+    def test_profile_row(self):
+        row = scheme_profile("hanayo", 8, 8, 2)
+        assert row.scheme == "hanayo"
+        assert 0 < row.bubble_ratio < 1
+        assert row.weight_memory_units == 1.0
+        assert "hanayo" in row.describe()
+
+    def test_compare_table_schemes(self):
+        rows = compare_schemes(8)
+        names = [r.scheme for r in rows]
+        assert names == ["gpipe", "dapple", "gems", "chimera",
+                         "hanayo", "hanayo"]
+        # chimera is the only 2x weight row
+        assert [r.weight_memory_units for r in rows].count(2.0) == 1
+
+
+class TestZones:
+    def test_analytic_sizes(self):
+        assert zone_a_size(8, 2, t_f=1.0, t_c=0.1) == pytest.approx(
+            1.0 / 4 + 0.1
+        )
+        assert zone_b_size(8, 2, 0, t_f=1.0, t_b=2.0, t_c=0.1) == pytest.approx(
+            8 / 4 * 1.0 + 0.2
+        )
+        assert zone_c_sizes(2.0, 0.1) == (2.2, 2.1)
+
+    def test_zone_b_rank_bounds(self):
+        with pytest.raises(ConfigError):
+            zone_b_size(4, 1, 4)
+
+    def test_classifier_accounts_all_idle(self):
+        from repro.config import CostConfig
+        from repro.runtime import AbstractCosts, bubble_stats, simulate
+        from repro.schedules import build_schedule
+        from conftest import make_config
+
+        sched = build_schedule(make_config("hanayo", 4, 4, num_waves=1))
+        res = simulate(sched, AbstractCosts(CostConfig(), 4, sched.num_stages))
+        zones = classify_idle(res.timeline)
+        stats = bubble_stats(res.timeline)
+        assert zones.total == pytest.approx(sum(stats.idle.values()))
+        assert zones.zone_a > 0  # wave pipelines always wait on peers
+
+
+class TestReport:
+    def test_format_table_aligned(self):
+        text = format_table(
+            ["name", "value"],
+            [["hanayo", 1.23456], ["gpipe", None]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "OOM" in text
+        assert "1.23" in text
+
+    def test_percent_and_ratio(self):
+        assert percent(0.123) == "12.3%"
+        assert percent(None) == "-"
+        assert ratio_vs(1.1, 1.0) == "+10.0%"
+        assert ratio_vs(None, 1.0) == "-"

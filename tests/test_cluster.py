@@ -1,0 +1,175 @@
+"""Topology graphs, cluster presets, and the communication model."""
+
+import pytest
+
+from repro.cluster import (
+    INTER_NODE,
+    NVLINK3,
+    PCIE4,
+    CommModel,
+    LinkClass,
+    Topology,
+    Transfer,
+    all_clusters,
+    get_cluster,
+    make_fc,
+    make_pc,
+    make_tacc,
+    make_tc,
+    ring_transfer_chain,
+)
+from repro.errors import ConfigError
+
+
+class TestLinkClass:
+    def test_alpha_beta(self):
+        link = LinkClass("x", bandwidth=1e9, latency=1e-6)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ConfigError):
+            NVLINK3.transfer_time(-1)
+
+
+class TestTopology:
+    def test_direct_link_preferred(self):
+        t = Topology("t", 3)
+        t.add_link(0, 1, NVLINK3)
+        t.add_link(1, 2, NVLINK3)
+        t.add_link(0, 2, PCIE4)
+        assert t.effective_link(0, 2).name == PCIE4.name
+
+    def test_multihop_bottleneck(self):
+        t = Topology("t", 3)
+        t.add_link(0, 1, NVLINK3)
+        t.add_link(1, 2, PCIE4)
+        eff = t.effective_link(0, 2)
+        assert eff.bandwidth == PCIE4.bandwidth
+        assert eff.latency == pytest.approx(NVLINK3.latency + PCIE4.latency)
+
+    def test_fastest_link_kept_on_duplicate(self):
+        t = Topology("t", 2)
+        t.add_link(0, 1, PCIE4)
+        t.add_link(0, 1, NVLINK3)
+        assert t.link_between(0, 1).name == NVLINK3.name
+
+    def test_self_transfer_free(self):
+        t = Topology("t", 2)
+        t.add_link(0, 1, NVLINK3)
+        assert t.transfer_time(1, 1, 1e6) == 0.0
+
+    def test_self_link_rejected(self):
+        t = Topology("t", 2)
+        with pytest.raises(ConfigError):
+            t.add_link(1, 1, NVLINK3)
+
+    def test_out_of_range_link(self):
+        t = Topology("t", 2)
+        with pytest.raises(ConfigError):
+            t.add_link(0, 5, NVLINK3)
+
+    def test_disconnected_raises(self):
+        t = Topology("t", 3)
+        t.add_link(0, 1, NVLINK3)
+        with pytest.raises(ConfigError, match="no route"):
+            t.effective_link(0, 2)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("factory", [make_fc, make_pc, make_tacc, make_tc])
+    def test_connected(self, factory):
+        cluster = factory(8)
+        assert cluster.topology.is_connected()
+        assert cluster.num_devices == 8
+
+    def test_fc_uniform_nvlink(self):
+        fc = make_fc(8)
+        for b in range(1, 8):
+            assert fc.topology.link_between(0, b).name == NVLINK3.name
+
+    def test_pc_pairs_faster_than_cross(self):
+        pc = make_pc(8)
+        paired = pc.topology.transfer_time(0, 1, 1e7)
+        cross = pc.topology.transfer_time(0, 2, 1e7)
+        assert paired < cross
+
+    def test_pc_odd_devices_rejected(self):
+        with pytest.raises(ConfigError):
+            make_pc(7)
+
+    def test_tacc_cross_node_slowest(self):
+        tacc = make_tacc(6)  # 2 nodes of 3 GPUs
+        intra = tacc.topology.transfer_time(0, 2, 1e7)
+        inter = tacc.topology.transfer_time(2, 3, 1e7)
+        assert inter > intra
+        assert tacc.node_of(2) == 0 and tacc.node_of(3) == 1
+
+    def test_ordering_across_clusters(self):
+        """FC fastest; PC's unpaired hop slower; TACC's cross-node worst."""
+        n = 1e7
+        fc = make_fc(8).topology.transfer_time(3, 4, n)
+        pc = make_pc(8).topology.transfer_time(3, 4, n)       # PCIe hop
+        tacc = make_tacc(8).topology.transfer_time(2, 3, n)   # cross-node
+        assert fc < pc < tacc
+
+    def test_get_cluster_lookup(self):
+        assert get_cluster("tacc", 8).name == "TACC"
+        with pytest.raises(ConfigError, match="unknown cluster"):
+            get_cluster("nope")
+
+    def test_all_clusters_order(self):
+        names = [c.name for c in all_clusters(8)]
+        assert names == ["PC", "FC", "TACC", "TC"]
+
+
+class TestCommModel:
+    def test_uniform_mode(self):
+        cm = CommModel.uniform(0.5)
+        assert cm.transfer_time(Transfer(0, 5, 123456)) == 0.5
+        assert cm.transfer_time(Transfer(2, 2, 99)) == 0.0
+
+    def test_uniform_negative(self):
+        with pytest.raises(ConfigError):
+            CommModel.uniform(-0.1)
+
+    def test_needs_some_model(self):
+        with pytest.raises(ConfigError):
+            CommModel()
+
+    def test_topology_mode(self):
+        cm = CommModel.from_cluster(make_fc(4))
+        t = cm.transfer_time(Transfer(0, 1, 1e9))
+        assert t == pytest.approx(NVLINK3.transfer_time(1e9))
+
+    def test_batched_shares_latency(self):
+        cm = CommModel.from_cluster(make_fc(4))
+        single = cm.transfer_time(Transfer(0, 1, 1e8))
+        batched = cm.batched_time([
+            Transfer(0, 1, 1e8), Transfer(1, 0, 1e8),
+        ])
+        # Serialized on the wire but one latency: strictly less than 2x.
+        assert single < batched < 2 * single
+
+    def test_batched_parallel_pairs(self):
+        cm = CommModel.from_cluster(make_fc(8))
+        lone = cm.batched_time([Transfer(0, 1, 1e8)])
+        two_pairs = cm.batched_time([
+            Transfer(0, 1, 1e8), Transfer(2, 3, 1e8),
+        ])
+        assert two_pairs == pytest.approx(lone)
+
+    def test_batched_empty(self):
+        cm = CommModel.uniform(1.0)
+        assert cm.batched_time([]) == 0.0
+
+
+class TestRingTransfer:
+    def test_single_rank_free(self):
+        topo = make_fc(4).topology
+        assert ring_transfer_chain(topo, [0], 1e9) == 0.0
+
+    def test_grows_with_ring_size(self):
+        topo = make_fc(8).topology
+        two = ring_transfer_chain(topo, [0, 1], 1e9)
+        four = ring_transfer_chain(topo, [0, 1, 2, 3], 1e9)
+        assert two < four

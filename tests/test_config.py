@@ -1,0 +1,124 @@
+"""PipelineConfig / CostConfig / RunConfig validation and derived shape."""
+
+import pytest
+
+from repro.config import KNOWN_SCHEMES, CostConfig, PipelineConfig, RunConfig
+from repro.errors import ConfigError
+
+
+class TestPipelineConfigValidation:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scheme"):
+            PipelineConfig(scheme="bogus", num_devices=4, num_microbatches=4)
+
+    @pytest.mark.parametrize("field", [
+        "num_devices", "num_microbatches", "num_waves",
+        "data_parallel", "microbatch_size",
+    ])
+    def test_nonpositive_rejected(self, field):
+        kwargs = dict(scheme="gpipe", num_devices=4, num_microbatches=4)
+        kwargs[field] = 0
+        with pytest.raises(ConfigError, match=field):
+            PipelineConfig(**kwargs)
+
+    def test_float_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(scheme="gpipe", num_devices=4.0,
+                           num_microbatches=4)
+
+    @pytest.mark.parametrize("scheme", ["chimera", "chimera-wave", "gems"])
+    def test_bidirectional_needs_even_microbatches(self, scheme):
+        with pytest.raises(ConfigError, match="even"):
+            PipelineConfig(scheme=scheme, num_devices=4, num_microbatches=3)
+
+    def test_chimera_needs_even_devices(self):
+        with pytest.raises(ConfigError, match="even number of devices"):
+            PipelineConfig(scheme="chimera", num_devices=3,
+                           num_microbatches=4)
+
+    def test_all_known_schemes_constructible(self):
+        for scheme in KNOWN_SCHEMES:
+            cfg = PipelineConfig(scheme=scheme, num_devices=4,
+                                 num_microbatches=4)
+            assert cfg.scheme == scheme
+
+
+class TestDerivedShape:
+    def test_hanayo_stage_count(self):
+        cfg = PipelineConfig(scheme="hanayo", num_devices=4,
+                             num_microbatches=4, num_waves=3)
+        assert cfg.num_stages == 2 * 3 * 4
+        assert cfg.chunks_per_device == 6
+
+    def test_chimera_wave_stage_count(self):
+        cfg = PipelineConfig(scheme="chimera-wave", num_devices=4,
+                             num_microbatches=4)
+        assert cfg.num_stages == 8
+        assert cfg.chunks_per_device == 2
+
+    def test_classic_schemes_one_stage_per_device(self):
+        for scheme in ("gpipe", "dapple", "gems", "async-1f1b"):
+            cfg = PipelineConfig(scheme=scheme, num_devices=6,
+                                 num_microbatches=6)
+            assert cfg.num_stages == 6
+
+    def test_chimera_two_chunks(self):
+        cfg = PipelineConfig(scheme="chimera", num_devices=4,
+                             num_microbatches=4)
+        assert cfg.num_stages == 4
+        assert cfg.chunks_per_device == 2
+
+    def test_interleaved_stage_count(self):
+        cfg = PipelineConfig(scheme="interleaved", num_devices=4,
+                             num_microbatches=4, num_waves=3)
+        assert cfg.num_stages == 12
+
+    def test_totals(self):
+        cfg = PipelineConfig(scheme="hanayo", num_devices=4,
+                             num_microbatches=8, data_parallel=2,
+                             microbatch_size=3)
+        assert cfg.total_devices == 8
+        assert cfg.total_batch == 48
+
+    def test_describe_mentions_waves_only_for_wave_schemes(self):
+        hanayo = PipelineConfig(scheme="hanayo", num_devices=4,
+                                num_microbatches=4, num_waves=2)
+        gpipe = PipelineConfig(scheme="gpipe", num_devices=4,
+                               num_microbatches=4)
+        assert "W=2" in hanayo.describe()
+        assert "W=" not in gpipe.describe()
+
+    def test_with_scheme(self):
+        cfg = PipelineConfig(scheme="gpipe", num_devices=4,
+                             num_microbatches=4)
+        other = cfg.with_scheme("dapple")
+        assert other.scheme == "dapple"
+        assert other.num_devices == 4
+
+
+class TestCostConfig:
+    def test_defaults_follow_paper(self):
+        c = CostConfig()
+        assert c.t_b == pytest.approx(2 * c.t_f)
+        assert c.t_c == 0.0
+
+    @pytest.mark.parametrize("kw", [
+        {"t_f": 0}, {"t_b": 0}, {"t_c": -1}, {"t_f": -2},
+    ])
+    def test_invalid_costs(self, kw):
+        with pytest.raises(ConfigError):
+            CostConfig(**kw)
+
+    def test_scaled(self):
+        c = CostConfig(1.0, 2.0, 0.5).scaled(2.0)
+        assert (c.t_f, c.t_b, c.t_c) == (2.0, 4.0, 1.0)
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        r = RunConfig()
+        assert r.prefetch and r.batch_cross_comm and r.track_memory
+
+    def test_bad_iterations(self):
+        with pytest.raises(ConfigError):
+            RunConfig(iterations=0)

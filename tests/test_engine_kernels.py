@@ -1,0 +1,219 @@
+"""Kernel and layer gradients checked against central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.engine import tensor_ops as T
+from repro.engine.layers import (
+    Embedding,
+    Gelu,
+    Head,
+    LayerNorm,
+    Linear,
+    MultiHeadAttention,
+    TransformerBlock,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central finite differences of a scalar function of an array."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        g[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestKernelGradients:
+    def test_gelu(self):
+        x = RNG.normal(size=(3, 4))
+        proj = RNG.normal(size=(3, 4))
+        y, cache = T.gelu_forward(x)
+        dx = T.gelu_backward(proj, cache)
+        num = numerical_grad(lambda: float((T.gelu_forward(x)[0] * proj).sum()), x)
+        np.testing.assert_allclose(dx, num, rtol=1e-6, atol=1e-8)
+
+    def test_softmax(self):
+        x = RNG.normal(size=(2, 5))
+        proj = RNG.normal(size=(2, 5))
+        y, cache = T.softmax_forward(x)
+        dx = T.softmax_backward(proj, cache)
+        num = numerical_grad(
+            lambda: float((T.softmax_forward(x)[0] * proj).sum()), x
+        )
+        np.testing.assert_allclose(dx, num, rtol=1e-6, atol=1e-8)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = RNG.normal(size=(4, 7)) * 20
+        y, _ = T.softmax_forward(x)
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0, rtol=1e-12)
+
+    def test_softmax_stable_under_shift(self):
+        x = RNG.normal(size=(2, 5))
+        a, _ = T.softmax_forward(x)
+        b, _ = T.softmax_forward(x + 1000.0)
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+    def test_layernorm(self):
+        x = RNG.normal(size=(2, 3, 6))
+        gamma = RNG.normal(size=6)
+        beta = RNG.normal(size=6)
+        proj = RNG.normal(size=(2, 3, 6))
+        y, cache = T.layernorm_forward(x, gamma, beta)
+        dx, dgamma, dbeta = T.layernorm_backward(proj, cache)
+
+        def loss():
+            return float((T.layernorm_forward(x, gamma, beta)[0] * proj).sum())
+
+        np.testing.assert_allclose(dx, numerical_grad(loss, x),
+                                   rtol=1e-5, atol=1e-7)
+        np.testing.assert_allclose(dgamma, numerical_grad(loss, gamma),
+                                   rtol=1e-5, atol=1e-7)
+        np.testing.assert_allclose(dbeta, numerical_grad(loss, beta),
+                                   rtol=1e-5, atol=1e-7)
+
+    def test_layernorm_normalises(self):
+        x = RNG.normal(size=(5, 8)) * 3 + 7
+        y, _ = T.layernorm_forward(x, np.ones(8), np.zeros(8))
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(y.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_linear(self):
+        x = RNG.normal(size=(2, 3, 4))
+        w = RNG.normal(size=(4, 5))
+        b = RNG.normal(size=5)
+        proj = RNG.normal(size=(2, 3, 5))
+        y, cache = T.linear_forward(x, w, b)
+        dx, dw, db = T.linear_backward(proj, cache, w)
+
+        def loss():
+            return float((T.linear_forward(x, w, b)[0] * proj).sum())
+
+        np.testing.assert_allclose(dx, numerical_grad(loss, x), rtol=1e-6)
+        np.testing.assert_allclose(dw, numerical_grad(loss, w), rtol=1e-6)
+        np.testing.assert_allclose(db, numerical_grad(loss, b), rtol=1e-6)
+
+    def test_cross_entropy_grad(self):
+        logits = RNG.normal(size=(2, 3, 7))
+        targets = RNG.integers(0, 7, size=(2, 3))
+        _, cache = T.cross_entropy_forward(logits, targets)
+        dlogits = T.cross_entropy_backward(cache)
+        num = numerical_grad(
+            lambda: T.cross_entropy_forward(logits, targets)[0], logits
+        )
+        np.testing.assert_allclose(dlogits, num, rtol=1e-5, atol=1e-8)
+
+    def test_cross_entropy_scale(self):
+        logits = RNG.normal(size=(2, 7))
+        targets = RNG.integers(0, 7, size=2)
+        _, cache = T.cross_entropy_forward(logits, targets)
+        g1 = T.cross_entropy_backward(cache, scale=1.0)
+        g4 = T.cross_entropy_backward(cache, scale=0.25)
+        np.testing.assert_allclose(g4, g1 / 4)
+
+
+class TestLayerGradients:
+    def _check_layer(self, layer, x, rtol=1e-5):
+        proj = RNG.normal(size=layer.forward(x)[0].shape)
+
+        def loss():
+            return float((layer.forward(x)[0] * proj).sum())
+
+        y, ctx = layer.forward(x)
+        layer.zero_grad()
+        dx = layer.backward(proj, ctx)
+        if dx is not None:
+            np.testing.assert_allclose(dx, numerical_grad(loss, x),
+                                       rtol=rtol, atol=1e-7)
+        for name, p in layer.params.items():
+            np.testing.assert_allclose(
+                layer.grads[name], numerical_grad(loss, p),
+                rtol=rtol, atol=1e-7, err_msg=name,
+            )
+
+    def test_linear_layer(self):
+        self._check_layer(Linear(4, 3, RNG), RNG.normal(size=(2, 4)))
+
+    def test_layernorm_layer(self):
+        self._check_layer(LayerNorm(5), RNG.normal(size=(2, 3, 5)))
+
+    def test_gelu_layer(self):
+        self._check_layer(Gelu(), RNG.normal(size=(2, 3)))
+
+    def test_attention_layer(self):
+        self._check_layer(
+            MultiHeadAttention(8, 2, RNG), RNG.normal(size=(2, 3, 8))
+        )
+
+    def test_causal_attention_layer(self):
+        self._check_layer(
+            MultiHeadAttention(8, 2, RNG, causal=True),
+            RNG.normal(size=(1, 4, 8)),
+        )
+
+    def test_causal_mask_blocks_future(self):
+        attn = MultiHeadAttention(8, 2, RNG, causal=True)
+        x = RNG.normal(size=(1, 4, 8))
+        y1, _ = attn.forward(x)
+        x2 = x.copy()
+        x2[0, 3] += 10.0  # perturb the last position
+        y2, _ = attn.forward(x2)
+        np.testing.assert_allclose(y1[0, :3], y2[0, :3], rtol=1e-10)
+
+    def test_transformer_block(self):
+        self._check_layer(
+            TransformerBlock(8, 2, 2, RNG), RNG.normal(size=(1, 3, 8)),
+            rtol=1e-4,
+        )
+
+    def test_head(self):
+        self._check_layer(Head(6, 11, RNG), RNG.normal(size=(2, 3, 6)))
+
+    def test_embedding_grads(self):
+        emb = Embedding(10, 6, 4, RNG)
+        ids = RNG.integers(0, 10, size=(2, 4))
+        proj = RNG.normal(size=(2, 4, 6))
+        y, ctx = emb.forward(ids)
+        emb.zero_grad()
+        assert emb.backward(proj, ctx) is None
+
+        def loss():
+            return float((emb.forward(ids)[0] * proj).sum())
+
+        np.testing.assert_allclose(
+            emb.grads["tok"], numerical_grad(loss, emb.params["tok"]),
+            rtol=1e-6, atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            emb.grads["pos"], numerical_grad(loss, emb.params["pos"]),
+            rtol=1e-6, atol=1e-9,
+        )
+
+    def test_embedding_rejects_floats(self):
+        from repro.errors import EngineError
+        emb = Embedding(10, 6, 4, RNG)
+        with pytest.raises(EngineError, match="integer"):
+            emb.forward(RNG.normal(size=(2, 4)))
+
+    def test_grad_accumulation_sums(self):
+        lin = Linear(3, 2, RNG)
+        x = RNG.normal(size=(2, 3))
+        proj = RNG.normal(size=(2, 2))
+        _, ctx = lin.forward(x)
+        lin.zero_grad()
+        lin.backward(proj, ctx)
+        once = {k: v.copy() for k, v in lin.grads.items()}
+        _, ctx = lin.forward(x)
+        lin.backward(proj, ctx)
+        for k in once:
+            np.testing.assert_allclose(lin.grads[k], 2 * once[k])

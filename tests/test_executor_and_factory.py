@@ -1,0 +1,137 @@
+"""Engine executor error paths, the schedule factory, misc edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.actions.ops import CommKind, Tag
+from repro.config import CostConfig, PipelineConfig
+from repro.engine import PeerNetwork, PipelineTrainer, build_stages, make_batch
+from repro.engine.executor import EngineExecutor
+from repro.errors import ConfigError, EngineError
+from repro.models import tiny_model
+from repro.schedules import build_schedule
+from repro.schedules.factory import build_schedule as factory_build
+
+from conftest import make_config
+
+SPEC = tiny_model(num_layers=4, hidden=16, heads=2, seq_len=6, vocab=32)
+
+
+def make_executor(device=0, scheme="dapple", p=2, b=2, **data):
+    cfg = make_config(scheme, p, b)
+    sched = build_schedule(cfg)
+    stages = build_stages(SPEC, sched.num_stages, seed=0)
+    chunks = {
+        sched.placement.chunk_of(s, r): stages[s]
+        for s, r in sched.placement.stages_on(device)
+    }
+    inputs, targets = make_batch(SPEC, b, seed=0)
+    return EngineExecutor(
+        device=device,
+        schedule=sched,
+        stages=chunks,
+        network=PeerNetwork(p, timeout_s=0.2),
+        microbatch_inputs=data.get("inputs", inputs if device == 0 else {}),
+        microbatch_targets=data.get(
+            "targets", targets if device == p - 1 else {}
+        ),
+    )
+
+
+class TestExecutorErrors:
+    def test_missing_input_binding(self):
+        ex = make_executor(device=0, inputs={})
+        with pytest.raises(EngineError, match="no input bound"):
+            ex.compute_forward(0, 0, 0)
+
+    def test_missing_target_binding(self):
+        ex = make_executor(device=1, targets={})
+        # fake the received activation so the stage can run
+        tag = Tag(CommKind.ACTIVATION, 0, 0)
+        ex._inbox[tag] = np.zeros((1, SPEC.seq_len, SPEC.hidden))
+        with pytest.raises(EngineError, match="no targets bound"):
+            ex.compute_forward(0, 1, 0)
+
+    def test_forward_without_received_activation(self):
+        ex = make_executor(device=1)
+        with pytest.raises(EngineError, match="not received"):
+            ex.compute_forward(0, 1, 0)
+
+    def test_backward_before_loss(self):
+        ex = make_executor(device=1)
+        with pytest.raises(EngineError, match="before its loss"):
+            ex.compute_backward(0, 1, 0)
+
+    def test_send_before_produce(self):
+        ex = make_executor(device=0)
+        with pytest.raises(EngineError, match="before it was produced"):
+            ex.post_send(1, Tag(CommKind.ACTIVATION, 0, 0))
+
+    def test_unknown_chunk(self):
+        ex = make_executor(device=0)
+        with pytest.raises(EngineError, match="no chunk"):
+            ex.compute_forward(0, 0, 7)
+
+    def test_flush_with_live_activations(self):
+        ex = make_executor(device=0)
+        ex.compute_forward(0, 0, 0)
+        with pytest.raises(EngineError, match="live activations"):
+            ex.flush()
+
+    def test_mean_loss_requires_last_stage(self):
+        ex = make_executor(device=0)
+        with pytest.raises(EngineError, match="final stage"):
+            ex.mean_loss()
+
+    def test_mean_loss_on_final_stage(self):
+        ex = make_executor(device=1)
+        tag = Tag(CommKind.ACTIVATION, 0, 0)
+        rng = np.random.default_rng(0)
+        ex._inbox[tag] = rng.normal(size=(1, SPEC.seq_len, SPEC.hidden))
+        ex.compute_forward(0, 1, 0)
+        assert ex.mean_loss() > 0
+
+
+class TestFactory:
+    def test_every_scheme_dispatches(self):
+        for scheme in ("gpipe", "dapple", "interleaved", "gems",
+                       "chimera", "chimera-wave", "hanayo", "async-1f1b"):
+            cfg = PipelineConfig(scheme=scheme, num_devices=4,
+                                 num_microbatches=4, num_waves=2)
+            sched = factory_build(cfg, CostConfig())
+            assert sched.op_count() > 0
+
+    def test_factory_names_match_scheme(self):
+        sched = factory_build(make_config("hanayo", 4, 4, num_waves=3))
+        assert sched.name == "hanayo-w3"
+
+
+class TestTrainerHungWorkerDetection:
+    def test_corrupted_action_list_raises_not_hangs(self):
+        """Removing one Recv leaves a worker waiting on a channel that
+        times out — surfacing as an EngineError, never a hang."""
+        cfg = make_config("dapple", 2, 2)
+        trainer = PipelineTrainer(SPEC, cfg, seed=0, timeout_s=0.3)
+        from repro.actions import Recv
+        for device, actions in trainer.actions.items():
+            idx = next((i for i, a in enumerate(actions)
+                        if isinstance(a, Recv)), None)
+            if idx is not None:
+                del actions[idx]
+                break
+        inputs, targets = make_batch(SPEC, 2, seed=0)
+        with pytest.raises(EngineError):
+            trainer.train_step(inputs, targets)
+
+
+class TestSingleDevicePipeline:
+    def test_p1_schedules_run(self):
+        """A one-device pipeline degenerates to sequential execution."""
+        for scheme in ("gpipe", "dapple"):
+            cfg = PipelineConfig(scheme=scheme, num_devices=1,
+                                 num_microbatches=3)
+            trainer = PipelineTrainer(SPEC, cfg, seed=2)
+            inputs, targets = make_batch(SPEC, 3, seed=4)
+            res = trainer.train_step(inputs, targets)
+            assert res.messages_sent == 0
+            assert res.loss > 0

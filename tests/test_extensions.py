@@ -1,0 +1,239 @@
+"""Extensions: recomputation, hybrid TP, multi-iteration sim, trace, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    HybridLayout,
+    apply_tensor_parallel,
+    hybrid_search,
+    measure_hybrid_throughput,
+    tp_allreduce_seconds,
+)
+from repro.cluster import make_fc, make_tacc
+from repro.config import CostConfig, PipelineConfig, RunConfig
+from repro.engine import PipelineTrainer, build_stages, make_batch, sequential_step
+from repro.errors import ConfigError, SchedulingError
+from repro.models import A100_40G, bert_64, stage_costs, tiny_model
+from repro.runtime import AbstractCosts, simulate, simulate_training
+from repro.schedules import build_schedule
+from repro.viz import timeline_to_chrome_trace, write_chrome_trace
+
+from conftest import make_config
+
+
+class TestRecomputeCostModel:
+    def test_activation_bytes_drop_to_boundary(self):
+        model = bert_64()
+        plain = stage_costs(model, 8, A100_40G)
+        ckpt = stage_costs(model, 8, A100_40G, recompute=True)
+        assert ckpt.activation_bytes[0] == pytest.approx(
+            model.boundary_bytes(1)
+        )
+        assert ckpt.activation_bytes[0] < plain.activation_bytes[0] / 50
+
+    def test_backward_grows_by_one_forward(self):
+        plain = stage_costs(bert_64(), 8, A100_40G)
+        ckpt = stage_costs(bert_64(), 8, A100_40G, recompute=True)
+        assert ckpt.backward[0] == pytest.approx(
+            plain.backward[0] + plain.forward[0]
+        )
+        assert ckpt.forward[0] == pytest.approx(plain.forward[0])
+
+    def test_unbalanced_recompute(self):
+        ckpt = stage_costs(bert_64(), 8, A100_40G, balanced=False,
+                           recompute=True)
+        assert all(a == ckpt.activation_bytes[0]
+                   for a in ckpt.activation_bytes)
+
+
+class TestRecomputeEngine:
+    SPEC = tiny_model(num_layers=6, hidden=16, heads=2, seq_len=6, vocab=32)
+
+    def test_gradients_identical_with_recompute(self):
+        cfg = make_config("hanayo", 2, 4, num_waves=1)
+        inputs, targets = make_batch(self.SPEC, 4, seed=7)
+        plain = PipelineTrainer(self.SPEC, cfg, seed=3).train_step(
+            inputs, targets
+        )
+        ckpt = PipelineTrainer(self.SPEC, cfg, seed=3,
+                               recompute=True).train_step(inputs, targets)
+        assert ckpt.loss == pytest.approx(plain.loss, rel=1e-12)
+        for name in plain.grads:
+            np.testing.assert_allclose(ckpt.grads[name], plain.grads[name],
+                                       rtol=1e-12, atol=1e-15)
+
+    def test_recompute_frees_saved_input(self):
+        stages = build_stages(self.SPEC, 1, seed=0, recompute=True)
+        inputs, targets = make_batch(self.SPEC, 1)
+        from repro.engine import sequential_step_on
+        sequential_step_on(stages, inputs, targets)
+        assert stages[0].live_microbatches() == set()
+
+    def test_duplicate_forward_rejected_in_recompute(self):
+        from repro.errors import EngineError
+        stage = build_stages(self.SPEC, 1, seed=0, recompute=True)[0]
+        ids = np.zeros((1, self.SPEC.seq_len), dtype=np.int64)
+        stage.forward(0, ids)
+        with pytest.raises(EngineError, match="duplicate"):
+            stage.forward(0, ids)
+
+
+class TestHybridTP:
+    def test_tp_shards_compute_and_weights(self):
+        cluster = make_fc(8)
+        model = bert_64()
+        base = stage_costs(model, 4, cluster.device)
+        tp2 = apply_tensor_parallel(base, cluster, model, 2, 1, 16.0)
+        assert tp2.weight_bytes[0] == pytest.approx(base.weight_bytes[0] / 2)
+        assert tp2.activation_bytes[0] == pytest.approx(
+            base.activation_bytes[0] / 2
+        )
+        # compute halves but collectives are charged on top
+        assert tp2.forward[0] > base.forward[0] / 2
+        assert tp2.forward[0] < base.forward[0]
+
+    def test_tp1_is_identity(self):
+        cluster = make_fc(8)
+        base = stage_costs(bert_64(), 4, cluster.device)
+        assert apply_tensor_parallel(base, cluster, bert_64(), 1, 1, 16.0) is base
+
+    def test_tp_gated_by_node_size(self):
+        cluster = make_tacc(6)  # 3 GPUs per node
+        base = stage_costs(bert_64(), 2, cluster.device)
+        with pytest.raises(ConfigError, match="node"):
+            apply_tensor_parallel(base, cluster, bert_64(), 4, 1, 33.0)
+
+    def test_tp_allreduce_free_for_one(self):
+        assert tp_allreduce_seconds(make_fc(8), 1, 1e9) == 0.0
+        assert tp_allreduce_seconds(make_fc(8), 4, 1e9) > 0.0
+
+    def test_hybrid_throughput_runs(self):
+        r = measure_hybrid_throughput(
+            "hanayo", make_fc(8), bert_64(),
+            HybridLayout(tp=2, p=4, d=1), num_microbatches=4, w=2,
+        )
+        assert not r.oom and r.seq_per_s > 0
+
+    def test_layout_too_big(self):
+        with pytest.raises(ConfigError, match="devices"):
+            measure_hybrid_throughput(
+                "hanayo", make_fc(8), bert_64(),
+                HybridLayout(tp=2, p=8, d=1), num_microbatches=4,
+            )
+
+    def test_hybrid_search_covers_factorizations(self):
+        out = hybrid_search("hanayo", make_fc(8), bert_64(),
+                            total_batch=16, waves=(2,))
+        layouts = {(l.tp, l.p, l.d) for l, _, _ in out}
+        assert (1, 8, 1) in layouts
+        assert (2, 4, 1) in layouts
+        assert all(l.devices == 8 for l, _, _ in out)
+
+    def test_tp_relieves_memory(self):
+        """TP shards weights: a config that OOMs at TP=1 fits at TP=2."""
+        cluster = make_tacc(16)
+        model = bert_64()
+        no_tp = measure_hybrid_throughput(
+            "gpipe", cluster, model, HybridLayout(1, 8, 2),
+            num_microbatches=16, microbatch_size=4,
+        )
+        with_tp = measure_hybrid_throughput(
+            "gpipe", cluster, model, HybridLayout(2, 8, 1),
+            num_microbatches=16, microbatch_size=4,
+        )
+        assert no_tp.oom
+        assert not with_tp.oom
+
+
+class TestSimulateTraining:
+    def test_total_time_scales_linearly(self):
+        sched = build_schedule(make_config("dapple", 4, 4))
+        costs = AbstractCosts(CostConfig(), 4, 4)
+        out = simulate_training(sched, costs,
+                                RunConfig(iterations=5), step_cost=1.0)
+        assert out.total_time == pytest.approx(
+            5 * (out.iteration.makespan + 1.0)
+        )
+
+    def test_negative_step_cost(self):
+        sched = build_schedule(make_config("dapple", 4, 4))
+        costs = AbstractCosts(CostConfig(), 4, 4)
+        with pytest.raises(SchedulingError):
+            simulate_training(sched, costs, step_cost=-1.0)
+
+
+class TestChromeTrace:
+    def _timeline(self):
+        sched = build_schedule(make_config("hanayo", 4, 4, num_waves=1))
+        return simulate(
+            sched, AbstractCosts(CostConfig(), 4, sched.num_stages)
+        ).timeline
+
+    def test_event_counts(self):
+        tl = self._timeline()
+        trace = timeline_to_chrome_trace(tl)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 2 * 4 * 8  # F+B x B x S
+
+    def test_metadata_and_scaling(self):
+        tl = self._timeline()
+        trace = timeline_to_chrome_trace(tl, time_unit_us=10.0)
+        span = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+        assert {"microbatch", "stage", "chunk", "replica"} <= set(
+            span["args"]
+        )
+        assert span["dur"] == pytest.approx(10.0 * 0.5, rel=1e-6) or \
+            span["dur"] > 0
+
+    def test_round_trips_as_json(self, tmp_path):
+        tl = self._timeline()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tl, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "M" for e in loaded["traceEvents"])
+
+
+class TestCLI:
+    def test_simulate_command(self, capsys):
+        from repro.cli import main
+        assert main(["simulate", "--scheme", "hanayo", "-p", "4",
+                     "-b", "4", "-w", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate bubble" in out
+
+    def test_gallery_command(self, capsys):
+        from repro.cli import main
+        assert main(["gallery", "--scheme", "dapple", "-p", "4",
+                     "-b", "4"]) == 0
+        assert "P0" in capsys.readouterr().out
+
+    def test_trace_command(self, tmp_path, capsys):
+        from repro.cli import main
+        out_file = tmp_path / "t.json"
+        assert main(["trace", "-p", "2", "-b", "2",
+                     "-o", str(out_file)]) == 0
+        assert out_file.exists()
+
+    def test_train_command(self, capsys):
+        from repro.cli import main
+        assert main(["train", "--scheme", "dapple", "-p", "2",
+                     "-b", "2"]) == 0
+        assert "max grad diff" in capsys.readouterr().out
+
+    def test_config_error_is_clean(self, capsys):
+        from repro.cli import main
+        # chimera needs an even micro-batch count -> exit code 2, no traceback
+        assert main(["simulate", "--scheme", "chimera", "-p", "4",
+                     "-b", "3"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_advise_command(self, capsys):
+        from repro.cli import main
+        assert main(["advise", "--cluster", "FC", "-n", "8",
+                     "--batch", "8", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "seq/s" in out and "hanayo" in out

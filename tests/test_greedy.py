@@ -1,0 +1,110 @@
+"""The greedy list-scheduling engine: policies, caps, agreement with
+constructive generators."""
+
+import pytest
+
+from repro.config import CostConfig
+from repro.errors import SchedulingError
+from repro.schedules import (
+    GreedyPolicy,
+    Schedule,
+    dapple_schedule,
+    fifo_priority,
+    greedy_order,
+    wave_priority,
+)
+from repro.schedules.placement import LinearPlacement
+from repro.types import OpKind, ScheduleOp
+
+from conftest import make_config
+
+
+def greedy_linear(p: int, b: int, policy: GreedyPolicy) -> Schedule:
+    cfg = make_config("dapple", p, b)
+    sched = Schedule.empty("greedy-1f1b", cfg, LinearPlacement(p))
+    return greedy_order(sched, policy)
+
+
+class TestGreedyReproducesDapple:
+    """The engine with FIFO priority + the 1F1B cap must emit exactly the
+    constructive DAPPLE order — the strongest validation of the engine."""
+
+    @pytest.mark.parametrize("p,b", [(2, 2), (2, 6), (4, 4), (4, 8), (8, 8)])
+    def test_orders_identical(self, p, b):
+        policy = GreedyPolicy(
+            priority=fifo_priority,
+            open_cap=lambda d: max(1, p - d),
+        )
+        greedy = greedy_linear(p, b, policy)
+        constructive = dapple_schedule(make_config("dapple", p, b))
+        for d in range(p):
+            got = [(o.kind, o.microbatch) for o in greedy.device_ops[d]]
+            want = [(o.kind, o.microbatch) for o in constructive.device_ops[d]]
+            assert got == want, f"device {d} diverges"
+
+
+class TestGreedyCapBehaviour:
+    def test_unbounded_cap_degenerates_to_eager(self):
+        """Without a cap, device 0 front-loads all forwards (GPipe shape)."""
+        policy = GreedyPolicy(priority=fifo_priority, open_cap=None)
+        sched = greedy_linear(4, 8, policy)
+        kinds = [o.kind for o in sched.device_ops[0]]
+        first_b = kinds.index(OpKind.BACKWARD)
+        assert first_b == 8  # every forward admitted before any backward
+
+    def test_zero_cap_deadlocks_with_diagnostic(self):
+        policy = GreedyPolicy(priority=fifo_priority, open_cap=lambda d: 0)
+        with pytest.raises(SchedulingError, match="cap"):
+            greedy_linear(2, 2, policy)
+
+    def test_cap_one_is_sequential_per_microbatch(self):
+        policy = GreedyPolicy(priority=fifo_priority, open_cap=lambda d: 1)
+        sched = greedy_linear(2, 4, policy)
+        for ops in sched.device_ops.values():
+            open_now = None
+            for op in ops:
+                if op.kind is OpKind.FORWARD:
+                    assert open_now is None
+                    open_now = op.microbatch
+                else:
+                    assert open_now == op.microbatch
+                    open_now = None
+
+
+class TestPriorities:
+    def test_wave_priority_orders_backward_first(self):
+        f = ScheduleOp(device=0, kind=OpKind.FORWARD, microbatch=0, stage=5)
+        b = ScheduleOp(device=0, kind=OpKind.BACKWARD, microbatch=9, stage=0)
+        assert wave_priority(b) < wave_priority(f)
+
+    def test_wave_priority_prefers_deep_forward(self):
+        shallow = ScheduleOp(device=0, kind=OpKind.FORWARD, microbatch=0, stage=1)
+        deep = ScheduleOp(device=0, kind=OpKind.FORWARD, microbatch=3, stage=7)
+        assert wave_priority(deep) < wave_priority(shallow)
+
+    def test_fifo_priority_prefers_low_microbatch(self):
+        early = ScheduleOp(device=0, kind=OpKind.FORWARD, microbatch=0, stage=1)
+        late = ScheduleOp(device=0, kind=OpKind.FORWARD, microbatch=2, stage=7)
+        assert fifo_priority(early) < fifo_priority(late)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_schedule(self):
+        a = greedy_linear(4, 8, GreedyPolicy(priority=wave_priority,
+                                             open_cap=lambda d: 4))
+        b = greedy_linear(4, 8, GreedyPolicy(priority=wave_priority,
+                                             open_cap=lambda d: 4))
+        assert a.device_ops == b.device_ops
+
+    def test_costs_affect_order_only_not_work(self):
+        slow_comm = CostConfig(t_f=1.0, t_b=2.0, t_c=5.0)
+        cfg = make_config("dapple", 4, 4)
+        a = greedy_order(Schedule.empty("a", cfg, LinearPlacement(4)),
+                         GreedyPolicy(open_cap=lambda d: 4))
+        b = greedy_order(Schedule.empty("b", cfg, LinearPlacement(4)),
+                         GreedyPolicy(open_cap=lambda d: 4), slow_comm)
+        ops_a = sorted((o.kind.value, o.microbatch, o.stage)
+                       for o in a.all_ops())
+        ops_b = sorted((o.kind.value, o.microbatch, o.stage)
+                       for o in b.all_ops())
+        assert ops_a == ops_b

@@ -1,0 +1,100 @@
+"""Stage placements: linear, snake, cyclic, mirror."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.schedules import (
+    CyclicPlacement,
+    LinearPlacement,
+    MirrorPlacement,
+    SnakePlacement,
+)
+
+
+class TestLinear:
+    def test_identity(self):
+        p = LinearPlacement(4)
+        assert [p.device_of(s) for s in range(4)] == [0, 1, 2, 3]
+        assert all(p.chunk_of(s) == 0 for s in range(4))
+
+    def test_no_local_boundaries(self):
+        p = LinearPlacement(4)
+        assert not any(p.is_local_boundary(s) for s in range(4))
+
+    def test_out_of_range(self):
+        p = LinearPlacement(4)
+        with pytest.raises(ConfigError):
+            p.device_of(4)
+        with pytest.raises(ConfigError):
+            p.device_of(-1)
+
+
+class TestSnake:
+    def test_one_wave_fold(self):
+        p = SnakePlacement(4, 1)
+        # down pass 0..3, up pass 4..7
+        assert [p.device_of(s) for s in range(8)] == [0, 1, 2, 3, 3, 2, 1, 0]
+
+    def test_turns_are_local(self):
+        p = SnakePlacement(4, 2)
+        turns = [s for s in range(p.num_stages - 1) if p.is_local_boundary(s)]
+        # 2W - 1 = 3 turns for W=2: at stages 3, 11 (device ends) and 7 (device 0)
+        assert len(turns) == 2 * 2 - 1
+        for s in turns:
+            assert p.device_of(s) == p.device_of(s + 1)
+
+    def test_chunks_per_device(self):
+        p = SnakePlacement(4, 3)
+        for d in range(4):
+            assert p.chunks_on(d) == 6
+
+    def test_chunk_order_matches_pass_order(self):
+        p = SnakePlacement(4, 2)
+        stages = [s for s, _ in p.stages_on(0)]
+        assert stages == sorted(stages)  # device sees its stages in pass order
+
+    def test_every_stage_placed_once(self):
+        p = SnakePlacement(3, 2)
+        placed = [s for d in range(3) for s, _ in p.stages_on(d)]
+        assert sorted(placed) == list(range(12))
+
+    def test_bad_waves(self):
+        with pytest.raises(ConfigError):
+            SnakePlacement(4, 0)
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        p = CyclicPlacement(4, 2)
+        assert [p.device_of(s) for s in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_wrap_boundary_not_local(self):
+        p = CyclicPlacement(4, 2)
+        # stage 3 -> 4 goes device 3 -> device 0: a cross-device hop
+        assert not p.is_local_boundary(3)
+
+    def test_chunk_indices(self):
+        p = CyclicPlacement(4, 3)
+        assert p.chunk_of(0) == 0
+        assert p.chunk_of(4) == 1
+        assert p.chunk_of(8) == 2
+
+
+class TestMirror:
+    def test_opposing_directions(self):
+        p = MirrorPlacement(4)
+        assert [p.device_of(s, 0) for s in range(4)] == [0, 1, 2, 3]
+        assert [p.device_of(s, 1) for s in range(4)] == [3, 2, 1, 0]
+
+    def test_two_chunks_per_device(self):
+        p = MirrorPlacement(4)
+        for d in range(4):
+            pairs = p.stages_on(d)
+            assert len(pairs) == 2
+            replicas = {r for _, r in pairs}
+            assert replicas == {0, 1}
+
+    def test_replica_out_of_range(self):
+        p = MirrorPlacement(4)
+        with pytest.raises(ConfigError):
+            p.device_of(0, 2)

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) on schedules, kernels, and memory."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import CostConfig, PipelineConfig
+from repro.engine import tensor_ops as T
+from repro.runtime import AbstractCosts, bubble_stats, memory_stats, simulate
+from repro.schedules import build_schedule, validate
+from repro.types import OpKind
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+schemes = st.sampled_from(
+    ["gpipe", "dapple", "hanayo", "chimera", "chimera-wave", "gems",
+     "interleaved"]
+)
+
+
+def build_valid_config(scheme, p, b, w):
+    """Clamp hypothesis draws into each scheme's constraint set."""
+    if scheme in ("chimera", "chimera-wave", "gems"):
+        b += b % 2
+    if scheme == "chimera" and p % 2:
+        p += 1
+    return PipelineConfig(
+        scheme=scheme, num_devices=p, num_microbatches=b, num_waves=w,
+    )
+
+
+class TestScheduleProperties:
+    @SLOW
+    @given(scheme=schemes, p=st.integers(2, 6), b=st.integers(1, 8),
+           w=st.integers(1, 3))
+    def test_every_generated_schedule_is_valid(self, scheme, p, b, w):
+        cfg = build_valid_config(scheme, p, b, w)
+        sched = build_schedule(cfg)
+        validate(sched)
+
+    @SLOW
+    @given(scheme=schemes, p=st.integers(2, 5), b=st.integers(1, 6),
+           w=st.integers(1, 2), t_c=st.floats(0.0, 1.0))
+    def test_simulation_invariants(self, scheme, p, b, w, t_c):
+        cfg = build_valid_config(scheme, p, b, w)
+        sched = build_schedule(cfg)
+        costs = AbstractCosts(CostConfig(t_c=t_c), cfg.num_devices,
+                              sched.num_stages)
+        res = simulate(sched, costs)
+        stats = bubble_stats(res.timeline)
+        # bubble ratio in [0, 1); busy time conserved per scheme
+        assert 0.0 <= stats.bubble_ratio < 1.0
+        total_busy = sum(stats.busy.values())
+        b_eff = cfg.num_microbatches
+        assert total_busy == pytest.approx(b_eff * cfg.num_devices * 3.0)
+
+    @SLOW
+    @given(p=st.integers(2, 5), b=st.integers(2, 8), w=st.integers(1, 3))
+    def test_hanayo_makespan_lower_bound(self, p, b, w):
+        """Makespan can never beat perfect utilisation."""
+        cfg = PipelineConfig(scheme="hanayo", num_devices=p,
+                             num_microbatches=b, num_waves=w)
+        sched = build_schedule(cfg)
+        res = simulate(sched, AbstractCosts(CostConfig(), p, sched.num_stages))
+        assert res.makespan >= b * 3.0 - 1e-9  # per-device work
+
+    @SLOW
+    @given(p=st.integers(2, 5), b=st.integers(1, 6))
+    def test_memory_tracker_never_leaks(self, p, b):
+        from repro.models import A100_40G, stage_costs, tiny_model
+        spec = tiny_model(num_layers=2 * p)
+        cfg = PipelineConfig(scheme="hanayo", num_devices=p,
+                             num_microbatches=b, num_waves=1)
+        sched = build_schedule(cfg)
+        res = simulate(sched, AbstractCosts(CostConfig(), p, sched.num_stages))
+        costs = stage_costs(spec, sched.num_stages, A100_40G)
+        # memory_stats raises AssertionError on leak
+        stats = memory_stats(sched, res.timeline, costs)
+        assert stats.highest_peak >= max(stats.static_bytes.values())
+
+    @SLOW
+    @given(p=st.integers(2, 6), b=st.integers(1, 8))
+    def test_dapple_backward_order_fifo(self, p, b):
+        cfg = PipelineConfig(scheme="dapple", num_devices=p,
+                             num_microbatches=b)
+        sched = build_schedule(cfg)
+        for ops in sched.device_ops.values():
+            bwd = [o.microbatch for o in ops if o.kind is OpKind.BACKWARD]
+            assert bwd == sorted(bwd)
+
+
+class TestKernelProperties:
+    @SLOW
+    @given(st.integers(1, 4), st.integers(1, 6))
+    def test_softmax_is_distribution(self, rows, cols):
+        rng = np.random.default_rng(rows * 100 + cols)
+        x = rng.normal(size=(rows, cols)) * 10
+        y, _ = T.softmax_forward(x)
+        assert np.all(y >= 0)
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0, rtol=1e-10)
+
+    @SLOW
+    @given(st.floats(-50, 50), st.floats(0.1, 10))
+    def test_gelu_bounded_by_identity(self, loc, scale):
+        rng = np.random.default_rng(7)
+        x = rng.normal(loc, scale, size=16)
+        y, _ = T.gelu_forward(x)
+        assert np.all(y <= np.maximum(x, 0) + 1e-9)
+        assert np.all(y >= np.minimum(x, 0) - 0.2)
+
+    @SLOW
+    @given(st.integers(2, 8))
+    def test_layernorm_scale_invariance(self, d):
+        """Scale invariance holds up to the eps regulariser, whose
+        relative effect shrinks as the input scale grows."""
+        rng = np.random.default_rng(d)
+        x = rng.normal(size=(3, d)) * 100.0
+        g, b = np.ones(d), np.zeros(d)
+        y1, _ = T.layernorm_forward(x, g, b)
+        y2, _ = T.layernorm_forward(x * 7.0, g, b)
+        np.testing.assert_allclose(y1, y2, rtol=1e-4, atol=1e-6)
+
+    @SLOW
+    @given(st.integers(2, 10))
+    def test_cross_entropy_uniform_logits(self, vocab):
+        logits = np.zeros((2, 3, vocab))
+        targets = np.zeros((2, 3), dtype=np.int64)
+        loss, _ = T.cross_entropy_forward(logits, targets)
+        assert loss == pytest.approx(np.log(vocab))
+
+
+class TestAnalyticProperties:
+    @SLOW
+    @given(p=st.integers(2, 64), w=st.integers(1, 16),
+           t_c=st.floats(0.0, 2.0))
+    def test_eq1_in_unit_interval(self, p, w, t_c):
+        from repro.analysis import hanayo_bubble_ratio
+        r = hanayo_bubble_ratio(p, w, t_f=1.0, t_b=2.0, t_c=t_c)
+        assert 0.0 < r < 1.0
+
+    @SLOW
+    @given(p=st.integers(2, 64), b=st.integers(1, 128))
+    def test_gpipe_ratio_monotone_in_b(self, p, b):
+        from repro.analysis import gpipe_bubble_ratio
+        assert gpipe_bubble_ratio(p, b + 1) < gpipe_bubble_ratio(p, b)

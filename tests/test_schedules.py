@@ -1,0 +1,218 @@
+"""Schedule generators: structure, policy shape, and validation."""
+
+import pytest
+
+from repro.config import CostConfig, PipelineConfig
+from repro.errors import ConfigError, SchedulingError, ValidationError
+from repro.schedules import (
+    Schedule,
+    async_1f1b_schedule,
+    build_schedule,
+    chimera_schedule,
+    dapple_schedule,
+    gpipe_schedule,
+    hanayo_schedule,
+    max_staleness,
+    validate,
+    weight_versions,
+)
+from repro.schedules.base import Schedule as ScheduleBase
+from repro.schedules.placement import LinearPlacement
+from repro.types import OpKind
+
+from conftest import ALL_SCHEMES, make_config, scheme_id
+
+
+@pytest.mark.parametrize("param", ALL_SCHEMES, ids=scheme_id)
+@pytest.mark.parametrize("p,b", [(2, 2), (4, 4), (4, 8), (8, 8)])
+class TestAllGeneratorsStructural:
+    def test_valid_and_complete(self, param, p, b):
+        scheme, kw = param
+        sched = build_schedule(make_config(scheme, p, b, **kw))
+        validate(sched)
+
+    def test_op_count(self, param, p, b):
+        scheme, kw = param
+        sched = build_schedule(make_config(scheme, p, b, **kw))
+        assert sched.op_count() == 2 * b * sched.num_stages
+
+
+class TestGPipe:
+    def test_all_forwards_before_backwards(self):
+        sched = gpipe_schedule(make_config("gpipe", 4, 6))
+        for ops in sched.device_ops.values():
+            kinds = [op.kind for op in ops]
+            first_b = kinds.index(OpKind.BACKWARD)
+            assert all(k is OpKind.FORWARD for k in kinds[:first_b])
+            assert all(k is OpKind.BACKWARD for k in kinds[first_b:])
+
+    def test_microbatch_fifo(self):
+        sched = gpipe_schedule(make_config("gpipe", 4, 6))
+        for ops in sched.device_ops.values():
+            fwd = [o.microbatch for o in ops if o.kind is OpKind.FORWARD]
+            assert fwd == sorted(fwd)
+
+    def test_wrong_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            gpipe_schedule(make_config("dapple", 4, 4))
+
+
+class TestDapple:
+    @pytest.mark.parametrize("p,b", [(4, 4), (4, 8), (8, 8), (2, 6)])
+    def test_warmup_depth(self, p, b):
+        sched = dapple_schedule(make_config("dapple", p, b))
+        for d, ops in sched.device_ops.items():
+            kinds = [op.kind for op in ops]
+            warmup = kinds.index(OpKind.BACKWARD)
+            assert warmup == min(b, p - d)
+
+    def test_strict_alternation_in_steady_state(self):
+        sched = dapple_schedule(make_config("dapple", 4, 8))
+        ops = sched.device_ops[3]  # last device: warmup of 1
+        kinds = "".join(o.kind.short for o in ops)
+        assert kinds == "F" + "BF" * 7 + "B"
+
+    def test_in_flight_bound(self):
+        """Live activations on device d never exceed P - d."""
+        p, b = 4, 8
+        sched = dapple_schedule(make_config("dapple", p, b))
+        for d, ops in sched.device_ops.items():
+            live = 0
+            peak = 0
+            for op in ops:
+                live += 1 if op.kind is OpKind.FORWARD else -1
+                peak = max(peak, live)
+            assert peak == min(b, p - d)
+
+
+class TestHanayo:
+    def test_stage_count_scales_with_waves(self):
+        for w in (1, 2, 3):
+            sched = hanayo_schedule(make_config("hanayo", 4, 4, num_waves=w))
+            assert sched.num_stages == 8 * w
+
+    def test_wave_front_runs_early(self):
+        """Micro-batch 0's last-stage forward precedes later micro-batches'
+        mid-pipeline work on the same device (the wave rolls)."""
+        sched = hanayo_schedule(make_config("hanayo", 4, 4, num_waves=1))
+        ops0 = sched.device_ops[0]
+        idx_last_f_m0 = next(
+            i for i, o in enumerate(ops0)
+            if o.kind is OpKind.FORWARD and o.microbatch == 0
+            and o.stage == sched.num_stages - 1
+        )
+        first_backward = next(
+            i for i, o in enumerate(ops0) if o.kind is OpKind.BACKWARD
+        )
+        assert idx_last_f_m0 < first_backward
+
+    def test_live_chunk_cap_respected(self):
+        """Live chunk activations per device stay within the 2WP budget
+        (plus the wave-front exemption for already-open micro-batches,
+        which adds at most the device's chunk count)."""
+        p, b, w = 4, 12, 2
+        sched = hanayo_schedule(make_config("hanayo", p, b, num_waves=w))
+        budget = 2 * w * p
+        chunks_per_device = 2 * w
+        # Already-open micro-batches are exempt from the admission cap,
+        # so the instantaneous peak can exceed the budget by a few
+        # in-flight chunks; two device-loads bounds that slack.
+        for d, ops in sched.device_ops.items():
+            live = 0
+            peak = 0
+            for op in ops:
+                live += 1 if op.kind is OpKind.FORWARD else -1
+                peak = max(peak, live)
+            assert peak <= budget + 2 * chunks_per_device
+
+    def test_custom_cap_too_small_deadlocks_cleanly(self):
+        with pytest.raises(SchedulingError, match="deadlock"):
+            hanayo_schedule(make_config("hanayo", 4, 4, num_waves=1),
+                            open_cap=0)
+
+
+class TestChimera:
+    def test_replica_split(self):
+        sched = chimera_schedule(make_config("chimera", 4, 8))
+        assert all(sched.replica_of(m) == 0 for m in range(4))
+        assert all(sched.replica_of(m) == 1 for m in range(4, 8))
+
+    def test_each_device_runs_both_directions(self):
+        sched = chimera_schedule(make_config("chimera", 4, 4))
+        for ops in sched.device_ops.values():
+            assert {op.replica for op in ops} == {0, 1}
+
+    def test_symmetric_makespan_shape(self):
+        """The two directions do equal work on mirrored devices."""
+        sched = chimera_schedule(make_config("chimera", 4, 4))
+        for d in range(4):
+            ops_d = sched.device_ops[d]
+            ops_m = sched.device_ops[3 - d]
+            assert len(ops_d) == len(ops_m)
+
+
+class TestAsync1F1B:
+    def test_multi_iteration_stream(self):
+        cfg = make_config("async-1f1b", 4, 4)
+        sched = async_1f1b_schedule(cfg, iterations=3)
+        assert sched.num_microbatches == 12
+        validate(sched)
+
+    def test_weight_versions_monotone_per_device(self):
+        sched = async_1f1b_schedule(make_config("async-1f1b", 4, 4),
+                                    iterations=2)
+        for d in range(4):
+            versions = [s.version for s in weight_versions(sched)
+                        if s.device == d]
+            assert versions == sorted(versions)
+
+    def test_staleness_grows_with_depth(self):
+        shallow = async_1f1b_schedule(make_config("async-1f1b", 2, 8))
+        deep = async_1f1b_schedule(make_config("async-1f1b", 8, 8))
+        assert max_staleness(deep) > max_staleness(shallow)
+
+    def test_bad_iterations(self):
+        with pytest.raises(ConfigError):
+            async_1f1b_schedule(make_config("async-1f1b", 4, 4), iterations=0)
+
+
+class TestValidationRejects:
+    def _toy(self) -> Schedule:
+        cfg = make_config("gpipe", 2, 2)
+        return gpipe_schedule(cfg)
+
+    def test_missing_op(self):
+        sched = self._toy()
+        sched.device_ops[0].pop()
+        with pytest.raises(ValidationError, match="missing"):
+            validate(sched)
+
+    def test_duplicate_op(self):
+        sched = self._toy()
+        sched.device_ops[0].append(sched.device_ops[0][0])
+        with pytest.raises(ValidationError, match="duplicated"):
+            validate(sched)
+
+    def test_wrong_device(self):
+        sched = self._toy()
+        op = sched.device_ops[0][0]
+        sched.device_ops[0][0] = op.with_device(1)
+        with pytest.raises(ValidationError):
+            validate(sched)
+
+    def test_cyclic_order(self):
+        """Backward scheduled before its own forward on one device."""
+        sched = self._toy()
+        ops = sched.device_ops[1]
+        b = next(o for o in ops if o.kind is OpKind.BACKWARD)
+        f = next(o for o in ops if o.kind is OpKind.FORWARD
+                 and o.microbatch == b.microbatch)
+        i, j = ops.index(f), ops.index(b)
+        ops[i], ops[j] = ops[j], ops[i]
+        with pytest.raises(ValidationError, match="cyclic"):
+            validate(sched)
+
+    def test_find_missing_op(self):
+        sched = self._toy()
+        with pytest.raises(SchedulingError, match="not found"):
+            sched.find(OpKind.FORWARD, 99, 0)

@@ -1,0 +1,116 @@
+"""The Chimera → wave transform (paper Fig. 5 / Sec. 3.2)."""
+
+import pytest
+
+from repro.config import CostConfig, PipelineConfig
+from repro.errors import ConfigError
+from repro.runtime import AbstractCosts, bubble_stats, simulate
+from repro.schedules import (
+    build_schedule,
+    chimera_schedule,
+    chimera_to_wave,
+    chimera_wave_schedule,
+    validate,
+)
+from repro.types import OpKind
+
+from conftest import make_config
+
+
+class TestBlockSwapTransform:
+    def _transform(self, p=4, b=4):
+        chimera = chimera_schedule(make_config("chimera", p, b))
+        return chimera, chimera_to_wave(chimera)
+
+    def test_shapes(self):
+        chimera, (w0, w1) = self._transform(4, 4)
+        for wave in (w0, w1):
+            assert wave.num_devices == 2
+            assert wave.num_stages == 4       # same model cut: S = P
+            assert wave.num_microbatches == 2
+
+    def test_wave_halves_are_valid_schedules(self):
+        _, (w0, w1) = self._transform(4, 8)
+        validate(w0)
+        validate(w1)
+
+    def test_groups_are_isomorphic(self):
+        """The paper: 'two identical wave-like pipeline structures'."""
+        _, (w0, w1) = self._transform(4, 4)
+        for d in range(2):
+            sig0 = [(o.kind, o.microbatch, o.stage) for o in w0.device_ops[d]]
+            sig1 = [(o.kind, o.microbatch, o.stage) for o in w1.device_ops[d]]
+            assert sig0 == sig1
+
+    def test_per_device_op_count_preserved(self):
+        chimera, (w0, w1) = self._transform(4, 4)
+        total_before = chimera.op_count()
+        assert w0.op_count() + w1.op_count() == total_before
+
+    def test_wave_form_not_slower(self):
+        """The two wave halves run concurrently on disjoint device
+        halves, so the iteration wall time for the same B micro-batches
+        is max(makespan(w0), makespan(w1)) — which must not exceed the
+        original Chimera's makespan (the swap only removes comm)."""
+        t_c = 0.3
+        costs = CostConfig(t_f=1.0, t_b=2.0, t_c=t_c)
+        chimera, (w0, w1) = self._transform(8, 8)
+        res_c = simulate(chimera, AbstractCosts(costs, 8, chimera.num_stages))
+        res_w0 = simulate(w0, AbstractCosts(costs, 4, w0.num_stages))
+        res_w1 = simulate(w1, AbstractCosts(costs, 4, w1.num_stages))
+        wall_wave = max(res_w0.makespan, res_w1.makespan)
+        assert wall_wave <= res_c.makespan * (1.0 + 1e-9)
+
+    def test_rejects_non_chimera(self):
+        sched = build_schedule(make_config("gpipe", 4, 4))
+        with pytest.raises(ConfigError):
+            chimera_to_wave(sched)
+
+
+class TestChimeraWaveEqualsHanayoW1:
+    """Sec. 3.2's measurement convention: Chimera-wave ≡ one-wave Hanayo."""
+
+    @pytest.mark.parametrize("p,b", [(2, 2), (4, 4), (8, 8)])
+    def test_same_makespan_as_hanayo_w1(self, p, b):
+        costs = CostConfig()
+        cw = build_schedule(make_config("chimera-wave", p, b))
+        h1 = build_schedule(make_config("hanayo", p, b, num_waves=1))
+        res_cw = simulate(cw, AbstractCosts(costs, p, cw.num_stages))
+        res_h1 = simulate(h1, AbstractCosts(costs, p, h1.num_stages))
+        assert res_cw.makespan == pytest.approx(res_h1.makespan)
+
+    def test_same_stage_structure(self):
+        cw = build_schedule(make_config("chimera-wave", 4, 4))
+        h1 = build_schedule(make_config("hanayo", 4, 4, num_waves=1))
+        assert cw.num_stages == h1.num_stages
+        for d in range(4):
+            assert (cw.placement.stages_on(d) == h1.placement.stages_on(d))
+
+
+class TestTransformBeatsChimeraWithComm:
+    def test_transformed_wave_fewer_messages(self):
+        """The paper's transform argument: the wave form of a Chimera
+        pipeline crosses fewer device boundaries (turns become local)."""
+        from repro.actions import compile_schedule, count_messages
+        from repro.schedules import chimera_to_wave
+
+        chimera = chimera_schedule(make_config("chimera", 8, 8))
+        w0, w1 = chimera_to_wave(chimera)
+        msgs_chimera = count_messages(compile_schedule(chimera))
+        msgs_waves = (count_messages(compile_schedule(w0))
+                      + count_messages(compile_schedule(w1)))
+        assert msgs_waves < msgs_chimera
+
+    def test_transformed_bubble_ratio_not_worse(self):
+        """Per-pipeline bubble ratio after the transform, with comm
+        priced in, must not exceed plain Chimera's."""
+        costs = CostConfig(t_f=1.0, t_b=2.0, t_c=0.3)
+        chimera = chimera_schedule(make_config("chimera", 8, 8))
+        w0, _ = chimera_to_wave(chimera)
+        r_c = bubble_stats(simulate(
+            chimera, AbstractCosts(costs, 8, chimera.num_stages)
+        ).timeline).bubble_ratio
+        r_w = bubble_stats(simulate(
+            w0, AbstractCosts(costs, 4, w0.num_stages)
+        ).timeline).bubble_ratio
+        assert r_w <= r_c + 0.05

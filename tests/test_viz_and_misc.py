@@ -1,0 +1,64 @@
+"""Gantt rendering, error types, async weight versions, package surface."""
+
+import pytest
+
+import repro
+from repro.config import CostConfig
+from repro.errors import OutOfMemoryError, ReproError
+from repro.runtime import AbstractCosts, simulate
+from repro.schedules import build_schedule
+from repro.viz import render_gantt, render_order
+
+from conftest import make_config
+
+
+class TestGantt:
+    def _timeline(self, scheme="dapple", **kw):
+        sched = build_schedule(make_config(scheme, 4, 4, **kw))
+        return simulate(
+            sched, AbstractCosts(CostConfig(), 4, sched.num_stages)
+        ).timeline, sched
+
+    def test_one_row_per_device(self):
+        tl, _ = self._timeline()
+        rows = render_gantt(tl, width=60).splitlines()
+        assert sum(r.startswith("P") for r in rows) == 4
+
+    def test_fixed_width(self):
+        tl, _ = self._timeline("hanayo", num_waves=2)
+        rows = [r for r in render_gantt(tl, width=50).splitlines()
+                if r.startswith("P")]
+        assert len({len(r) for r in rows}) == 1
+
+    def test_idle_shown_as_dots(self):
+        tl, _ = self._timeline("gpipe")
+        assert "." in render_gantt(tl, width=60)
+
+    def test_empty_timeline(self):
+        from repro.types import Timeline
+        assert "empty" in render_gantt(Timeline())
+
+    def test_render_order_truncates(self):
+        _, sched = self._timeline()
+        text = render_order(sched.device_ops, max_ops=3)
+        assert "..." in text
+        assert text.count("P0:") == 1
+
+
+class TestErrors:
+    def test_oom_carries_details(self):
+        err = OutOfMemoryError(3, 50 * 2**30, 40 * 2**30)
+        assert err.device == 3
+        assert "50.00 GiB" in str(err)
+        assert isinstance(err, ReproError)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        assert callable(repro.build_schedule)
+        assert callable(repro.simulate)
+        assert callable(repro.measure_throughput)
+        assert repro.PipelineConfig is not None
