@@ -8,9 +8,32 @@ the durable record) and also attaches headline numbers to
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: shared on-disk cache for the sweep-engine benches (fig09-fig12):
+#: overlapping cells — and re-runs — are measured exactly once
+SWEEP_CACHE_DIR = pathlib.Path(
+    os.environ.get("REPRO_SWEEP_CACHE",
+                   pathlib.Path(__file__).parent / ".sweep_cache")
+)
+
+
+def sweep_opts() -> dict:
+    """``cache``/``workers`` kwargs for the sweep-engine entry points.
+
+    ``REPRO_SWEEP_WORKERS`` (int) turns on multiprocessing fan-out;
+    ``REPRO_SWEEP_CACHE`` relocates the cache directory.
+    """
+    from repro.sweep import ResultCache
+
+    workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))
+    return {
+        "cache": ResultCache(SWEEP_CACHE_DIR),
+        "workers": workers if workers > 1 else None,
+    }
 
 
 def write_result(name: str, text: str) -> pathlib.Path:

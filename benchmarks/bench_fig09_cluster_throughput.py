@@ -15,32 +15,38 @@ weaker interconnect caps the useful wave count.
 
 from __future__ import annotations
 
-from repro.analysis import format_table, measure_throughput
+from repro.analysis import format_table
 from repro.cluster import all_clusters
 from repro.models import bert_64
+from repro.sweep import SweepSpec, run_sweep
 
-from _helpers import gap, write_result
+from _helpers import gap, sweep_opts, write_result
 
-LAYOUTS = [(8, 1), (4, 2)]               # (P, D)
+LAYOUTS = ((8, 1), (4, 2))               # (P, D)
 WAVES = (2, 4, 8)
+
+#: short scheme labels used in the figure
+LABELS = {"gpipe": "G", "dapple": "D", "chimera-wave": "C"}
 
 
 def compute():
-    model = bert_64()
+    # One declarative grid over all four clusters; the total batch of 8
+    # splits every layout into B = P micro-batches of one sequence, the
+    # paper's regime.  Hanayo's wave dimension is expanded per layout.
+    spec = SweepSpec(
+        schemes=("gpipe", "dapple", "chimera-wave", "hanayo"),
+        clusters=tuple(all_clusters(8)),
+        models=(bert_64(),),
+        layouts=LAYOUTS,
+        total_batches=(8,),
+        waves=WAVES,
+    )
+    table = run_sweep(spec, **sweep_opts())
     out: dict = {}
-    for cluster in all_clusters(8):
-        for p, d in LAYOUTS:
-            b = p  # micro-batches per pipeline (B = P, the paper's regime)
-            base = dict(cluster=cluster, model=model, p=p, d=d,
-                        num_microbatches=b, microbatch_size=1)
-            out[(cluster.name, p, "G")] = measure_throughput("gpipe", **base)
-            out[(cluster.name, p, "D")] = measure_throughput("dapple", **base)
-            out[(cluster.name, p, "C")] = measure_throughput(
-                "chimera-wave", **base)
-            for w in WAVES:
-                if 2 * w * p <= model.num_layers + 2:
-                    out[(cluster.name, p, f"H-{w}")] = measure_throughput(
-                        "hanayo", w=w, **base)
+    for row in table:
+        label = (f"H-{row.w}" if row.scheme == "hanayo"
+                 else LABELS[row.scheme])
+        out[(row.cluster, row.p, label)] = row.result
     return out
 
 

@@ -17,7 +17,7 @@ from repro.analysis import best_config, format_table, search_grid
 from repro.cluster import make_tc
 from repro.models import bert_64
 
-from _helpers import write_result
+from _helpers import sweep_opts, write_result
 
 LAYOUTS = ((8, 4), (16, 2), (32, 1))
 SCHEMES = ("gpipe", "dapple", "chimera-wave", "hanayo")
@@ -27,11 +27,12 @@ def compute():
     cluster = make_tc(32)
     model = bert_64()
     grids = {}
+    opts = sweep_opts()
     for scheme in SCHEMES:
         for total_batch in (32, 64):
             grids[(scheme, total_batch)] = search_grid(
                 scheme, cluster, model, LAYOUTS, total_batch=total_batch,
-                target_microbatches=16,
+                target_microbatches=16, **opts,
             )
     return grids
 

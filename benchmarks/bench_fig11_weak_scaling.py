@@ -20,7 +20,7 @@ from repro.analysis import (
 from repro.cluster import make_tacc
 from repro.models import bert_64
 
-from _helpers import gap, write_result
+from _helpers import gap, sweep_opts, write_result
 
 SCHEMES = ("gpipe", "dapple", "chimera-wave", "hanayo")
 DEVICES = (8, 16, 32)
@@ -32,6 +32,7 @@ def compute():
     return weak_scaling(
         SCHEMES, make_tacc, bert_64(),
         device_counts=DEVICES, base_batch=8,
+        **sweep_opts(),
     )
 
 

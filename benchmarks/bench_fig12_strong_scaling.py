@@ -7,8 +7,12 @@ own 8-GPU result — the fine-tuning use case.
 
 Shape asserted here: GPipe/DAPPLE OOM at 8 devices while Chimera-wave
 and Hanayo fit (their balanced schedules peak lower); Hanayo is fastest
-everywhere; its 16- and 32-device speedups land near the paper's
-super-linear-ish band (the extra devices also relieve memory pressure).
+at 8 and 16 devices and within 1% of the best scheme at 32 (under the
+Sec. 5.3 fairness rule every cell now processes the full batch, which
+hands the 32-device layouts bigger micro-batches and puts GPipe's best
+cell in a dead heat with Hanayo's); the 16- and 32-device speedups land
+near the paper's super-linear-ish band (the extra devices also relieve
+memory pressure).
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from repro.analysis import format_table, speedup, strong_scaling
 from repro.cluster import make_tacc
 from repro.models import bert_64
 
-from _helpers import gap, write_result
+from _helpers import gap, sweep_opts, write_result
 
 SCHEMES = ("gpipe", "dapple", "chimera-wave", "hanayo")
 DEVICES = (8, 16, 32)
@@ -31,6 +35,7 @@ def compute():
         SCHEMES, make_tacc, bert_64(),
         device_counts=DEVICES, total_batch=48,
         target_microbatches=16,
+        **sweep_opts(),
     )
 
 
@@ -62,13 +67,19 @@ def test_fig12_strong_scaling(benchmark):
     assert out["gpipe"][0].throughput is None
     assert out["hanayo"][0].throughput is not None
     assert out["chimera-wave"][0].throughput is not None
-    # Hanayo wins every size it runs
+    # Hanayo wins outright at 8 and 16 devices; at 32 every scheme's
+    # best cell converges (micro-batches grow under the fairness rule)
+    # and Hanayo must stay within 1% of the front-runner.
     for i in range(len(DEVICES)):
         h = out["hanayo"][i].throughput
         for scheme in SCHEMES:
             t = out[scheme][i].throughput
-            if scheme != "hanayo" and t:
+            if scheme == "hanayo" or not t:
+                continue
+            if DEVICES[i] < 32:
                 assert h > t, (scheme, DEVICES[i])
+            else:
+                assert h > 0.99 * t, (scheme, DEVICES[i])
     # speedup grows with devices, in a paper-like band
     assert 1.3 < s[1] < 2.5
     assert s[2] > s[1]

@@ -16,18 +16,26 @@ Layers of the library, bottom-up:
   P2P channels) that executes the same action lists.
 * :mod:`repro.analysis` — the paper's analytic models, config search,
   and scaling harnesses.
+* :mod:`repro.sweep` — the parallel, cached sweep engine that fans the
+  search grids of Figs. 9–12 out over worker processes.
 
-Quickstart::
+Quickstart (a runnable doctest; ``python -m pytest --doctest-modules
+src/repro/__init__.py`` checks it):
 
-    from repro import PipelineConfig, build_schedule, simulate
-    from repro.config import CostConfig
-    from repro.runtime import AbstractCosts, bubble_stats
-
-    cfg = PipelineConfig("hanayo", num_devices=8, num_microbatches=8,
-                         num_waves=2)
-    sched = build_schedule(cfg)
-    res = simulate(sched, AbstractCosts(CostConfig(), 8, sched.num_stages))
-    print(bubble_stats(res.timeline).bubble_ratio)
+    >>> from repro import PipelineConfig, build_schedule, simulate
+    >>> from repro.config import CostConfig
+    >>> from repro.runtime import AbstractCosts, bubble_stats
+    >>> cfg = PipelineConfig("hanayo", num_devices=8, num_microbatches=8,
+    ...                      num_waves=2)
+    >>> sched = build_schedule(cfg)          # 2 waves x 8 devices x 2 dirs
+    >>> sched.num_stages
+    32
+    >>> res = simulate(sched, AbstractCosts(CostConfig(), 8,
+    ...                                     sched.num_stages))
+    >>> res.makespan                         # T_F units, T_B = 2 T_F
+    31.5
+    >>> round(bubble_stats(res.timeline).bubble_ratio, 3)
+    0.238
 """
 
 from .analysis import measure_throughput
@@ -35,16 +43,21 @@ from .config import CostConfig, PipelineConfig, RunConfig
 from .errors import ReproError
 from .runtime import simulate
 from .schedules import build_schedule
+from .sweep import ResultCache, SweepSpec, SweepTable, run_sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CostConfig",
     "PipelineConfig",
     "ReproError",
+    "ResultCache",
     "RunConfig",
+    "SweepSpec",
+    "SweepTable",
     "__version__",
     "build_schedule",
     "measure_throughput",
+    "run_sweep",
     "simulate",
 ]

@@ -9,7 +9,10 @@
   at 8 GPUs just as the paper reports.
 
 Both pick each scheme's best (P, D, W) per device count via the
-Sec. 5.3 search.
+Sec. 5.3 search.  Like the search itself, both harnesses run on the
+:mod:`repro.sweep` engine and accept optional ``cache`` / ``workers``
+arguments: a shared :class:`~repro.sweep.ResultCache` makes the twelve
+``bench_fig*`` scripts stop recomputing each other's cells.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError
 from ..models.spec import ModelSpec
+from ..sweep.cache import ResultCache
 from .search import SearchCell, best_throughput
 
 
@@ -45,13 +49,16 @@ def layouts_for(devices: int, min_pipeline: int = 4) -> tuple[tuple[int, int], .
 
 
 def _best(scheme: str, cluster, model: ModelSpec, devices: int,
-          total_batch: int, target_microbatches: int | None) -> ScalingPoint:
+          total_batch: int, target_microbatches: int | None,
+          cache: ResultCache | None = None,
+          workers: int | None = None) -> ScalingPoint:
     try:
         cell = best_throughput(
             scheme, cluster, model,
             layouts=layouts_for(devices),
             total_batch=total_batch,
             target_microbatches=target_microbatches,
+            cache=cache, workers=workers,
         )
     except ConfigError:
         cell = None
@@ -65,6 +72,9 @@ def weak_scaling(
     device_counts: tuple[int, ...] = (8, 16, 32),
     base_batch: int = 8,
     target_microbatches: int | None = None,
+    *,
+    cache: ResultCache | None = None,
+    workers: int | None = None,
 ) -> dict[str, list[ScalingPoint]]:
     """Scale devices and total batch together: batch ∝ devices."""
     smallest = min(device_counts)
@@ -75,7 +85,7 @@ def weak_scaling(
         for scheme in schemes:
             out[scheme].append(
                 _best(scheme, cluster, model, devices, total_batch,
-                      target_microbatches)
+                      target_microbatches, cache, workers)
             )
     return out
 
@@ -87,6 +97,9 @@ def strong_scaling(
     device_counts: tuple[int, ...] = (8, 16, 32),
     total_batch: int = 8,
     target_microbatches: int | None = None,
+    *,
+    cache: ResultCache | None = None,
+    workers: int | None = None,
 ) -> dict[str, list[ScalingPoint]]:
     """Fixed total batch; more devices must split the same work."""
     out: dict[str, list[ScalingPoint]] = {s: [] for s in schemes}
@@ -95,7 +108,7 @@ def strong_scaling(
         for scheme in schemes:
             out[scheme].append(
                 _best(scheme, cluster, model, devices, total_batch,
-                      target_microbatches)
+                      target_microbatches, cache, workers)
             )
     return out
 

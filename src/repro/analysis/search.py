@@ -7,9 +7,15 @@ table; :func:`best_config` picks the winner the scaling figures use.
 
 The search is **total-batch-centric**: a layout ``(P, D)`` splits the
 job's ``total_batch`` sequences into ``D`` pipeline shards of
-``total_batch / D`` sequences, which are then cut into micro-batches.
-This keeps every cell processing the same work, so throughputs are
-comparable — the fairness rule of Sec. 5.3.
+``total_batch / D`` sequences, which are then cut into micro-batches
+with no remainder.  This keeps every cell processing the same work, so
+throughputs are comparable — the fairness rule of Sec. 5.3 (see
+:func:`repro.sweep.split_batch`, where the rule now lives).
+
+Since the sweep-engine refactor these functions are thin wrappers over
+:mod:`repro.sweep`: they accept optional ``cache`` and ``workers``
+arguments that enable on-disk result reuse and multiprocessing fan-out
+while keeping the original serial, uncached behaviour as the default.
 """
 
 from __future__ import annotations
@@ -19,10 +25,20 @@ from dataclasses import dataclass
 from ..cluster.presets import Cluster
 from ..errors import ConfigError
 from ..models.spec import ModelSpec
-from .throughput import ThroughputResult, measure_throughput
+from ..sweep.cache import ResultCache
+from ..sweep.engine import run_sweep
+from ..sweep.spec import DEFAULT_WAVES, SweepSpec, feasible_waves, split_batch
+from .throughput import ThroughputResult
 
-#: wave counts the paper explores (H-2 / H-4 / H-8 in Fig. 9)
-DEFAULT_WAVES = (1, 2, 4, 8)
+__all__ = [
+    "DEFAULT_WAVES",
+    "SearchCell",
+    "best_config",
+    "best_throughput",
+    "feasible_waves",
+    "search_grid",
+    "split_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -39,35 +55,6 @@ class SearchCell:
         return self.result.seq_per_s if self.result.seq_per_s else 0.0
 
 
-def feasible_waves(model: ModelSpec, p: int,
-                   waves: tuple[int, ...] = DEFAULT_WAVES) -> list[int]:
-    """Wave counts with at least one layer per stage."""
-    total_layers = model.num_layers + 2  # embedding + head
-    return [w for w in waves if 2 * w * p <= total_layers]
-
-
-def split_batch(total_batch: int, d: int, p: int, scheme: str,
-                target_microbatches: int | None = None) -> tuple[int, int] | None:
-    """(num_microbatches, microbatch_size) for one pipeline shard.
-
-    Returns None when the layout cannot host the batch (fewer sequences
-    than DP shards, or an odd micro-batch count for a bidirectional
-    scheme that cannot be fixed by merging).
-    """
-    per_pipeline = total_batch // d
-    if per_pipeline < 1:
-        return None
-    target = target_microbatches if target_microbatches else p
-    b = min(per_pipeline, target)
-    if scheme in ("chimera", "chimera-wave", "gems"):
-        if b % 2:
-            b -= 1
-        if b < 2:
-            return None
-    mb_size = per_pipeline // b
-    return b, mb_size
-
-
 def search_grid(
     scheme: str,
     cluster: Cluster,
@@ -76,36 +63,31 @@ def search_grid(
     total_batch: int,
     target_microbatches: int | None = None,
     waves: tuple[int, ...] = DEFAULT_WAVES,
+    *,
+    cache: ResultCache | None = None,
+    workers: int | None = None,
 ) -> list[SearchCell]:
     """Evaluate a scheme over (P, D) layouts, searching waves for Hanayo.
 
-    Infeasible cells (layout cannot host the batch, or the model has too
-    few layers for the stage count) are skipped, mirroring the paper's
-    empty grid slots.
+    Infeasible cells (layout cannot host the batch fairly, or the model
+    has too few layers for the stage count) are skipped, mirroring the
+    paper's empty grid slots.  Runs on the :mod:`repro.sweep` engine;
+    pass ``cache`` / ``workers`` to reuse results across calls or fan
+    the grid out over processes.
     """
-    cells: list[SearchCell] = []
-    for p, d in layouts:
-        if p * d > cluster.num_devices:
-            raise ConfigError(
-                f"layout ({p},{d}) exceeds cluster {cluster.name}"
-            )
-        shape = split_batch(total_batch, d, p, scheme, target_microbatches)
-        if shape is None:
-            continue
-        b, mb_size = shape
-        wave_options = (
-            feasible_waves(model, p, waves) if scheme == "hanayo" else [1]
-        )
-        for w in wave_options:
-            try:
-                result = measure_throughput(
-                    scheme, cluster, model, p=p, d=d, w=w,
-                    num_microbatches=b, microbatch_size=mb_size,
-                )
-            except ConfigError:
-                continue
-            cells.append(SearchCell(p=p, d=d, w=w, result=result))
-    return cells
+    spec = SweepSpec(
+        schemes=(scheme,),
+        clusters=(cluster,),
+        models=(model,),
+        layouts=tuple(layouts),
+        total_batches=(total_batch,),
+        waves=tuple(waves),
+        target_microbatches=target_microbatches,
+        skip_oversized=False,
+    )
+    table = run_sweep(spec, cache=cache, workers=workers)
+    return [SearchCell(p=row.p, d=row.d, w=row.w, result=row.result)
+            for row in table.rows]
 
 
 def best_config(cells: list[SearchCell]) -> SearchCell:
@@ -124,8 +106,12 @@ def best_throughput(
     total_batch: int,
     target_microbatches: int | None = None,
     waves: tuple[int, ...] = DEFAULT_WAVES,
+    *,
+    cache: ResultCache | None = None,
+    workers: int | None = None,
 ) -> SearchCell:
     """Search then pick, in one call (what the scaling figures do)."""
     cells = search_grid(scheme, cluster, model, layouts, total_batch,
-                        target_microbatches, waves)
+                        target_microbatches, waves,
+                        cache=cache, workers=workers)
     return best_config(cells)

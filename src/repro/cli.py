@@ -5,6 +5,7 @@ Commands
 ``gallery``   render a scheme's schedule as an ASCII Gantt chart
 ``simulate``  simulate a configuration and print bubble/makespan stats
 ``advise``    search (scheme, P, D, W) for a model on a cluster
+``sweep``     parallel, cached multi-scheme grid sweep (repro.sweep)
 ``trace``     export a simulated schedule as a Chrome/Perfetto trace
 ``train``     run a real (NumPy) pipeline training step and verify it
 """
@@ -100,6 +101,62 @@ def cmd_advise(args) -> int:
     return 0
 
 
+def _parse_layouts(text: str) -> tuple[tuple[int, int], ...]:
+    """Parse ``"8x1,4x2"`` into ``((8, 1), (4, 2))``."""
+    from .errors import ConfigError
+    layouts = []
+    for token in text.split(","):
+        parts = token.lower().strip().split("x")
+        if len(parts) != 2 or not all(t.strip().isdigit() for t in parts):
+            raise ConfigError(
+                f"bad layout {token!r}; expected PxD pairs like 8x1,4x2"
+            )
+        layouts.append((int(parts[0]), int(parts[1])))
+    return tuple(layouts)
+
+
+def cmd_sweep(args) -> int:
+    from .analysis import layouts_for
+    from .cluster import get_cluster
+    from .models import bert_64, gpt_128, tiny_model
+    from .sweep import ResultCache, SweepSpec, run_sweep
+
+    factories = {"bert": bert_64, "gpt": gpt_128, "tiny": tiny_model}
+    models = tuple(factories[name]() for name in args.models)
+    clusters = tuple(get_cluster(name, args.devices)
+                     for name in args.clusters)
+    layouts = (_parse_layouts(args.layouts) if args.layouts
+               else layouts_for(args.devices))
+    spec = SweepSpec(
+        schemes=tuple(args.schemes),
+        clusters=clusters,
+        models=models,
+        layouts=layouts,
+        total_batches=tuple(args.batch),
+        waves=tuple(args.sweep_waves),
+        target_microbatches=args.target_microbatches,
+        # explicitly requested layouts must error when they don't fit,
+        # not vanish into an empty table
+        skip_oversized=args.layouts is None,
+    )
+    cache = ResultCache(args.cache) if args.cache else None
+    table = run_sweep(spec, cache=cache, workers=args.workers)
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        table.to_json(args.json)
+        print(f"wrote {args.json}")
+    print(table.format(title=spec.describe(), top=args.top))
+    print(table.stats.describe())
+    if not table.rows:
+        print("no feasible cells: every combination was rejected at "
+              "expansion or measurement (check --batch divisibility, "
+              "--layouts, and scheme shape constraints)",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_train(args) -> int:
     import numpy as np
 
@@ -152,6 +209,33 @@ def make_parser() -> argparse.ArgumentParser:
     a.add_argument("--batch", type=int, default=16)
     a.add_argument("--top", type=int, default=10)
     a.set_defaults(fn=cmd_advise)
+
+    sw = sub.add_parser(
+        "sweep", help="parallel, cached multi-scheme grid sweep")
+    sw.add_argument("--schemes", nargs="+",
+                    default=["gpipe", "dapple", "chimera-wave", "hanayo"])
+    sw.add_argument("--clusters", nargs="+", default=["TACC"],
+                    choices=["PC", "FC", "TACC", "TC"])
+    sw.add_argument("--model", dest="models", nargs="+", default=["bert"],
+                    choices=["bert", "gpt", "tiny"])
+    sw.add_argument("-n", "--devices", type=int, default=8)
+    sw.add_argument("--batch", type=int, nargs="+", default=[16],
+                    help="total batch size(s) to sweep")
+    sw.add_argument("--layouts", default=None,
+                    help="PxD pairs like 8x1,4x2 (default: all for -n)")
+    sw.add_argument("--waves", dest="sweep_waves", type=int, nargs="+",
+                    default=[1, 2, 4, 8],
+                    help="wave counts searched for hanayo")
+    sw.add_argument("--target-microbatches", type=int, default=None)
+    sw.add_argument("-j", "--workers", type=int, default=1,
+                    help="worker processes for uncached cells")
+    sw.add_argument("--cache", default=None,
+                    help="result-cache directory (reused across runs)")
+    sw.add_argument("--csv", default=None, help="write results as CSV")
+    sw.add_argument("--json", default=None, help="write results as JSON")
+    sw.add_argument("--top", type=int, default=None,
+                    help="print only the best N cells")
+    sw.set_defaults(fn=cmd_sweep)
 
     tr = sub.add_parser("train", help="real NumPy pipeline step + verify")
     _add_shape_args(tr)

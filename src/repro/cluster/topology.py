@@ -99,6 +99,15 @@ class Topology:
             return 0.0
         return self.effective_link(a, b).transfer_time(nbytes)
 
+    def links(self) -> list[tuple[int, int, LinkClass]]:
+        """All declared links as sorted ``(low_rank, high_rank, link)``
+        triples — a canonical, order-independent dump used by cache
+        fingerprinting and debugging."""
+        return sorted(
+            (min(a, b), max(a, b), data["link"])
+            for a, b, data in self._graph.edges(data=True)
+        )
+
     def is_connected(self) -> bool:
         return nx.is_connected(self._graph) if self.num_devices > 1 else True
 

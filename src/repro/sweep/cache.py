@@ -1,0 +1,256 @@
+"""Deterministic on-disk result cache for sweep measurements.
+
+Every measurement is keyed by a SHA-256 **content hash** of everything
+that determines its outcome: the scheme, a canonical fingerprint of the
+cluster (device model + every interconnect link), a fingerprint of the
+model spec, the shape ``(P, D, W, B, microbatch size)``, and the
+measurement options.  The hash is computed from a canonical JSON
+serialisation, so it is stable across processes, interpreter restarts
+and ``PYTHONHASHSEED`` values — two hosts sweeping the same grid hit
+the same keys.
+
+Records are one JSON file per key under the cache root.  Writes are
+atomic (temp file + ``os.replace``); unreadable or schema-mismatched
+entries are treated as misses and deleted, so a corrupted cache heals
+itself on the next run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pathlib
+
+from ..cluster.presets import Cluster
+from ..config import PipelineConfig
+from ..models.spec import ModelSpec
+from ..analysis.throughput import ThroughputResult
+
+#: bump when record layout or fingerprint semantics change; old entries
+#: then read as misses instead of deserialising wrongly
+CACHE_VERSION = 1
+
+#: package-relative sources whose behaviour determines a measurement;
+#: their content is hashed into every cache key so editing the cost
+#: model, a schedule generator or the simulator invalidates old entries
+#: automatically instead of serving stale numbers
+_MEASUREMENT_SOURCES = (
+    "config.py",
+    "models",
+    "cluster",
+    "schedules",
+    "actions",
+    "runtime",
+    "analysis/throughput.py",
+)
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over the source of everything that feeds a measurement.
+
+    Computed once per process from the installed package's files, so a
+    durable cache (e.g. ``benchmarks/.sweep_cache``) turns into misses
+    — not silently stale hits — the moment simulator or cost-model
+    code changes.
+    """
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for target in _MEASUREMENT_SOURCES:
+        path = root / target
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for source in files:
+            digest.update(str(source.relative_to(root)).encode())
+            digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+def model_fingerprint(model: ModelSpec) -> dict:
+    """All architecture fields that feed the cost model."""
+    return dataclasses.asdict(model)
+
+
+def cluster_fingerprint(cluster: Cluster) -> dict:
+    """Device model plus the full canonical link list.
+
+    Two clusters with the same name but different topologies (or device
+    memory) must never share cache entries.
+    """
+    return {
+        "name": cluster.name,
+        "gpus_per_node": cluster.gpus_per_node,
+        "num_devices": cluster.num_devices,
+        "device": dataclasses.asdict(cluster.device),
+        "links": [
+            [a, b, link.name, link.bandwidth, link.latency]
+            for a, b, link in cluster.topology.links()
+        ],
+    }
+
+
+def cache_key(
+    scheme: str,
+    cluster: Cluster,
+    model: ModelSpec,
+    *,
+    p: int,
+    d: int,
+    w: int,
+    num_microbatches: int,
+    microbatch_size: int,
+    dp_overlap: float = 0.9,
+    enforce_memory: bool = True,
+    cluster_fp: dict | None = None,
+    model_fp: dict | None = None,
+) -> str:
+    """64-hex-char content hash identifying one measurement.
+
+    ``cluster_fp`` / ``model_fp`` accept precomputed fingerprints so
+    bulk callers (the sweep engine) hash each cluster and model once
+    per run instead of once per grid cell.
+
+    >>> from repro.cluster import make_fc
+    >>> from repro.models import tiny_model
+    >>> shape = dict(p=4, d=1, w=1, num_microbatches=4, microbatch_size=2)
+    >>> k1 = cache_key("gpipe", make_fc(4), tiny_model(), **shape)
+    >>> k2 = cache_key("gpipe", make_fc(4), tiny_model(), **shape)
+    >>> k1 == k2 and len(k1) == 64
+    True
+    >>> k1 != cache_key("dapple", make_fc(4), tiny_model(), **shape)
+    True
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "code": code_fingerprint(),
+        "scheme": scheme,
+        "cluster": cluster_fp if cluster_fp is not None
+        else cluster_fingerprint(cluster),
+        "model": model_fp if model_fp is not None
+        else model_fingerprint(model),
+        "shape": {
+            "p": p, "d": d, "w": w,
+            "num_microbatches": num_microbatches,
+            "microbatch_size": microbatch_size,
+        },
+        "options": {
+            "dp_overlap": dp_overlap,
+            "enforce_memory": enforce_memory,
+        },
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def result_to_record(result: ThroughputResult) -> dict:
+    """Flatten a :class:`ThroughputResult` to a JSON-safe dict."""
+    cfg = result.config
+    return {
+        "scheme": cfg.scheme,
+        "p": cfg.num_devices,
+        "b": cfg.num_microbatches,
+        "w": cfg.num_waves,
+        "d": cfg.data_parallel,
+        "microbatch_size": cfg.microbatch_size,
+        "cluster_name": result.cluster_name,
+        "model_name": result.model_name,
+        "seq_per_s": result.seq_per_s,
+        "bubble_ratio": result.bubble_ratio,
+        "peak_mem_bytes": result.peak_mem_bytes,
+        "iteration_s": result.iteration_s,
+        "oom_device": result.oom_device,
+    }
+
+
+def infeasible_record(error: str) -> dict:
+    """Record for a cell ``measure_throughput`` rejected outright."""
+    return {"infeasible": True, "error": error}
+
+
+def record_to_result(record: dict) -> ThroughputResult | None:
+    """Rebuild a :class:`ThroughputResult`; ``None`` for infeasible cells."""
+    if record.get("infeasible"):
+        return None
+    cfg = PipelineConfig(
+        scheme=record["scheme"],
+        num_devices=record["p"],
+        num_microbatches=record["b"],
+        num_waves=record["w"],
+        data_parallel=record["d"],
+        microbatch_size=record["microbatch_size"],
+    )
+    return ThroughputResult(
+        config=cfg,
+        cluster_name=record["cluster_name"],
+        model_name=record["model_name"],
+        seq_per_s=record["seq_per_s"],
+        bubble_ratio=record["bubble_ratio"],
+        peak_mem_bytes=record["peak_mem_bytes"],
+        iteration_s=record["iteration_s"],
+        oom_device=record["oom_device"],
+    )
+
+
+class ResultCache:
+    """A directory of JSON measurement records, one file per key."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached record for ``key``, or ``None`` on miss.
+
+        A file that cannot be parsed, carries the wrong version, or was
+        stored under a different key is deleted and reported as a miss.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("version") != CACHE_VERSION
+                or entry.get("key") != key
+                or not isinstance(entry.get("record"), dict)):
+            self._discard(path)
+            return None
+        return entry["record"]
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        path = self.path_for(key)
+        tmp = path.with_name(f".tmp-{key}-{os.getpid()}")
+        entry = {"version": CACHE_VERSION, "key": key, "record": record}
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+
+    def _discard(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for path in self.root.glob("*.json"):
+            self._discard(path)
+            n += 1
+        return n
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, entries={len(self)})"

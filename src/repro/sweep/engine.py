@@ -1,0 +1,148 @@
+"""The sweep executor: cache lookups, worker-pool fan-out, assembly.
+
+:func:`run_sweep` takes a declarative :class:`~repro.sweep.spec.SweepSpec`
+and produces a :class:`~repro.sweep.table.SweepTable`:
+
+1. expand the spec to concrete grid cells,
+2. resolve each cell against the on-disk cache (when one is given),
+3. fan the misses out over a ``multiprocessing`` pool (``workers > 1``)
+   or evaluate them inline,
+4. persist fresh results — including *infeasible* verdicts, so re-runs
+   skip the whole grid — and assemble rows in spec order.
+
+Every actual measurement goes through this module's
+``measure_throughput`` global, so tests can wrap it with a call counter
+to prove that a warm cache performs **zero** simulator work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from ..analysis.throughput import measure_throughput
+from ..errors import ConfigError
+from .cache import (
+    ResultCache,
+    cache_key,
+    cluster_fingerprint,
+    infeasible_record,
+    model_fingerprint,
+    record_to_result,
+    result_to_record,
+)
+from .spec import SweepPoint, SweepSpec
+from .table import SweepRow, SweepStats, SweepTable
+
+#: cap on pool size; one process per cell is never useful beyond this
+MAX_WORKERS = 32
+
+
+def _evaluate(job: tuple) -> tuple[int, dict]:
+    """Measure one grid cell; must stay module-level (pool pickling)."""
+    index, point, cluster, model, dp_overlap, enforce_memory = job
+    try:
+        result = measure_throughput(
+            point.scheme, cluster, model,
+            p=point.p, d=point.d, w=point.w,
+            num_microbatches=point.num_microbatches,
+            microbatch_size=point.microbatch_size,
+            dp_overlap=dp_overlap,
+            enforce_memory=enforce_memory,
+        )
+    except ConfigError as exc:
+        return index, infeasible_record(str(exc))
+    return index, result_to_record(result)
+
+
+def point_key(spec: SweepSpec, point: SweepPoint,
+              cluster_fp: dict | None = None,
+              model_fp: dict | None = None) -> str:
+    """Content-hash cache key for one cell of ``spec``."""
+    return cache_key(
+        point.scheme,
+        spec.clusters[point.cluster_index],
+        spec.models[point.model_index],
+        p=point.p, d=point.d, w=point.w,
+        num_microbatches=point.num_microbatches,
+        microbatch_size=point.microbatch_size,
+        dp_overlap=spec.dp_overlap,
+        enforce_memory=spec.enforce_memory,
+        cluster_fp=cluster_fp, model_fp=model_fp,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    cache: ResultCache | None = None,
+    workers: int | None = None,
+) -> SweepTable:
+    """Evaluate a sweep spec, reusing cached cells.
+
+    ``workers=None`` or ``1`` evaluates inline (deterministic, easiest
+    to debug and to instrument); ``workers > 1`` runs misses on a
+    process pool.  Row order is the spec's expansion order either way.
+    """
+    points = spec.expand()
+    stats = SweepStats(total=len(points))
+    records: dict[int, tuple[dict, bool]] = {}
+
+    keys: list[str | None] = [None] * len(points)
+    misses: list[tuple] = []
+    if cache is not None:
+        # hash each distinct cluster/model once, not once per cell
+        cluster_fps = [cluster_fingerprint(c) for c in spec.clusters]
+        model_fps = [model_fingerprint(m) for m in spec.models]
+    for i, point in enumerate(points):
+        if cache is not None:
+            keys[i] = point_key(spec, point,
+                                cluster_fp=cluster_fps[point.cluster_index],
+                                model_fp=model_fps[point.model_index])
+            hit = cache.get(keys[i])
+            if hit is not None:
+                records[i] = (hit, True)
+                stats.cached += 1
+                continue
+        misses.append((
+            i, point,
+            spec.clusters[point.cluster_index],
+            spec.models[point.model_index],
+            spec.dp_overlap, spec.enforce_memory,
+        ))
+
+    if misses:
+        def finish(index: int, record: dict) -> None:
+            # persist immediately so an interrupted sweep keeps every
+            # cell that already finished
+            records[index] = (record, False)
+            if cache is not None:
+                cache.put(keys[index], record)
+
+        if workers is not None and workers > 1:
+            pool_size = min(workers, MAX_WORKERS, len(misses))
+            with multiprocessing.Pool(pool_size) as pool:
+                for index, record in pool.imap_unordered(_evaluate, misses):
+                    finish(index, record)
+        else:
+            for job in misses:
+                finish(*_evaluate(job))
+        stats.computed += len(misses)
+
+    rows: list[SweepRow] = []
+    for i, point in enumerate(points):
+        record, was_cached = records[i]
+        result = record_to_result(record)
+        if result is None:
+            stats.infeasible += 1
+            continue
+        rows.append(SweepRow(
+            scheme=point.scheme,
+            cluster=spec.clusters[point.cluster_index].name,
+            model=spec.models[point.model_index].name,
+            p=point.p, d=point.d, w=point.w,
+            num_microbatches=point.num_microbatches,
+            microbatch_size=point.microbatch_size,
+            total_batch=point.total_batch,
+            result=result,
+            cached=was_cached,
+        ))
+    return SweepTable(rows=rows, stats=stats)

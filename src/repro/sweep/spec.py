@@ -1,0 +1,229 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names a full cartesian grid of throughput
+measurements — schemes × clusters × models × (P, D) layouts × total
+batch sizes, with the wave dimension searched automatically for Hanayo
+— and :meth:`SweepSpec.expand` lowers it to concrete
+:class:`SweepPoint`\\ s, one per ``measure_throughput`` invocation.
+
+The expansion owns the Sec. 5.3 **fairness rule**: every grid cell must
+process exactly the same number of sequences so throughputs are
+comparable.  :func:`split_batch` therefore rejects layouts whose
+data-parallel degree does not divide the total batch, and rebalances
+the micro-batch count to an exact divisor of the per-pipeline batch
+instead of silently dropping remainder sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.presets import Cluster
+from ..config import KNOWN_SCHEMES
+from ..errors import ConfigError
+from ..models.spec import ModelSpec
+
+#: wave counts the paper explores (H-2 / H-4 / H-8 in Fig. 9)
+DEFAULT_WAVES = (1, 2, 4, 8)
+
+#: schemes that run micro-batches in two directions and therefore need
+#: an even micro-batch count
+BIDIRECTIONAL_SCHEMES = ("chimera", "chimera-wave", "gems")
+
+
+def feasible_waves(model: ModelSpec, p: int,
+                   waves: tuple[int, ...] = DEFAULT_WAVES) -> list[int]:
+    """Wave counts with at least one layer per stage.
+
+    >>> from repro.models import bert_64
+    >>> feasible_waves(bert_64(), 8)     # W=8 would need 128 stages
+    [1, 2, 4]
+    """
+    total_layers = model.num_layers + 2  # embedding + head
+    return [w for w in waves if 2 * w * p <= total_layers]
+
+
+def split_batch(total_batch: int, d: int, p: int, scheme: str,
+                target_microbatches: int | None = None) -> tuple[int, int] | None:
+    """(num_microbatches, microbatch_size) for one pipeline shard.
+
+    Enforces the Sec. 5.3 fairness rule: a cell is only valid when its
+    ``D`` pipelines can each process exactly ``total_batch / D``
+    sequences, split into micro-batches with **no remainder** — so
+    every searched cell does identical work and throughputs compare.
+
+    Returns ``None`` when the layout cannot host the batch fairly:
+    ``D`` does not divide the total batch, there are fewer sequences
+    than pipelines, or a bidirectional scheme cannot get an even
+    micro-batch count.
+
+    The micro-batch count ``b`` is the largest divisor of the
+    per-pipeline batch that does not exceed the target (``P`` by
+    default, the paper's ``B = P`` regime), rather than a blunt
+    ``min(per_pipeline, target)`` that could drop sequences:
+
+    >>> split_batch(16, 2, 4, "dapple")      # 8 per pipeline, B = P
+    (4, 2)
+    >>> split_batch(48, 2, 4, "dapple", target_microbatches=16)
+    (12, 2)
+    >>> split_batch(1, 2, 4, "dapple") is None   # fewer seqs than shards
+    True
+    >>> split_batch(10, 4, 4, "dapple") is None  # 4 does not divide 10
+    True
+    >>> split_batch(6, 2, 4, "chimera") is None  # odd per-pipeline batch
+    True
+    >>> split_batch(12, 2, 4, "chimera")         # even split exists
+    (2, 3)
+    """
+    if d < 1 or total_batch < d or total_batch % d:
+        return None
+    per_pipeline = total_batch // d
+    target = target_microbatches if target_microbatches else p
+    need_even = scheme in BIDIRECTIONAL_SCHEMES
+    for b in range(min(per_pipeline, target), 0, -1):
+        if per_pipeline % b:
+            continue
+        if need_even and b % 2:
+            continue
+        return b, per_pipeline // b
+    return None
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One concrete measurement: a cell of the expanded sweep grid.
+
+    ``cluster_index`` / ``model_index`` refer back into the owning
+    spec's tuples, keeping points small and hashable.
+    """
+
+    scheme: str
+    cluster_index: int
+    model_index: int
+    p: int
+    d: int
+    w: int
+    num_microbatches: int
+    microbatch_size: int
+    total_batch: int
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of throughput measurements.
+
+    Attributes
+    ----------
+    schemes:
+        Pipeline schemes to evaluate (see ``repro.config.KNOWN_SCHEMES``).
+    clusters:
+        :class:`~repro.cluster.presets.Cluster` objects to evaluate on.
+    models:
+        :class:`~repro.models.spec.ModelSpec` objects to evaluate.
+    layouts:
+        ``(P, D)`` pairs — pipeline depth × data-parallel width.
+    total_batches:
+        Total sequences per iteration for the whole job; each layout
+        splits a total batch per the Sec. 5.3 fairness rule.
+    waves:
+        Wave counts searched for Hanayo (other schemes run ``W = 1``).
+    target_microbatches:
+        Preferred micro-batch count per pipeline (default: ``P``).
+    dp_overlap / enforce_memory:
+        Forwarded to ``measure_throughput``.
+    skip_oversized:
+        When true (the default), layouts that do not fit a cluster are
+        silently dropped — useful for one spec spanning clusters of
+        different sizes.  When false, :meth:`expand` raises
+        :class:`~repro.errors.ConfigError` instead.
+
+    >>> from repro.cluster import make_fc
+    >>> from repro.models import tiny_model
+    >>> spec = SweepSpec(schemes=("gpipe", "hanayo"),
+    ...                  clusters=(make_fc(4),),
+    ...                  models=(tiny_model(num_layers=16),),
+    ...                  layouts=((4, 1),), total_batches=(8,),
+    ...                  waves=(1, 2))
+    >>> points = spec.expand()
+    >>> [(pt.scheme, pt.w) for pt in points]   # waves searched for Hanayo
+    [('gpipe', 1), ('hanayo', 1), ('hanayo', 2)]
+    >>> points[0].num_microbatches, points[0].microbatch_size
+    (4, 2)
+    """
+
+    schemes: tuple[str, ...]
+    clusters: tuple[Cluster, ...]
+    models: tuple[ModelSpec, ...]
+    layouts: tuple[tuple[int, int], ...]
+    total_batches: tuple[int, ...]
+    waves: tuple[int, ...] = DEFAULT_WAVES
+    target_microbatches: int | None = None
+    dp_overlap: float = 0.9
+    enforce_memory: bool = True
+    skip_oversized: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("schemes", "clusters", "models", "layouts",
+                     "total_batches", "waves"):
+            if not getattr(self, name):
+                raise ConfigError(f"sweep spec has empty {name}")
+        for scheme in self.schemes:
+            if scheme not in KNOWN_SCHEMES:
+                raise ConfigError(
+                    f"unknown scheme {scheme!r}; expected one of {KNOWN_SCHEMES}"
+                )
+        for layout in self.layouts:
+            if (len(layout) != 2 or layout[0] < 1 or layout[1] < 1):
+                raise ConfigError(f"bad layout {layout!r}; want (P, D) >= 1")
+        if not (0.0 <= self.dp_overlap <= 1.0):
+            raise ConfigError("dp_overlap must be in [0, 1]")
+
+    @property
+    def grid_size(self) -> int:
+        """Upper bound on the cell count before feasibility filtering."""
+        return (len(self.schemes) * len(self.clusters) * len(self.models)
+                * len(self.layouts) * len(self.total_batches)
+                * max(len(self.waves), 1))
+
+    def expand(self) -> list[SweepPoint]:
+        """Lower the grid to feasible :class:`SweepPoint` s, in a
+        deterministic order (clusters, models, schemes, batches,
+        layouts, waves — slowest to fastest)."""
+        points: list[SweepPoint] = []
+        for ci, cluster in enumerate(self.clusters):
+            for mi, model in enumerate(self.models):
+                for scheme in self.schemes:
+                    for total_batch in self.total_batches:
+                        for p, d in self.layouts:
+                            if p * d > cluster.num_devices:
+                                if self.skip_oversized:
+                                    continue
+                                raise ConfigError(
+                                    f"layout ({p},{d}) exceeds cluster "
+                                    f"{cluster.name}"
+                                )
+                            shape = split_batch(total_batch, d, p, scheme,
+                                                self.target_microbatches)
+                            if shape is None:
+                                continue
+                            b, mb_size = shape
+                            wave_options = (
+                                feasible_waves(model, p, self.waves)
+                                if scheme == "hanayo" else [1]
+                            )
+                            for w in wave_options:
+                                points.append(SweepPoint(
+                                    scheme=scheme, cluster_index=ci,
+                                    model_index=mi, p=p, d=d, w=w,
+                                    num_microbatches=b,
+                                    microbatch_size=mb_size,
+                                    total_batch=total_batch,
+                                ))
+        return points
+
+    def describe(self) -> str:
+        return (f"sweep[{'/'.join(self.schemes)} on "
+                f"{'/'.join(c.name for c in self.clusters)} x "
+                f"{'/'.join(m.name for m in self.models)}; "
+                f"{len(self.layouts)} layouts, "
+                f"batches {'/'.join(map(str, self.total_batches))}]")

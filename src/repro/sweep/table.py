@@ -1,0 +1,193 @@
+"""Structured sweep results: filtering, best-cell queries, export.
+
+A :class:`SweepTable` is the engine's output — one :class:`SweepRow`
+per feasible grid cell, in deterministic spec-expansion order, plus a
+:class:`SweepStats` accounting of where each result came from (fresh
+computation, cache hit, or infeasible).  Tables render to aligned text,
+CSV and JSON so benches and the CLI share one formatting path.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from ..analysis.report import format_table
+from ..analysis.throughput import ThroughputResult
+from ..errors import ConfigError
+
+#: flat export schema, also the CSV header
+EXPORT_FIELDS = (
+    "scheme", "cluster", "model", "p", "d", "w",
+    "num_microbatches", "microbatch_size", "total_batch",
+    "seq_per_s", "bubble_ratio", "peak_mem_gib", "iteration_s",
+    "oom", "cached",
+)
+
+
+@dataclass
+class SweepStats:
+    """Where the sweep's results came from."""
+
+    total: int = 0        #: grid cells expanded from the spec
+    computed: int = 0     #: fresh ``measure_throughput`` evaluations
+    cached: int = 0       #: cells served from the result cache
+    infeasible: int = 0   #: cells ``measure_throughput`` rejected
+
+    def describe(self) -> str:
+        return (f"{self.total} cells: {self.computed} computed, "
+                f"{self.cached} cached, {self.infeasible} infeasible")
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One measured cell of a sweep grid."""
+
+    scheme: str
+    cluster: str
+    model: str
+    p: int
+    d: int
+    w: int
+    num_microbatches: int
+    microbatch_size: int
+    total_batch: int
+    result: ThroughputResult
+    cached: bool = False
+
+    @property
+    def oom(self) -> bool:
+        return self.result.oom
+
+    @property
+    def throughput(self) -> float:
+        """Sequences/second; 0 for OOM cells so ``max`` never picks them."""
+        return self.result.seq_per_s if self.result.seq_per_s else 0.0
+
+    def to_dict(self) -> dict:
+        peak = self.result.peak_mem_bytes
+        return {
+            "scheme": self.scheme,
+            "cluster": self.cluster,
+            "model": self.model,
+            "p": self.p,
+            "d": self.d,
+            "w": self.w,
+            "num_microbatches": self.num_microbatches,
+            "microbatch_size": self.microbatch_size,
+            "total_batch": self.total_batch,
+            "seq_per_s": self.result.seq_per_s,
+            "bubble_ratio": self.result.bubble_ratio,
+            "peak_mem_gib": None if peak is None else peak / 2**30,
+            "iteration_s": self.result.iteration_s,
+            "oom": self.oom,
+            "cached": self.cached,
+        }
+
+
+@dataclass
+class SweepTable:
+    """Results of one sweep run, in spec-expansion order."""
+
+    rows: list[SweepRow] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # -- queries ---------------------------------------------------------
+
+    def filter(self, **criteria) -> "SweepTable":
+        """Rows whose attributes equal every criterion.
+
+        ``table.filter(scheme="hanayo", p=8)`` keeps Hanayo cells with
+        an 8-deep pipeline; stats are carried over unchanged.
+        """
+        for name in criteria:
+            if name not in SweepRow.__dataclass_fields__:
+                raise ConfigError(f"unknown sweep filter field {name!r}")
+        rows = [r for r in self.rows
+                if all(getattr(r, k) == v for k, v in criteria.items())]
+        return SweepTable(rows=rows, stats=self.stats)
+
+    def best(self, **criteria) -> SweepRow:
+        """Highest-throughput non-OOM row matching ``criteria``."""
+        alive = [r for r in self.filter(**criteria).rows if not r.oom]
+        if not alive:
+            raise ConfigError(
+                f"no live sweep cell matches {criteria!r} "
+                "(every candidate OOMs or none exists)"
+            )
+        return max(alive, key=lambda r: r.throughput)
+
+    def best_per(self, attr: str) -> dict:
+        """Best live row per distinct value of ``attr``.
+
+        ``table.best_per("scheme")`` maps each scheme to its winning
+        cell — the Fig. 9–12 reduction.  Groups with no live cell are
+        omitted.
+        """
+        if attr not in SweepRow.__dataclass_fields__:
+            raise ConfigError(f"unknown sweep field {attr!r}")
+        out: dict = {}
+        for row in self.rows:
+            if row.oom:
+                continue
+            key = getattr(row, attr)
+            if key not in out or row.throughput > out[key].throughput:
+                out[key] = row
+        return out
+
+    def sorted_rows(self) -> list[SweepRow]:
+        """Rows by descending throughput, OOM cells last."""
+        return sorted(self.rows, key=lambda r: r.throughput, reverse=True)
+
+    # -- export ----------------------------------------------------------
+
+    def to_csv(self, path: str | pathlib.Path | None = None) -> str:
+        """Render as CSV; optionally also write to ``path``."""
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=EXPORT_FIELDS)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row.to_dict())
+        text = buf.getvalue()
+        if path is not None:
+            pathlib.Path(path).write_text(text)
+        return text
+
+    def to_json(self, path: str | pathlib.Path | None = None) -> str:
+        """Render rows + stats as JSON; optionally write to ``path``."""
+        payload = {
+            "stats": vars(self.stats),
+            "rows": [row.to_dict() for row in self.rows],
+        }
+        text = json.dumps(payload, indent=1, sort_keys=True)
+        if path is not None:
+            pathlib.Path(path).write_text(text)
+        return text
+
+    def format(self, title: str | None = None,
+               top: int | None = None) -> str:
+        """Aligned text table, best cells first."""
+        rows = self.sorted_rows()
+        if top is not None:
+            rows = rows[:top]
+        body = [
+            [r.scheme, r.cluster, r.model, r.p, r.d, r.w,
+             r.num_microbatches, r.microbatch_size,
+             None if r.oom else f"{r.throughput:.2f}",
+             "*" if r.cached else ""]
+            for r in rows
+        ]
+        return format_table(
+            ["scheme", "cluster", "model", "P", "D", "W", "B", "mb",
+             "seq/s", "hit"],
+            body, title=title,
+        )

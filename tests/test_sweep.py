@@ -1,0 +1,315 @@
+"""The parallel cached sweep engine (repro.sweep)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.sweep.engine as engine_mod
+from repro.analysis import measure_throughput, search_grid
+from repro.cli import main as cli_main
+from repro.cluster import make_fc, make_tacc
+from repro.errors import ConfigError
+from repro.models import bert_64, tiny_model
+from repro.sweep import (
+    ResultCache,
+    SweepSpec,
+    cache_key,
+    run_sweep,
+    split_batch,
+)
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    base = dict(
+        schemes=("gpipe", "dapple", "hanayo"),
+        clusters=(make_fc(4),),
+        models=(tiny_model(num_layers=16),),
+        layouts=((4, 1), (2, 2)),
+        total_batches=(8,),
+        waves=(1, 2),
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+@pytest.fixture
+def counter(monkeypatch):
+    """Wrap the engine's measure_throughput with a call counter."""
+    calls = []
+    real = engine_mod.measure_throughput
+
+    def counted(*args, **kwargs):
+        calls.append((args, kwargs))
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(engine_mod, "measure_throughput", counted)
+    return calls
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = tiny_spec()
+        first = run_sweep(spec, cache=cache)
+        assert first.stats.computed == first.stats.total > 0
+        assert first.stats.cached == 0
+        assert len(cache) == first.stats.total
+
+        second = run_sweep(spec, cache=cache)
+        assert second.stats.computed == 0
+        assert second.stats.cached == second.stats.total
+        assert [r.to_dict() | {"cached": False} for r in second.rows] == \
+               [r.to_dict() | {"cached": False} for r in first.rows]
+        assert all(r.cached for r in second.rows)
+
+    def test_warm_cache_makes_zero_measure_calls(self, tmp_path, counter):
+        cache = ResultCache(tmp_path / "c")
+        spec = tiny_spec()
+        run_sweep(spec, cache=cache)
+        assert len(counter) == len(spec.expand())
+        counter.clear()
+        table = run_sweep(spec, cache=cache)
+        assert counter == []            # every cell served from disk
+        assert table.stats.computed == 0
+
+    def test_infeasible_cells_cached_too(self, tmp_path, counter):
+        # chimera needs an even device count, so a (3, 1) layout passes
+        # expansion but is rejected by the schedule builder — the
+        # infeasible verdict must still be cached.
+        cache = ResultCache(tmp_path / "c")
+        spec = tiny_spec(schemes=("chimera",), waves=(1,),
+                         layouts=((3, 1),))
+        first = run_sweep(spec, cache=cache)
+        assert first.stats.infeasible == first.stats.total == 1
+        assert len(first.rows) == 0
+        counter.clear()
+        second = run_sweep(spec, cache=cache)
+        assert counter == []
+        assert second.stats.cached == 1 and second.stats.computed == 0
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = tiny_spec(schemes=("gpipe",), waves=(1,))
+        first = run_sweep(spec, cache=cache)
+        files = sorted((tmp_path / "c").glob("*.json"))
+        assert len(files) == first.stats.total
+
+        # three corruption modes: garbage bytes, valid-JSON-wrong-schema,
+        # and an entry stored under a mismatched key
+        files[0].write_text("{ not json !!!")
+        files[1].write_text(json.dumps({"version": 999, "record": {}}))
+        second = run_sweep(spec, cache=cache)
+        assert second.stats.computed == 2
+        assert second.stats.cached == first.stats.total - 2
+        # the corrupt files were replaced with valid entries
+        third = run_sweep(spec, cache=cache)
+        assert third.stats.computed == 0
+        for path in files:
+            entry = json.loads(path.read_text())
+            assert entry["key"] == path.stem
+
+    def test_key_stability_across_processes(self, tmp_path):
+        shape = dict(p=4, d=1, w=2, num_microbatches=4, microbatch_size=2)
+        local = cache_key("hanayo", make_fc(4), tiny_model(), **shape)
+        script = (
+            "from repro.sweep import cache_key\n"
+            "from repro.cluster import make_fc\n"
+            "from repro.models import tiny_model\n"
+            "print(cache_key('hanayo', make_fc(4), tiny_model(), p=4, d=1,"
+            " w=2, num_microbatches=4, microbatch_size=2))\n"
+        )
+        keys = []
+        for seed in ("0", "1", "31337"):
+            env = os.environ | {"PYTHONHASHSEED": seed}
+            out = subprocess.run(
+                [sys.executable, "-c", script], env=env, text=True,
+                capture_output=True, check=True,
+            )
+            keys.append(out.stdout.strip())
+        assert set(keys) == {local}
+
+    def test_key_includes_code_fingerprint(self, monkeypatch):
+        """Editing measurement code must invalidate cached cells."""
+        import repro.sweep.cache as cache_mod
+        shape = dict(p=4, d=1, w=1, num_microbatches=4, microbatch_size=2)
+        base = cache_key("gpipe", make_fc(4), tiny_model(), **shape)
+        monkeypatch.setattr(cache_mod, "code_fingerprint",
+                            lambda: "different-simulator-code")
+        assert cache_key("gpipe", make_fc(4), tiny_model(), **shape) != base
+
+    def test_interrupted_sweep_keeps_finished_cells(self, tmp_path,
+                                                    monkeypatch):
+        """Cells are persisted as they finish, not at the end."""
+        import repro.sweep.engine as em
+        cache = ResultCache(tmp_path / "c")
+        spec = tiny_spec(schemes=("gpipe", "dapple"), waves=(1,),
+                         layouts=((4, 1),))
+        real = em.measure_throughput
+        calls = []
+
+        def explode_on_second(*args, **kwargs):
+            calls.append(args)
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(em, "measure_throughput", explode_on_second)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(spec, cache=cache)
+        assert len(cache) == 1          # first cell survived the abort
+        monkeypatch.setattr(em, "measure_throughput", real)
+        table = run_sweep(spec, cache=cache)
+        assert table.stats.cached == 1 and table.stats.computed == 1
+
+    def test_key_sensitivity(self):
+        shape = dict(p=4, d=1, w=1, num_microbatches=4, microbatch_size=2)
+        base = cache_key("gpipe", make_fc(4), tiny_model(), **shape)
+        assert base != cache_key("dapple", make_fc(4), tiny_model(), **shape)
+        assert base != cache_key("gpipe", make_fc(8), tiny_model(), **shape)
+        assert base != cache_key("gpipe", make_tacc(4), tiny_model(), **shape)
+        assert base != cache_key("gpipe", make_fc(4),
+                                 tiny_model(hidden=64), **shape)
+        assert base != cache_key("gpipe", make_fc(4), tiny_model(),
+                                 **(shape | {"microbatch_size": 4}))
+        assert base != cache_key("gpipe", make_fc(4), tiny_model(),
+                                 **shape, dp_overlap=0.5)
+
+
+class TestEngine:
+    def test_parallel_matches_serial(self, tmp_path):
+        spec = tiny_spec()
+        serial = run_sweep(spec)
+        parallel = run_sweep(spec, workers=2)
+        assert [r.to_dict() for r in serial.rows] == \
+               [r.to_dict() for r in parallel.rows]
+
+    def test_parallel_populates_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = tiny_spec()
+        run_sweep(spec, cache=cache, workers=2)
+        warm = run_sweep(spec, cache=cache, workers=2)
+        assert warm.stats.computed == 0
+
+    def test_parity_with_direct_measurement(self):
+        """Engine rows must equal direct measure_throughput calls."""
+        cluster, model = make_fc(4), tiny_model(num_layers=16)
+        cells = search_grid("hanayo", cluster, model,
+                            layouts=((4, 1), (2, 2)), total_batch=8,
+                            waves=(1, 2))
+        assert cells
+        for cell in cells:
+            shape = split_batch(8, cell.d, cell.p, "hanayo")
+            direct = measure_throughput(
+                "hanayo", cluster, model, p=cell.p, d=cell.d, w=cell.w,
+                num_microbatches=shape[0], microbatch_size=shape[1],
+            )
+            assert direct.seq_per_s == pytest.approx(cell.result.seq_per_s)
+            assert direct.bubble_ratio == pytest.approx(
+                cell.result.bubble_ratio)
+            assert direct.peak_mem_bytes == cell.result.peak_mem_bytes
+
+    def test_search_grid_oversized_layout_raises(self):
+        with pytest.raises(ConfigError, match="exceeds"):
+            search_grid("gpipe", make_fc(4), tiny_model(),
+                        layouts=((4, 2),), total_batch=8)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError, match="empty"):
+            tiny_spec(schemes=())
+        with pytest.raises(ConfigError, match="unknown scheme"):
+            tiny_spec(schemes=("warp-drive",))
+        with pytest.raises(ConfigError, match="layout"):
+            tiny_spec(layouts=((0, 1),))
+        with pytest.raises(ConfigError, match="dp_overlap"):
+            tiny_spec(dp_overlap=1.5)
+
+
+class TestTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_sweep(tiny_spec())
+
+    def test_filter_and_best(self, table):
+        hanayo = table.filter(scheme="hanayo")
+        assert hanayo.rows and all(r.scheme == "hanayo" for r in hanayo)
+        best = table.best(scheme="hanayo")
+        assert best.throughput == max(r.throughput for r in hanayo)
+        with pytest.raises(ConfigError, match="unknown sweep filter"):
+            table.filter(nonsense=1)
+        with pytest.raises(ConfigError, match="no live sweep cell"):
+            table.best(p=64)
+
+    def test_best_per_scheme(self, table):
+        winners = table.best_per("scheme")
+        assert set(winners) == {"gpipe", "dapple", "hanayo"}
+        for scheme, row in winners.items():
+            assert row.throughput == table.best(scheme=scheme).throughput
+
+    def test_csv_roundtrip(self, table, tmp_path):
+        import csv as csv_mod
+        path = tmp_path / "sweep.csv"
+        table.to_csv(path)
+        with open(path) as fh:
+            rows = list(csv_mod.DictReader(fh))
+        assert len(rows) == len(table.rows)
+        assert float(rows[0]["seq_per_s"]) == pytest.approx(
+            table.rows[0].result.seq_per_s)
+
+    def test_json_roundtrip(self, table, tmp_path):
+        path = tmp_path / "sweep.json"
+        table.to_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["stats"]["total"] == table.stats.total
+        assert len(payload["rows"]) == len(table.rows)
+
+    def test_format_marks_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = tiny_spec(schemes=("gpipe",), waves=(1,))
+        run_sweep(spec, cache=cache)
+        warm = run_sweep(spec, cache=cache)
+        text = warm.format(title="warm")
+        assert "warm" in text and "*" in text
+
+
+class TestCLI:
+    def run_cli(self, capsys, *extra) -> str:
+        rc = cli_main([
+            "sweep", "--clusters", "FC", "--model", "tiny",
+            "-n", "4", "--batch", "8", "--layouts", "4x1,2x2",
+            "--schemes", "gpipe", "dapple", "hanayo", *extra,
+        ])
+        assert rc == 0
+        return capsys.readouterr().out
+
+    def test_parallel_multi_scheme_grid(self, capsys, tmp_path):
+        out = self.run_cli(capsys, "--cache", str(tmp_path / "c"),
+                           "-j", "2", "--csv", str(tmp_path / "s.csv"))
+        assert "gpipe" in out and "dapple" in out and "hanayo" in out
+        assert "0 cached" in out
+        assert (tmp_path / "s.csv").exists()
+
+    def test_second_invocation_zero_measure_calls(self, capsys, tmp_path,
+                                                  counter):
+        """Acceptance: warm re-run of `repro sweep` does no simulation."""
+        self.run_cli(capsys, "--cache", str(tmp_path / "c"))
+        assert len(counter) > 0
+        counter.clear()
+        out = self.run_cli(capsys, "--cache", str(tmp_path / "c"))
+        assert counter == []
+        assert "0 computed" in out
+
+    def test_bad_layouts_rejected(self, capsys):
+        rc = cli_main(["sweep", "--layouts", "8by1"])
+        assert rc == 2
+        assert "bad layout" in capsys.readouterr().err
+
+    def test_oversized_explicit_layout_errors(self, capsys):
+        rc = cli_main(["sweep", "--clusters", "FC", "--model", "tiny",
+                       "-n", "4", "--batch", "8", "--layouts", "8x1"])
+        assert rc == 2
+        assert "exceeds" in capsys.readouterr().err

@@ -87,9 +87,30 @@ class TestSearch:
         assert split_batch(16, 2, 4, "dapple") == (4, 2)  # B defaults to P
         assert split_batch(32, 1, 4, "dapple", target_microbatches=8) == (8, 4)
         assert split_batch(1, 2, 4, "dapple") is None
-        # bidirectional rounds down to even
-        assert split_batch(6, 2, 4, "chimera") == (2, 1)
+        # fairness: D must divide the total batch exactly
+        assert split_batch(10, 4, 4, "dapple") is None
+        # fairness: b rebalances to a divisor instead of dropping work
+        assert split_batch(48, 2, 4, "dapple", target_microbatches=16) == (12, 2)
+        # bidirectional needs an even micro-batch count; an odd
+        # per-pipeline batch has no fair even split and is rejected
+        assert split_batch(6, 2, 4, "chimera") is None
+        assert split_batch(12, 2, 4, "chimera") == (2, 3)
         assert split_batch(1, 1, 4, "chimera") is None
+
+    def test_split_batch_never_drops_work(self):
+        """Every accepted cell processes exactly total_batch sequences."""
+        from repro.analysis.search import split_batch
+        for scheme in ("dapple", "chimera"):
+            for total in range(1, 65):
+                for d in (1, 2, 3, 4):
+                    for target in (None, 8, 16):
+                        shape = split_batch(total, d, 4, scheme, target)
+                        if shape is None:
+                            continue
+                        b, mb = shape
+                        assert b * mb * d == total, (scheme, total, d, target)
+                        if scheme == "chimera":
+                            assert b % 2 == 0
 
     def test_best_config_skips_oom(self):
         cluster = make_tacc(8)
