@@ -2,9 +2,15 @@
 
 The runtime's look-ahead posts the next receive before the current
 compute slice so transport overlaps computation.  We ablate it in the
-discrete-event simulator: with prefetch off, every cross-device tensor
+event-driven simulator: with prefetch off, every cross-device tensor
 blocks the receiver.  The win must grow with the communication cost and
 with the wave count (more messages to hide).
+
+The event core accounts recv wait in **both** modes (``recv_busy``):
+blocking runs charge each transfer's full duration to the receiving
+device; prefetched runs charge only the residual stalls the overlap
+could not hide.  The table reads those two numbers directly instead of
+special-casing the prefetch mode.
 """
 
 from __future__ import annotations
@@ -17,13 +23,13 @@ from repro.schedules import build_schedule
 from _helpers import gap, write_result
 
 
-def makespan(scheme: str, w: int, t_c: float, prefetch: bool) -> float:
+def run_sim(scheme: str, w: int, t_c: float, prefetch: bool):
     p = b = 8
     cfg = PipelineConfig(scheme=scheme, num_devices=p, num_microbatches=b,
                          num_waves=w)
     sched = build_schedule(cfg, CostConfig(t_c=t_c))
     costs = AbstractCosts(CostConfig(t_c=t_c), p, sched.num_stages)
-    return simulate(sched, costs, RunConfig(prefetch=prefetch)).makespan
+    return simulate(sched, costs, RunConfig(prefetch=prefetch))
 
 
 def compute():
@@ -31,27 +37,38 @@ def compute():
     for scheme, w in [("dapple", 1), ("hanayo", 1), ("hanayo", 2),
                       ("hanayo", 4)]:
         for t_c in (0.05, 0.2, 0.5):
-            on = makespan(scheme, w, t_c, True)
-            off = makespan(scheme, w, t_c, False)
-            out[(scheme, w, t_c)] = (on, off)
+            on = run_sim(scheme, w, t_c, True)
+            off = run_sim(scheme, w, t_c, False)
+            out[(scheme, w, t_c)] = (
+                on.makespan, off.makespan,
+                sum(on.recv_busy.values()), sum(off.recv_busy.values()),
+            )
     return out
 
 
 def test_ablation_prefetch(benchmark):
     data = benchmark.pedantic(compute, rounds=1, iterations=1)
     rows = []
-    for (scheme, w, t_c), (on, off) in sorted(data.items()):
+    for (scheme, w, t_c), (on, off, wait_on, wait_off) in sorted(data.items()):
         label = scheme + (f"(w={w})" if scheme == "hanayo" else "")
         rows.append([label, t_c, f"{on:.2f}", f"{off:.2f}",
-                     f"{gap(off, on):+.1f}%"])
+                     f"{gap(off, on):+.1f}%",
+                     f"{wait_on:.2f}", f"{wait_off:.2f}"])
     write_result("ablation_prefetch", format_table(
         ["schedule", "t_c", "makespan (prefetch)", "makespan (blocking)",
-         "blocking penalty"],
+         "blocking penalty", "recv wait (prefetch)", "recv wait (blocking)"],
         rows, title="Ablation — prefetch / async communication (P=B=8)",
     ))
 
-    for (scheme, w, t_c), (on, off) in data.items():
+    for (scheme, w, t_c), (on, off, wait_on, wait_off) in data.items():
         assert on <= off + 1e-9
+        # recv wait is accounted in both modes, never silently empty
+        # while communication costs anything
+        assert wait_off > 0
+        assert wait_on >= 0
+        # blocking mode charges every transfer in full; the overlap can
+        # only reduce what the device actually waits for
+        assert wait_on <= wait_off + 1e-9
     # the penalty grows with t_c...
     for scheme, w in [("hanayo", 2)]:
         penalties = [

@@ -77,8 +77,7 @@ def main() -> None:
     # The runtime executes *any* valid schedule with exact gradients.
     spec = tiny_model(num_layers=8, hidden=16, heads=2, seq_len=6, vocab=32)
     trainer = PipelineTrainer(spec, cfg, seed=1)
-    trainer.schedule = custom
-    trainer.actions = compile_schedule(custom, add_step=False)
+    trainer.use_schedule(custom)  # recompiles the program IR
     inputs, targets = make_batch(spec, b, seed=3)
     result = trainer.train_step(inputs, targets)
     ref = sequential_step(spec, custom.num_stages, inputs, targets, seed=1)

@@ -8,6 +8,7 @@ from .compiler import (
     hoist_recvs,
 )
 from .interpreter import Executor, Interpreter
+from .program import Dependency, Program, compile_program, compute_key
 from .ops import (
     Action,
     BatchedP2P,
@@ -28,10 +29,12 @@ __all__ = [
     "CommKind",
     "ComputeBackward",
     "ComputeForward",
+    "Dependency",
     "Executor",
     "Flush",
     "Interpreter",
     "OptimizerStep",
+    "Program",
     "Recv",
     "Send",
     "Tag",
@@ -39,7 +42,9 @@ __all__ = [
     "check_deadlock_free",
     "check_matching",
     "comm_actions",
+    "compile_program",
     "compile_schedule",
+    "compute_key",
     "count_messages",
     "hoist_recvs",
     "validate_actions",

@@ -59,6 +59,9 @@ class Interpreter:
         self.executor = executor
         self._pending: list[tuple[int, Tag]] = []
         self.executed = 0
+        #: executed actions in order — the worker-side witness the
+        #: program-parity suite compares against the simulator's order
+        self.trace: list[Action] = []
 
     def _drain_pending(self) -> None:
         while self._pending:
@@ -103,4 +106,5 @@ class Interpreter:
             ex.optimizer_step()
         else:
             raise EngineError(f"unknown action {act!r}")
+        self.trace.append(act)
         self.executed += 1

@@ -1,0 +1,216 @@
+"""The compiled execution IR: one :class:`Program`, every consumer.
+
+The paper's central runtime claim (Sec. 4.1) is that the
+scheduler-generated action list fully determines pipeline behavior.
+This module makes that literal for the whole library: a ``Schedule`` is
+lowered **once** into a :class:`Program` — per-worker action lists plus
+the dataflow facts every backend needs — and both executions consume
+it:
+
+* the event-driven cost simulator (:mod:`repro.runtime.events`), which
+  times the program against a :class:`~repro.runtime.costs.CostOracle`;
+* the real NumPy engine (:mod:`repro.engine`), whose interpreter walks
+  the same lists over thread workers and P2P channels.
+
+Neither consumer re-derives communication from the schedule, so the
+prefetch and batched-P2P semantics the benchmarks measure are — by
+construction — exactly what the engine executes.
+
+Beyond the raw lists, compilation grows two annotations:
+
+* **Dependency edges** (:class:`Dependency`): for every compute, the
+  producing computes it waits on, each resolved to a device and —
+  when the tensor crosses devices — the wire :class:`Tag` a ``Recv``
+  delivers.  The simulator times the program from these edges alone.
+* **Per-action tensor sizes**: ``tensor_bytes`` maps every in-flight
+  tag to its payload size, so trace exporters and contention models
+  know what each message weighs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ValidationError
+from ..schedules.base import Schedule
+from ..types import OpKind, ScheduleOp
+from .compiler import compile_schedule
+from .ops import Action, BatchedP2P, CommKind, Recv, Send, Tag
+
+#: Identity of one compute: ``(kind, microbatch, stage)``.
+ComputeKey = tuple  # tuple[OpKind, int, int]
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """One dataflow input of a compute action.
+
+    ``producer`` is the compute that makes the tensor, ``src`` the
+    device it runs on.  ``tag`` is the wire identity when the tensor
+    crosses devices (a matching ``Recv`` exists in the consumer's
+    action list); ``None`` marks a local hand-off with no comm action.
+    """
+
+    producer: ComputeKey
+    src: int
+    tag: Tag | None = None
+
+    @property
+    def remote(self) -> bool:
+        return self.tag is not None
+
+
+@dataclass
+class Program:
+    """Per-worker action lists plus the dataflow facts of one iteration.
+
+    The single execution IR: ``actions[d]`` is worker ``d``'s program
+    (order is semantics — reordering changes the algorithm under test),
+    ``ops``/``deps`` carry the compute metadata the simulator times,
+    and ``tensor_bytes`` sizes every in-flight tensor.
+    """
+
+    name: str
+    num_devices: int
+    num_stages: int
+    num_microbatches: int
+    prefetch: bool
+    batch_cross_comm: bool
+    actions: dict[int, list[Action]]
+    #: compute key -> originating ScheduleOp (device/chunk/replica kept
+    #: so timelines, memory tracking and viz stay placement-aware)
+    ops: dict[ComputeKey, ScheduleOp] = field(default_factory=dict)
+    #: compute key -> dataflow inputs
+    deps: dict[ComputeKey, tuple[Dependency, ...]] = field(default_factory=dict)
+    #: wire tag -> payload bytes
+    tensor_bytes: dict[Tag, float] = field(default_factory=dict)
+
+    # -- shape -----------------------------------------------------------
+
+    def device_actions(self, device: int) -> list[Action]:
+        return list(self.actions.get(device, ()))
+
+    def action_count(self) -> int:
+        return sum(len(acts) for acts in self.actions.values())
+
+    def compute_count(self) -> int:
+        return len(self.ops)
+
+    def message_count(self) -> int:
+        """Cross-device messages (sends, batched groups expanded)."""
+        total = 0
+        for acts in self.actions.values():
+            for act in acts:
+                if isinstance(act, Send):
+                    total += 1
+                elif isinstance(act, BatchedP2P):
+                    total += len(act.sends)
+        return total
+
+    def op_for(self, action: Action) -> ScheduleOp:
+        """The ScheduleOp behind a compute action."""
+        key = compute_key(action)
+        if key is None:
+            raise ValidationError(f"{action} is not a compute action")
+        return self.ops[key]
+
+    def validate(self, rendezvous: bool = False) -> None:
+        """Static matching + deadlock-freedom over the action lists."""
+        from .validate import validate_actions
+
+        validate_actions(self.actions, rendezvous=rendezvous)
+
+    def describe(self) -> str:
+        return (f"program[{self.name}]: P={self.num_devices} "
+                f"S={self.num_stages} B={self.num_microbatches} "
+                f"actions={self.action_count()} "
+                f"messages={self.message_count()}")
+
+
+def compute_key(action: Action) -> ComputeKey | None:
+    """``(kind, microbatch, stage)`` for a compute action, else ``None``."""
+    from .ops import ComputeBackward, ComputeForward
+
+    if isinstance(action, ComputeForward):
+        return (OpKind.FORWARD, action.microbatch, action.stage)
+    if isinstance(action, ComputeBackward):
+        return (OpKind.BACKWARD, action.microbatch, action.stage)
+    return None
+
+
+def _dep_tag(dep: ComputeKey) -> Tag:
+    """Wire identity of the tensor a dependency's producer emits."""
+    kind, microbatch, stage = dep
+    comm = CommKind.ACTIVATION if kind is OpKind.FORWARD else CommKind.GRADIENT
+    return Tag(comm, microbatch, stage)
+
+
+def compile_program(
+    schedule: Schedule,
+    prefetch: bool = True,
+    batch_cross_comm: bool = True,
+    add_step: bool = False,
+    boundary_bytes: float | Callable[[Tag], float] = 1.0,
+) -> Program:
+    """Lower ``schedule`` to the single execution IR.
+
+    ``boundary_bytes`` sizes every in-flight tensor — a flat float for
+    abstract-cost runs, or a callable ``Tag -> bytes`` when stage
+    boundaries differ.  ``add_step`` appends the ``Flush`` +
+    ``OptimizerStep`` tail (off by default: both consumers charge the
+    step explicitly).
+    """
+    lists = compile_schedule(
+        schedule, prefetch=prefetch, batch_cross_comm=batch_cross_comm,
+        add_step=add_step,
+    )
+
+    ops: dict[ComputeKey, ScheduleOp] = {}
+    for op in schedule.all_ops():
+        key = (op.kind, op.microbatch, op.stage)
+        if key in ops:
+            raise ValidationError(
+                f"{schedule.name}: duplicate compute {op} in schedule"
+            )
+        ops[key] = op
+
+    deps: dict[ComputeKey, tuple[Dependency, ...]] = {}
+    for key, op in ops.items():
+        edges = []
+        for dep in schedule.dependencies(op):
+            try:
+                producer = ops[dep]
+            except KeyError:
+                raise ValidationError(
+                    f"{schedule.name}: {op} depends on missing compute "
+                    f"{dep[0].short}(m{dep[1]},s{dep[2]})"
+                ) from None
+            tag = _dep_tag(dep) if producer.device != op.device else None
+            edges.append(Dependency(producer=dep, src=producer.device,
+                                    tag=tag))
+        deps[key] = tuple(edges)
+
+    tensor_bytes: dict[Tag, float] = {}
+    size = boundary_bytes if callable(boundary_bytes) else (
+        lambda _tag, _b=boundary_bytes: _b
+    )
+    for acts in lists.values():
+        for act in acts:
+            sends = (act.sends if isinstance(act, BatchedP2P)
+                     else (act,) if isinstance(act, Send) else ())
+            for send in sends:
+                tensor_bytes[send.tag] = float(size(send.tag))
+
+    return Program(
+        name=schedule.name,
+        num_devices=schedule.num_devices,
+        num_stages=schedule.num_stages,
+        num_microbatches=schedule.num_microbatches,
+        prefetch=prefetch,
+        batch_cross_comm=batch_cross_comm,
+        actions=lists,
+        ops=ops,
+        deps=deps,
+        tensor_bytes=tensor_bytes,
+    )

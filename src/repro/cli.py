@@ -31,7 +31,7 @@ def _add_shape_args(p: argparse.ArgumentParser) -> None:
                    help="abstract P2P cost (T_F units)")
 
 
-def _build(args) -> tuple:
+def _build(args, run=None) -> tuple:
     from .schedules import build_schedule
     cfg = PipelineConfig(
         scheme=args.scheme, num_devices=args.devices,
@@ -40,7 +40,7 @@ def _build(args) -> tuple:
     costs = CostConfig(t_c=args.t_c)
     sched = build_schedule(cfg, costs)
     oracle = AbstractCosts(costs, cfg.num_devices, sched.num_stages)
-    return cfg, sched, simulate(sched, oracle)
+    return cfg, sched, simulate(sched, oracle, run)
 
 
 def cmd_gallery(args) -> int:
@@ -70,11 +70,46 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    from .viz.trace import write_chrome_trace
-    _, sched, res = _build(args)
-    write_chrome_trace(res.timeline, args.output)
-    print(f"wrote {args.output} "
-          f"({sum(len(s) for s in res.timeline.spans.values())} spans); "
+    from .config import RunConfig
+    from .viz.trace import write_sim_trace
+
+    run = RunConfig(prefetch=not args.no_prefetch,
+                    contention=args.contention)
+    if args.cluster:
+        # Concrete triple: scheme on a modeled cluster running a model.
+        # Comm time comes from the cluster topology, so the abstract
+        # --t-c knob does not apply (mirrors `repro advise`/`sweep`).
+        if args.t_c:
+            print("note: --t-c is ignored with --cluster "
+                  "(topology provides transfer times)", file=sys.stderr)
+        from .cluster import CommModel, get_cluster
+        from .models import bert_64, gpt_128, stage_costs, tiny_model
+        from .runtime import ConcreteCosts
+        from .schedules import build_schedule
+
+        model = {"bert": bert_64, "gpt": gpt_128,
+                 "tiny": tiny_model}[args.model]()
+        cluster = get_cluster(args.cluster, args.devices)
+        cfg = PipelineConfig(
+            scheme=args.scheme, num_devices=args.devices,
+            num_microbatches=args.microbatches, num_waves=args.waves,
+        )
+        sched = build_schedule(cfg)
+        oracle = ConcreteCosts(
+            stage_costs(model, sched.num_stages, cluster.device),
+            CommModel.from_cluster(cluster),
+        )
+        res = simulate(sched, oracle, run)
+        unit = 1e6  # concrete costs are in seconds
+        what = f"{args.scheme}/{cluster.name}/{model.name}"
+    else:
+        _, sched, res = _build(args, run)
+        unit = 1000.0
+        what = f"{args.scheme} (abstract costs)"
+    write_sim_trace(res, args.output, time_unit_us=unit)
+    spans = sum(len(s) for s in res.timeline.spans.values())
+    print(f"wrote {args.output} for {what} "
+          f"({spans} compute spans, {len(res.comm)} transfers); "
           "open it at https://ui.perfetto.dev")
     return 0
 
@@ -199,6 +234,16 @@ def make_parser() -> argparse.ArgumentParser:
     t = sub.add_parser("trace", help="export a Chrome/Perfetto trace")
     _add_shape_args(t)
     t.add_argument("-o", "--output", default="pipeline_trace.json")
+    t.add_argument("--cluster", default=None,
+                   choices=["PC", "FC", "TACC", "TC"],
+                   help="simulate on a modeled cluster (concrete costs)")
+    t.add_argument("--model", default="bert",
+                   choices=["bert", "gpt", "tiny"],
+                   help="model for --cluster runs")
+    t.add_argument("--no-prefetch", action="store_true",
+                   help="blocking receives (ablate Sec. 4.2 overlap)")
+    t.add_argument("--contention", action="store_true",
+                   help="serialize transfers sharing a device pair")
     t.set_defaults(fn=cmd_trace)
 
     a = sub.add_parser("advise", help="configuration search")

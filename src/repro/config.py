@@ -152,11 +152,17 @@ class CostConfig:
 
 @dataclass(frozen=True)
 class RunConfig:
-    """Options controlling simulation fidelity."""
+    """Options controlling simulation fidelity.
+
+    ``contention`` serializes transfers sharing a device pair on one
+    wire (NCCL-style); off by default so abstract-cost experiments keep
+    the paper's uncontended ``T_C`` model.
+    """
 
     prefetch: bool = True           # overlap recv with previous compute
     batch_cross_comm: bool = True   # batch opposing sends at wave turns
     track_memory: bool = True
+    contention: bool = False        # one wire per device pair
     iterations: int = 1             # pipeline iterations to simulate
 
     def __post_init__(self) -> None:

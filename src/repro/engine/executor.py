@@ -1,9 +1,19 @@
-"""The NumPy executor: binds action lists to real stage modules.
+"""The NumPy executor: binds a compiled program to real stage modules.
 
 One :class:`EngineExecutor` per worker thread.  It owns the device's
-model chunks, routes boundary tensors (locally or through the
-:class:`~repro.engine.channels.PeerNetwork`), evaluates the loss on the
-final stage, and seeds the backward pass.
+model chunks, evaluates the loss on the final stage, and seeds the
+backward pass.  It consumes the :class:`~repro.actions.Program` IR
+only — no schedule walking, no placement lookups:
+
+Every boundary tensor lives in one buffer keyed by its wire
+:class:`~repro.actions.ops.Tag`.  The tag of a compute's input is pure
+IR arithmetic — the forward of stage ``s`` consumes
+``act(m, s-1)``, the backward consumes ``grad(m, s+1)`` — and *how*
+the tensor got there is decided entirely by the compiled action list:
+a local producer stored it, or a ``Recv`` fetched it from the
+:class:`~repro.engine.channels.PeerNetwork`.  Routing is therefore a
+property of the program, never re-derived here — which is what the
+program-parity suite pins down against the simulator.
 """
 
 from __future__ import annotations
@@ -13,9 +23,8 @@ from typing import Any
 import numpy as np
 
 from ..actions.ops import CommKind, Tag
+from ..actions.program import Program
 from ..errors import EngineError
-from ..schedules.base import Schedule
-from ..types import OpKind
 from . import tensor_ops as T
 from .channels import PeerNetwork
 from .module import StageModule
@@ -27,7 +36,7 @@ class EngineExecutor:
     def __init__(
         self,
         device: int,
-        schedule: Schedule,
+        program: Program,
         stages: dict[int, StageModule],   # chunk -> module
         network: PeerNetwork,
         microbatch_inputs: dict[int, np.ndarray],
@@ -35,17 +44,16 @@ class EngineExecutor:
         optimizer=None,
     ):
         self.device = device
-        self.schedule = schedule
+        self.program = program
         self.stages = stages
         self.network = network
         self.inputs = microbatch_inputs
         self.targets = microbatch_targets
         self.optimizer = optimizer
-        self.num_stages = schedule.num_stages
-        # boundary tensors produced locally: (kind, m, stage) -> array
-        self._outputs: dict[tuple, Any] = {}
-        # tensors received from peers
-        self._inbox: dict[Tag, Any] = {}
+        self.num_stages = program.num_stages
+        #: every in-flight boundary tensor, locally produced or
+        #: received, keyed by wire identity
+        self._tensors: dict[Tag, Any] = {}
         self._loss_cache: dict[int, tuple] = {}
         self.losses: dict[int, float] = {}
         self.steps_applied = 0
@@ -70,14 +78,9 @@ class EngineExecutor:
                 raise EngineError(
                     f"no input bound for micro-batch {microbatch}"
                 ) from None
-        replica = self.schedule.replica_of(microbatch)
-        src = self.schedule.placement.device_of(stage - 1, replica)
-        key = (CommKind.ACTIVATION, microbatch, stage - 1)
-        if src == self.device:
-            return self._outputs.pop(key)
-        tag = Tag(*key)
+        tag = Tag(CommKind.ACTIVATION, microbatch, stage - 1)
         try:
-            return self._inbox.pop(tag)
+            return self._tensors.pop(tag)
         except KeyError:
             raise EngineError(
                 f"device {self.device}: activation {tag} not received "
@@ -88,14 +91,9 @@ class EngineExecutor:
         """Fetch the output-gradient of ``stage`` for a micro-batch."""
         if stage == self.num_stages - 1:
             return self._loss_grad(microbatch)
-        replica = self.schedule.replica_of(microbatch)
-        src = self.schedule.placement.device_of(stage + 1, replica)
-        key = (CommKind.GRADIENT, microbatch, stage + 1)
-        if src == self.device:
-            return self._outputs.pop(key)
-        tag = Tag(*key)
+        tag = Tag(CommKind.GRADIENT, microbatch, stage + 1)
         try:
-            return self._inbox.pop(tag)
+            return self._tensors.pop(tag)
         except KeyError:
             raise EngineError(
                 f"device {self.device}: gradient {tag} not received "
@@ -111,7 +109,7 @@ class EngineExecutor:
             ) from None
         # Mean over micro-batches: each contributes 1/B of the grad.
         return T.cross_entropy_backward(
-            cache, scale=1.0 / self.schedule.num_microbatches
+            cache, scale=1.0 / self.program.num_microbatches
         )
 
     # -- Executor protocol ------------------------------------------------
@@ -130,7 +128,7 @@ class EngineExecutor:
             self.losses[microbatch] = loss
             self._loss_cache[microbatch] = cache
         else:
-            self._outputs[(CommKind.ACTIVATION, microbatch, stage)] = y
+            self._tensors[Tag(CommKind.ACTIVATION, microbatch, stage)] = y
 
     def compute_backward(self, microbatch: int, stage: int, chunk: int) -> None:
         module = self._chunk_module(stage, chunk)
@@ -141,12 +139,11 @@ class EngineExecutor:
                 raise EngineError(
                     f"stage {stage} returned no input grad but is not first"
                 )
-            self._outputs[(CommKind.GRADIENT, microbatch, stage)] = dx
+            self._tensors[Tag(CommKind.GRADIENT, microbatch, stage)] = dx
 
     def post_send(self, peer: int, tag: Tag) -> None:
-        key = (tag.kind, tag.microbatch, tag.stage)
         try:
-            payload = self._outputs.pop(key)
+            payload = self._tensors.pop(tag)
         except KeyError:
             raise EngineError(
                 f"device {self.device}: send of {tag} before it was produced"
@@ -159,7 +156,7 @@ class EngineExecutor:
         pass
 
     def wait_recv(self, peer: int, tag: Tag) -> None:
-        self._inbox[tag] = self.network.recv(self.device, peer, tag)
+        self._tensors[tag] = self.network.recv(self.device, peer, tag)
 
     def flush(self) -> None:
         leftovers = [

@@ -1,11 +1,15 @@
 """End-to-end pipeline training on thread workers.
 
 ``PipelineTrainer`` is the library's "it actually runs" proof: it takes
-any :class:`~repro.config.PipelineConfig`, compiles the schedule to
-action lists, spins up one thread per (simulated) device, executes a
-real NumPy training step through the interpreter, and exposes losses
-and gradients.  The gradient-equivalence tests run every scheme through
-this path and compare against :mod:`repro.engine.reference`.
+any :class:`~repro.config.PipelineConfig`, compiles the schedule **once**
+into the execution IR (:class:`~repro.actions.Program`), spins up one
+thread per (simulated) device, executes a real NumPy training step
+through the interpreter, and exposes losses and gradients.  The
+gradient-equivalence tests run every scheme through this path and
+compare against :mod:`repro.engine.reference`; the program-parity suite
+feeds the *same* :attr:`PipelineTrainer.program` object to the
+event-driven simulator and asserts both consumers execute the identical
+action sequence.
 """
 
 from __future__ import annotations
@@ -15,12 +19,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..actions.compiler import compile_schedule
 from ..actions.interpreter import Interpreter
-from ..actions.validate import validate_actions
+from ..actions.program import Program, compile_program
 from ..config import PipelineConfig
 from ..errors import EngineError
 from ..models.spec import ModelSpec
+from ..schedules.base import Schedule
 from ..schedules.factory import build_schedule
 from .channels import PeerNetwork
 from .executor import EngineExecutor
@@ -59,12 +63,13 @@ class PipelineTrainer:
     ):
         self.spec = spec
         self.config = config
-        self.schedule = build_schedule(config)
-        self.actions = compile_schedule(
-            self.schedule, prefetch=prefetch,
-            batch_cross_comm=batch_cross_comm, add_step=False,
-        )
-        validate_actions(self.actions)
+        self._prefetch = prefetch
+        self._batch_cross_comm = batch_cross_comm
+        self.schedule: Schedule = build_schedule(config)
+        self.program: Program = self._compile(self.schedule)
+        #: per-worker executed action order of the latest train_step —
+        #: the engine half of the program-parity witness
+        self.action_trace: dict[int, list] = {}
         num_replicas = self.schedule.placement.num_replicas
         # Replicas start from identical weights (same seed), as Chimera's
         # bidirectional model copies do.
@@ -75,6 +80,52 @@ class PipelineTrainer:
         ]
         self.network = PeerNetwork(config.num_devices, timeout_s=timeout_s)
         self.timeout_s = timeout_s
+
+    def _compile(self, schedule: Schedule) -> Program:
+        program = compile_program(
+            schedule, prefetch=self._prefetch,
+            batch_cross_comm=self._batch_cross_comm, add_step=False,
+            # float64 boundary activations of shape (mb, seq, hidden)
+            boundary_bytes=(self.config.microbatch_size * self.spec.seq_len
+                            * self.spec.hidden * 8.0),
+        )
+        program.validate()
+        return program
+
+    def use_schedule(self, schedule: Schedule) -> None:
+        """Adopt a hand-built schedule by recompiling the program IR.
+
+        The schedule must share the trainer's shape — the stage modules
+        and data routing were sized by the constructor — so mismatches
+        are rejected here rather than surfacing as opaque worker
+        failures (or a silently wrong 1/B loss scale) mid-step.
+        """
+        mismatches = [
+            f"{name}: {got} != {want}"
+            for name, got, want in (
+                ("num_devices", schedule.num_devices,
+                 self.schedule.num_devices),
+                ("num_stages", schedule.num_stages,
+                 self.schedule.num_stages),
+                ("num_microbatches", schedule.num_microbatches,
+                 self.schedule.num_microbatches),
+                ("num_replicas", schedule.placement.num_replicas,
+                 self.schedule.placement.num_replicas),
+            )
+            if got != want
+        ]
+        if mismatches:
+            raise EngineError(
+                f"schedule {schedule.name!r} does not match the trainer's "
+                f"shape: {'; '.join(mismatches)}"
+            )
+        self.schedule = schedule
+        self.program = self._compile(schedule)
+
+    @property
+    def actions(self) -> dict[int, list]:
+        """The program's per-worker action lists (the IR is the truth)."""
+        return self.program.actions
 
     # -- assembly ---------------------------------------------------------
 
@@ -125,7 +176,7 @@ class PipelineTrainer:
         for device in range(self.config.num_devices):
             executors[device] = EngineExecutor(
                 device=device,
-                schedule=self.schedule,
+                program=self.program,
                 stages=self._device_chunks(device),
                 network=self.network,
                 microbatch_inputs=routed_inputs.get(device, {}),
@@ -133,12 +184,14 @@ class PipelineTrainer:
             )
 
         errors: dict[int, BaseException] = {}
+        interpreters: dict[int, Interpreter] = {
+            d: Interpreter(d, executors[d])
+            for d in range(self.config.num_devices)
+        }
 
         def worker(device: int) -> None:
             try:
-                Interpreter(device, executors[device]).run(
-                    self.actions[device]
-                )
+                interpreters[device].run(self.program.actions[device])
             except BaseException as exc:  # propagated to the caller
                 errors[device] = exc
 
@@ -157,6 +210,9 @@ class PipelineTrainer:
             device, exc = sorted(errors.items())[0]
             raise EngineError(f"worker {device} failed: {exc!r}") from exc
         self.network.drain_check()
+        self.action_trace = {
+            d: interp.trace for d, interp in interpreters.items()
+        }
 
         losses: dict[int, float] = {}
         for ex in executors.values():

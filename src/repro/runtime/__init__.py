@@ -10,21 +10,32 @@ from .metrics import (
     steady_state_bubble_ratio,
     throughput_seq_per_s,
 )
-from .simulator import SimResult, TrainingSimResult, simulate, simulate_training
+from .events import CommEvent, EventResult, execute_program
+from .simulator import (
+    SimResult,
+    TrainingSimResult,
+    simulate,
+    simulate_program,
+    simulate_training,
+)
 
 __all__ = [
     "AbstractCosts",
     "BubbleStats",
+    "CommEvent",
     "ConcreteCosts",
     "CostOracle",
+    "EventResult",
     "MemoryStats",
     "SimResult",
     "TrainingSimResult",
     "bubble_stats",
     "compute_time_lower_bound",
+    "execute_program",
     "kind_time",
     "memory_stats",
     "simulate",
+    "simulate_program",
     "simulate_training",
     "static_memory",
     "steady_state_bubble_ratio",

@@ -31,6 +31,16 @@ class CostOracle:
         """Seconds to move one boundary tensor (activation or gradient)."""
         raise NotImplementedError
 
+    def link_latency(self, src: int, dst: int) -> float:
+        """Launch latency of the link — the part one batched
+        ``isend_irecv`` group pays once.  Zero for abstract models."""
+        return 0.0
+
+    def tensor_nbytes(self, stage: int) -> float:
+        """Payload size of one boundary tensor, for program sizing and
+        traces.  Abstract models have no byte notion (unit size)."""
+        return 1.0
+
 
 @dataclass
 class AbstractCosts(CostOracle):
@@ -83,3 +93,11 @@ class ConcreteCosts(CostOracle):
         return self.comm.transfer_time(
             Transfer(src, dst, self.stage_costs.boundary_bytes)
         )
+
+    def link_latency(self, src: int, dst: int) -> float:
+        if src == dst or self.comm.topology is None:
+            return 0.0
+        return self.comm.topology.effective_link(src, dst).latency
+
+    def tensor_nbytes(self, stage: int) -> float:
+        return self.stage_costs.boundary_bytes

@@ -1,0 +1,359 @@
+"""Event-driven execution of a compiled :class:`~repro.actions.Program`.
+
+This is the cluster-level event core both modeled executions share: it
+walks every worker's action list — the *same* list the NumPy engine's
+interpreter executes — and assigns times from a
+:class:`~repro.runtime.costs.CostOracle`.  Nothing here re-derives
+communication from the schedule; sends, receives and batched groups are
+taken verbatim from the program, so what gets timed is exactly what the
+engine runs.
+
+Timing model
+------------
+
+* **Compute** starts when the device is free, its local inputs are
+  produced, and (with prefetch) its remote inputs have arrived.
+* **Send** is a non-blocking post: the transfer is scheduled the moment
+  the sender's cursor passes the action (which, by compiler invariant,
+  is the instant the producing compute retires).
+* **Recv** under ``prefetch=True`` is a free post — the transfer
+  overlaps the receiver's earlier compute and only surfaces as *recv
+  wait* when the receiver goes idle for it.  Under ``prefetch=False``
+  the receiver participates in the transfer: its clock advances by the
+  full transfer duration (charged to ``recv_wait``; the timeline keeps
+  compute spans only, so bubble accounting treats the transfer as
+  idle — matching the paper's bubble convention).
+* **BatchedP2P** posts its whole group before waiting (the
+  ``batch_isend_irecv`` discipline of Sec. 4.2).
+
+Both modes account ``recv_wait`` per device: blocking transfers charge
+their full duration, prefetched transfers charge the residual stall
+between "device ready" and "tensor arrived".
+
+Optional fidelity knobs (:class:`~repro.config.RunConfig`):
+
+* ``contention=True`` serializes transfers that share an (unordered)
+  device pair — one wire per pair, NCCL-style.
+* Under contention, opposing transfers posted as one batched group
+  share the wire back-to-back and the follower skips the link launch
+  latency (:meth:`CostOracle.link_latency`) — the batched-P2P saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..actions.ops import (
+    Action,
+    BatchedP2P,
+    Flush,
+    OptimizerStep,
+    Recv,
+    Send,
+    Tag,
+)
+from ..actions.program import Program, compute_key
+from ..config import RunConfig
+from ..errors import SchedulingError
+from ..types import TimedOp, Timeline
+from .costs import CostOracle
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One completed point-to-point transfer."""
+
+    tag: Tag
+    src: int
+    dst: int
+    post: float     # sender posted the transfer
+    start: float    # the wire picked it up (== post without contention)
+    end: float      # arrival at the receiver
+    nbytes: float
+    batched: bool   # posted from inside a BatchedP2P group
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class EventResult:
+    """Everything one program execution produces."""
+
+    timeline: Timeline
+    #: per-device seconds stalled on incoming tensors (see module doc)
+    recv_wait: dict[int, float]
+    #: every transfer, in posting order
+    comm: list[CommEvent] = field(default_factory=list)
+    #: per-device executed action order — the parity witness: always a
+    #: prefix-complete replay of ``program.actions``
+    order: dict[int, list[Action]] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return self.timeline.makespan
+
+
+class _Wire:
+    """Per-pair link state for the contention model."""
+
+    __slots__ = ("free", "last_exchange")
+
+    def __init__(self) -> None:
+        self.free = 0.0
+        #: tag set of the batched exchange whose transfer last held the
+        #: wire — the latency waiver applies only within one exchange
+        self.last_exchange: frozenset | None = None
+
+
+def execute_program(
+    program: Program,
+    costs: CostOracle,
+    run: RunConfig | None = None,
+) -> EventResult:
+    """Time ``program`` against ``costs`` and return its event log.
+
+    Raises :class:`SchedulingError` if the worker programs deadlock —
+    an action waits for a transfer whose sender is queued behind it.
+    """
+    run = run or RunConfig()
+    # Blocking-vs-overlapped receives are a property of the *compiled*
+    # program (the prefetch hoisting pass and asynchronous recv
+    # semantics belong together), so execution follows the program's
+    # flag — a RunConfig compiled-elsewhere mismatch cannot silently
+    # mis-time the run.  RunConfig contributes the fidelity knobs.
+    prefetch = program.prefetch
+    contention = run.contention
+
+    cursors = {d: 0 for d in program.actions}
+    clock = {d: 0.0 for d in program.actions}
+    recv_wait = {d: 0.0 for d in program.actions}
+    order: dict[int, list[Action]] = {d: [] for d in program.actions}
+    produced: dict[tuple, float] = {}
+    transfers: dict[tuple[int, Tag], CommEvent] = {}
+    #: batched groups whose sends are already posted (posts must not be
+    #: re-issued while the group blocks on its inbound transfers)
+    posted_groups: set[tuple[int, int]] = set()
+    wires: dict[frozenset, _Wire] = {}
+    timeline = Timeline()
+    comm: list[CommEvent] = []
+
+    def post_send(device: int, send: Send,
+                  exchange: frozenset | None) -> None:
+        tag, dst = send.tag, send.peer
+        t_comm = costs.transfer_time(device, dst, tag.stage)
+        post = start = clock[device]
+        duration = t_comm
+        if contention and t_comm > 0.0:
+            wire = wires.setdefault(frozenset((device, dst)), _Wire())
+            if post < wire.free:
+                start = wire.free
+                if exchange is not None and wire.last_exchange == exchange:
+                    # The opposing transfer of the *same* batched
+                    # exchange holds the wire; the follower pays bytes
+                    # only, not a second launch latency.  A different
+                    # batched group is a separate launch and pays full.
+                    duration = max(0.0, t_comm
+                                   - costs.link_latency(device, dst))
+            wire.free = start + duration
+            wire.last_exchange = exchange
+        event = CommEvent(
+            tag=tag, src=device, dst=dst, post=post, start=start,
+            end=start + duration,
+            nbytes=program.tensor_bytes.get(tag, 0.0),
+            batched=exchange is not None,
+        )
+        transfers[(dst, tag)] = event
+        comm.append(event)
+
+    def blocking_recv(device: int, recv: Recv) -> bool:
+        """Execute one blocking receive; False if the send isn't posted."""
+        event = transfers.get((device, recv.tag))
+        if event is None:
+            return False
+        start = max(clock[device], event.start)
+        clock[device] = start + event.duration
+        recv_wait[device] += event.duration
+        return True
+
+    def try_compute(device: int, act: Action) -> bool:
+        key = compute_key(act)
+        deps = program.deps[key]
+        ready = clock[device]
+        arrival = None
+        in_flight = 0.0
+        for dep in deps:
+            if dep.tag is None:
+                # Local hand-off: the producer must have retired earlier
+                # on this device; if it hasn't, the program order is
+                # inverted and the device blocks (deadlock detection
+                # reports it).
+                done_at = produced.get(dep.producer)
+                if done_at is None:
+                    return False
+                ready = max(ready, done_at)
+            elif prefetch:
+                event = transfers.get((device, dep.tag))
+                if event is None:
+                    return False  # sender hasn't posted yet
+                arrival = event.end if arrival is None else max(arrival,
+                                                                event.end)
+                in_flight += event.duration
+            # Without prefetch the blocking Recv already advanced the
+            # clock past the arrival; nothing more to wait on.
+        start = ready
+        if arrival is not None and arrival > ready:
+            # Only the transfer-attributable share of the stall counts
+            # as recv wait; waiting on the *producer* is a bubble, not
+            # communication.
+            recv_wait[device] += min(arrival - ready, in_flight)
+            start = arrival
+        op = program.ops[key]
+        end = start + costs.duration(op)
+        timeline.add(TimedOp(op=op, start=start, end=end))
+        clock[device] = end
+        produced[key] = end
+        return True
+
+    def step(device: int, index: int, act: Action) -> bool:
+        """Execute one action; False if the device must block."""
+        if compute_key(act) is not None:
+            return try_compute(device, act)
+        if isinstance(act, Send):
+            post_send(device, act, exchange=None)
+            return True
+        if isinstance(act, Recv):
+            if prefetch:
+                return True  # free post; arrival is awaited by computes
+            return blocking_recv(device, act)
+        if isinstance(act, BatchedP2P):
+            # Group semantics: all posts are issued the moment the
+            # cursor reaches the group — even while its own waits
+            # block — or opposing groups would deadlock each other.
+            if (device, index) not in posted_groups:
+                # The logical exchange is identified by its full tag
+                # set — identical on both peers (sends/recvs swapped).
+                exchange = frozenset(
+                    [s.tag for s in act.sends] + [r.tag for r in act.recvs]
+                )
+                for send in act.sends:
+                    post_send(device, send, exchange=exchange)
+                posted_groups.add((device, index))
+            if not prefetch:
+                if any((device, r.tag) not in transfers for r in act.recvs):
+                    return False
+                for recv in act.recvs:
+                    blocking_recv(device, recv)
+            return True
+        if isinstance(act, (Flush, OptimizerStep)):
+            return True  # zero-cost here; simulate_training charges it
+        raise SchedulingError(f"unknown action {act!r} in program")
+
+    def peek(device: int) -> float | None:
+        """Earliest execution time of the device's head, None if blocked."""
+        actions = program.actions[device]
+        if cursors[device] >= len(actions):
+            return None
+        act = actions[cursors[device]]
+        key = compute_key(act)
+        if key is not None:
+            at = clock[device]
+            for dep in program.deps[key]:
+                if dep.tag is None:
+                    done_at = produced.get(dep.producer)
+                    if done_at is None:
+                        return None
+                    at = max(at, done_at)
+                elif prefetch:
+                    event = transfers.get((device, dep.tag))
+                    if event is None:
+                        return None
+                    at = max(at, event.end)
+            return at
+        if isinstance(act, Recv) and not prefetch:
+            event = transfers.get((device, act.tag))
+            if event is None:
+                return None
+            return max(clock[device], event.start)
+        if isinstance(act, BatchedP2P) and not prefetch:
+            if (device, cursors[device]) not in posted_groups:
+                return clock[device]  # the posts themselves are due
+            events = [transfers.get((device, r.tag)) for r in act.recvs]
+            if any(e is None for e in events):
+                return None
+            return max(clock[device], min(e.start for e in events))
+        return clock[device]  # sends, free posts, flush, step
+
+    def run_greedy() -> None:
+        """Fast driver: advance each device as far as it can.
+
+        Correct whenever timing is independent of replay order — i.e.
+        without contention, where every formula depends only on already
+        -fixed quantities (producer ends, post times).
+        """
+        done = 0
+        while done < total:
+            progressed = False
+            for device, actions in program.actions.items():
+                while cursors[device] < len(actions):
+                    act = actions[cursors[device]]
+                    if not step(device, cursors[device], act):
+                        break
+                    order[device].append(act)
+                    cursors[device] += 1
+                    done += 1
+                    progressed = True
+            if not progressed and done < total:
+                _deadlock()
+
+    def run_time_ordered() -> None:
+        """Contention driver: execute heads in global time order.
+
+        Wire arbitration happens at send-post time, so posts must be
+        issued in nondecreasing simulated time or an earlier-posted
+        transfer could queue behind a later one (a replay-order
+        artifact).  Executing the globally earliest eligible head is
+        sufficient: any action enabled by an execution at time ``t``
+        becomes eligible no earlier than ``t``, so execution times are
+        monotone and wire grants follow post order deterministically
+        (ties broken by device rank).
+        """
+        done = 0
+        while done < total:
+            best_at = best_device = None
+            for device in program.actions:
+                at = peek(device)
+                if at is not None and (best_at is None or at < best_at):
+                    best_at, best_device = at, device
+            if best_device is None:
+                _deadlock()
+            act = program.actions[best_device][cursors[best_device]]
+            if step(best_device, cursors[best_device], act):
+                order[best_device].append(act)
+                cursors[best_device] += 1
+                done += 1
+            # else: a batched group posted its sends but still blocks
+            # on inbound transfers — posting was the progress.
+
+    def _deadlock() -> None:
+        heads = {
+            d: str(acts[cursors[d]])
+            for d, acts in program.actions.items()
+            if cursors[d] < len(acts)
+        }
+        raise SchedulingError(
+            f"{program.name}: simulation deadlock; heads = {heads}"
+        )
+
+    total = program.action_count()
+    if contention:
+        run_time_ordered()
+    else:
+        run_greedy()
+
+    for spans in timeline.spans.values():
+        spans.sort(key=lambda t: t.start)
+    comm.sort(key=lambda e: (e.post, e.start))
+    return EventResult(timeline=timeline, recv_wait=recv_wait, comm=comm,
+                       order=order)

@@ -1,42 +1,59 @@
-"""Discrete-event execution of a schedule against a cost oracle.
+"""Simulation front door: compile once, execute the program IR.
 
-Each device executes its schedule list **in order** (the order *is* the
-program — reordering here would silently change the algorithm under
-test).  An op starts when the device is free and its input tensors have
-arrived; arrival of a cross-device tensor is its producer's completion
-plus the transfer time.
+``simulate`` lowers a schedule to the single execution IR
+(:func:`repro.actions.compile_program`) and times it with the
+event-driven core in :mod:`repro.runtime.events` — the same per-worker
+action lists the real NumPy engine interprets, so prefetch and
+batched-P2P semantics are identical across the modeled and real paths
+by construction (the parity suite asserts it).
 
-Prefetching (paper Sec. 4.2) decides *who pays* for the transfer:
+Prefetching (paper Sec. 4.2) decides *who pays* for a transfer:
 
 * ``prefetch=True`` — receives are posted ahead (asynchronous
   communication), so transfers overlap the receiver's previous compute
-  and only surface as waiting when the receiver is otherwise idle.
+  and only surface as recv wait when the receiver is otherwise idle.
 * ``prefetch=False`` — the receiver blocks for each transfer: the
-  transfer occupies its timeline as an explicit recv span.
+  transfer occupies the receiver's clock and is charged to its
+  ``recv_busy`` account (timelines keep compute spans only, so the
+  blocked time counts as bubble, per the paper's convention).
 
 The gap between those two modes is the paper's communication-overlap
-claim, which `benchmarks/bench_ablation_prefetch.py` quantifies.
+claim, which `benchmarks/bench_ablation_prefetch.py` quantifies via the
+per-device ``recv_busy`` accounting — populated in **both** modes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..actions.ops import Action
+from ..actions.program import Program, compile_program
 from ..config import RunConfig
 from ..errors import SchedulingError
 from ..schedules.base import Schedule
-from ..types import OpKind, ScheduleOp, TimedOp, Timeline
+from ..types import Timeline
 from .costs import CostOracle
+from .events import CommEvent, execute_program
 
 
 @dataclass
 class SimResult:
     """Everything a simulation produces."""
 
-    schedule: Schedule
+    schedule: Schedule | None
     timeline: Timeline
-    #: per-device explicit recv spans (only populated without prefetch)
+    #: per-device seconds stalled on incoming tensors: full transfer
+    #: durations without prefetch, residual (un-overlapped) arrival
+    #: waits with prefetch — never silently empty while transfers
+    #: cost time
     recv_busy: dict[int, float] = field(default_factory=dict)
+    #: the execution IR this result was produced from
+    program: Program | None = None
+    #: every point-to-point transfer, in posting order
+    comm: list[CommEvent] = field(default_factory=list)
+    #: per-device executed action order (the parity witness: equals the
+    #: program's action lists action-for-action)
+    action_order: dict[int, list[Action]] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -88,7 +105,7 @@ def simulate(
     costs: CostOracle,
     run: RunConfig | None = None,
 ) -> SimResult:
-    """Execute ``schedule`` under ``costs`` and return its timeline.
+    """Compile ``schedule`` to a program and execute it under ``costs``.
 
     Raises :class:`SchedulingError` if the per-device orders deadlock
     (an op waits for a producer that is queued behind it) — a condition
@@ -97,62 +114,38 @@ def simulate(
     trigger.
     """
     run = run or RunConfig()
-    # Index ops once; dependency lookups are by (kind, microbatch, stage).
-    op_index: dict[tuple, ScheduleOp] = {
-        (op.kind, op.microbatch, op.stage): op for op in schedule.all_ops()
-    }
-    # Producer completion times, filled as ops retire.
-    done: dict[tuple, float] = {}
-    cursors = {d: 0 for d in schedule.device_ops}
-    free_at = {d: 0.0 for d in schedule.device_ops}
-    recv_busy = {d: 0.0 for d in schedule.device_ops}
-    timeline = Timeline()
-    total = schedule.op_count()
-    retired = 0
+    program = compile_program(
+        schedule,
+        prefetch=run.prefetch,
+        batch_cross_comm=run.batch_cross_comm,
+        add_step=False,
+        boundary_bytes=lambda tag: costs.tensor_nbytes(tag.stage),
+    )
+    return simulate_program(program, costs, run, schedule=schedule)
 
-    while retired < total:
-        progressed = False
-        for d, ops in schedule.device_ops.items():
-            while cursors[d] < len(ops):
-                op = ops[cursors[d]]
-                deps = schedule.dependencies(op)
-                if any(dep not in done for dep in deps):
-                    break
-                data_ready = 0.0
-                blocking_recv = 0.0
-                for dep in deps:
-                    src = op_index[dep].device
-                    t_done = done[dep]
-                    t_comm = costs.transfer_time(src, d, op.stage)
-                    if src == d or t_comm == 0.0:
-                        data_ready = max(data_ready, t_done)
-                    elif run.prefetch:
-                        data_ready = max(data_ready, t_done + t_comm)
-                    else:
-                        # Blocking recv: device participates in the
-                        # transfer, so it occupies the device timeline.
-                        data_ready = max(data_ready, t_done)
-                        blocking_recv += t_comm
-                start = max(free_at[d], data_ready) + blocking_recv
-                recv_busy[d] += blocking_recv
-                end = start + costs.duration(op)
-                timeline.add(TimedOp(op=op, start=start, end=end))
-                free_at[d] = end
-                done[(op.kind, op.microbatch, op.stage)] = end
-                cursors[d] += 1
-                retired += 1
-                progressed = True
-        if not progressed and retired < total:
-            stuck = {
-                d: str(ops[cursors[d]])
-                for d, ops in schedule.device_ops.items()
-                if cursors[d] < len(ops)
-            }
-            raise SchedulingError(
-                f"{schedule.name}: simulation deadlock; heads = {stuck}"
-            )
 
-    # Sort spans per device by start for downstream consumers.
-    for spans in timeline.spans.values():
-        spans.sort(key=lambda t: t.start)
-    return SimResult(schedule=schedule, timeline=timeline, recv_busy=recv_busy)
+def simulate_program(
+    program: Program,
+    costs: CostOracle,
+    run: RunConfig | None = None,
+    schedule: Schedule | None = None,
+) -> SimResult:
+    """Execute an already-compiled program — sim side of the parity pair.
+
+    The engine trainer exposes its compiled program
+    (:attr:`repro.engine.PipelineTrainer.program`); passing that same
+    object here guarantees the simulator times exactly the action
+    sequence the engine executes.  Recv semantics (blocking vs
+    overlapped) follow ``program.prefetch`` — the flag the program was
+    compiled with — while ``run`` contributes fidelity knobs such as
+    ``contention``.
+    """
+    result = execute_program(program, costs, run)
+    return SimResult(
+        schedule=schedule,
+        timeline=result.timeline,
+        recv_busy=result.recv_wait,
+        program=program,
+        comm=result.comm,
+        action_order=result.order,
+    )

@@ -37,6 +37,8 @@ from .cache import (
     ResultCache,
     cache_key,
     cluster_fingerprint,
+    code_fingerprint,
+    fingerprint_files,
     model_fingerprint,
     record_to_result,
     result_to_record,
@@ -65,6 +67,8 @@ __all__ = [
     "SweepTable",
     "cache_key",
     "cluster_fingerprint",
+    "code_fingerprint",
+    "fingerprint_files",
     "feasible_waves",
     "model_fingerprint",
     "point_key",

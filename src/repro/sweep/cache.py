@@ -35,8 +35,12 @@ CACHE_VERSION = 1
 
 #: package-relative sources whose behaviour determines a measurement;
 #: their content is hashed into every cache key so editing the cost
-#: model, a schedule generator or the simulator invalidates old entries
-#: automatically instead of serving stale numbers
+#: model, a schedule generator, or the *execution semantics* — the
+#: action compiler / program IR under ``actions/`` and the event-driven
+#: core under ``runtime/`` (``events.py``, ``simulator.py``) —
+#: invalidates old entries automatically instead of serving stale
+#: numbers.  Directories are hashed recursively, so new execution
+#: modules are covered the day they land.
 _MEASUREMENT_SOURCES = (
     "config.py",
     "models",
@@ -48,25 +52,41 @@ _MEASUREMENT_SOURCES = (
 )
 
 
+def fingerprint_files() -> list[pathlib.Path]:
+    """Every source file folded into :func:`code_fingerprint`, sorted.
+
+    Exposed so tests can pin coverage: a measurement-semantics module
+    (e.g. ``actions/program.py`` or ``runtime/events.py``) missing from
+    this list would mean stale caches survive a semantics change.
+    """
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    files: list[pathlib.Path] = []
+    for target in _MEASUREMENT_SOURCES:
+        path = root / target
+        files.extend(sorted(path.rglob("*.py")) if path.is_dir() else [path])
+    return files
+
+
 @functools.lru_cache(maxsize=1)
 def code_fingerprint() -> str:
     """SHA-256 over the source of everything that feeds a measurement.
 
     Computed once per process from the installed package's files, so a
     durable cache (e.g. ``benchmarks/.sweep_cache``) turns into misses
-    — not silently stale hits — the moment simulator or cost-model
-    code changes.
+    — not silently stale hits — the moment simulator, execution-IR or
+    cost-model code changes.
     """
     import repro
 
     root = pathlib.Path(repro.__file__).parent
     digest = hashlib.sha256()
-    for target in _MEASUREMENT_SOURCES:
-        path = root / target
-        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
-        for source in files:
-            digest.update(str(source.relative_to(root)).encode())
-            digest.update(source.read_bytes())
+    for source in fingerprint_files():
+        label = (source.relative_to(root) if source.is_relative_to(root)
+                 else source.name)
+        digest.update(str(label).encode())
+        digest.update(source.read_bytes())
     return digest.hexdigest()
 
 

@@ -1,11 +1,18 @@
 """Text visualisation of schedules."""
 
 from .gantt import render_gantt, render_order
-from .trace import timeline_to_chrome_trace, write_chrome_trace
+from .trace import (
+    sim_to_chrome_trace,
+    timeline_to_chrome_trace,
+    write_chrome_trace,
+    write_sim_trace,
+)
 
 __all__ = [
     "render_gantt",
     "render_order",
+    "sim_to_chrome_trace",
     "timeline_to_chrome_trace",
     "write_chrome_trace",
+    "write_sim_trace",
 ]

@@ -3,6 +3,13 @@
 Each device becomes a trace thread; forward/backward spans become
 complete events with micro-batch/stage/chunk metadata — the standard
 way modern training stacks visualise pipeline execution.
+
+:func:`sim_to_chrome_trace` goes further: fed directly by the
+event-driven simulator's :class:`~repro.runtime.SimResult`, it adds a
+``network`` process with one lane per directed link carrying every
+point-to-point transfer (tag, bytes, batched-group membership), so any
+run — bench, sweep or engine — can be inspected in one timeline format
+at https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -62,5 +69,63 @@ def write_chrome_trace(timeline: Timeline, path: str,
                        time_unit_us: float = 1000.0) -> None:
     """Serialize the trace to ``path`` (open it in Perfetto)."""
     trace = timeline_to_chrome_trace(timeline, time_unit_us)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=None, separators=(",", ":"))
+
+
+def sim_to_chrome_trace(result, time_unit_us: float = 1000.0,
+                        process_name: str = "pipeline") -> dict:
+    """Full simulator trace: compute spans plus per-link comm lanes.
+
+    ``result`` is a :class:`~repro.runtime.SimResult`; its ``comm``
+    event log (one entry per point-to-point transfer, straight from the
+    event core) becomes a second trace process with one thread per
+    directed link.  Zero-duration transfers (free abstract comm) are
+    kept — they still mark message ordering.
+    """
+    trace = timeline_to_chrome_trace(result.timeline, time_unit_us,
+                                     process_name=process_name)
+    events = trace["traceEvents"]
+    if result.comm:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "network"},
+        })
+        links = sorted({(e.src, e.dst) for e in result.comm})
+        tids = {pair: i for i, pair in enumerate(links)}
+        for src, dst in links:
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[(src, dst)],
+                "args": {"name": f"link d{src} -> d{dst}"},
+            })
+        for e in result.comm:
+            events.append({
+                "name": str(e.tag),
+                "cat": "comm",
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[(e.src, e.dst)],
+                "ts": e.start * time_unit_us,
+                "dur": e.duration * time_unit_us,
+                "args": {
+                    "src": e.src,
+                    "dst": e.dst,
+                    "nbytes": e.nbytes,
+                    "posted_at": e.post * time_unit_us,
+                    "batched": e.batched,
+                },
+            })
+    return trace
+
+
+def write_sim_trace(result, path: str,
+                    time_unit_us: float = 1000.0) -> None:
+    """Serialize a simulator run (compute + comm) to Chrome-trace JSON."""
+    trace = sim_to_chrome_trace(result, time_unit_us)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(trace, fh, indent=None, separators=(",", ":"))

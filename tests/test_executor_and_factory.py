@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.actions.ops import CommKind, Tag
+from repro.actions.program import compile_program
 from repro.config import CostConfig, PipelineConfig
 from repro.engine import PeerNetwork, PipelineTrainer, build_stages, make_batch
 from repro.engine.executor import EngineExecutor
@@ -28,7 +29,7 @@ def make_executor(device=0, scheme="dapple", p=2, b=2, **data):
     inputs, targets = make_batch(SPEC, b, seed=0)
     return EngineExecutor(
         device=device,
-        schedule=sched,
+        program=compile_program(sched),
         stages=chunks,
         network=PeerNetwork(p, timeout_s=0.2),
         microbatch_inputs=data.get("inputs", inputs if device == 0 else {}),
@@ -48,7 +49,7 @@ class TestExecutorErrors:
         ex = make_executor(device=1, targets={})
         # fake the received activation so the stage can run
         tag = Tag(CommKind.ACTIVATION, 0, 0)
-        ex._inbox[tag] = np.zeros((1, SPEC.seq_len, SPEC.hidden))
+        ex._tensors[tag] = np.zeros((1, SPEC.seq_len, SPEC.hidden))
         with pytest.raises(EngineError, match="no targets bound"):
             ex.compute_forward(0, 1, 0)
 
@@ -87,7 +88,7 @@ class TestExecutorErrors:
         ex = make_executor(device=1)
         tag = Tag(CommKind.ACTIVATION, 0, 0)
         rng = np.random.default_rng(0)
-        ex._inbox[tag] = rng.normal(size=(1, SPEC.seq_len, SPEC.hidden))
+        ex._tensors[tag] = rng.normal(size=(1, SPEC.seq_len, SPEC.hidden))
         ex.compute_forward(0, 1, 0)
         assert ex.mean_loss() > 0
 
@@ -122,6 +123,26 @@ class TestTrainerHungWorkerDetection:
         inputs, targets = make_batch(SPEC, 2, seed=0)
         with pytest.raises(EngineError):
             trainer.train_step(inputs, targets)
+
+
+class TestUseSchedule:
+    def test_custom_schedule_recompiles_program(self):
+        cfg = make_config("dapple", 2, 2)
+        trainer = PipelineTrainer(SPEC, cfg, seed=0)
+        before = trainer.program
+        trainer.use_schedule(build_schedule(cfg))
+        assert trainer.program is not before
+        inputs, targets = make_batch(SPEC, 2, seed=0)
+        assert trainer.train_step(inputs, targets).loss > 0
+
+    def test_shape_mismatch_rejected(self):
+        """Stage modules are sized by the constructor; a schedule with a
+        different shape must fail loudly here, not inside a worker."""
+        cfg = make_config("dapple", 2, 2)
+        trainer = PipelineTrainer(SPEC, cfg, seed=0)
+        other = build_schedule(make_config("gpipe", 2, 4))
+        with pytest.raises(EngineError, match="num_microbatches"):
+            trainer.use_schedule(other)
 
 
 class TestSingleDevicePipeline:

@@ -92,9 +92,24 @@ class TestCommunicationModes:
         res, _ = run("gpipe", 4, 4, t_c=0.5, prefetch=False)
         assert sum(res.recv_busy.values()) > 0
 
-    def test_prefetch_leaves_recv_busy_empty(self):
+    def test_blocking_recv_busy_equals_transferred_time(self):
+        """Without prefetch every message's full transfer is charged."""
+        res, _ = run("dapple", 4, 4, t_c=0.5, prefetch=False)
+        assert sum(res.recv_busy.values()) == pytest.approx(
+            0.5 * len(res.comm)
+        )
+
+    def test_prefetch_accounts_residual_recv_wait(self):
+        """Prefetch overlaps transfers but the event core still accounts
+        the un-overlapped stalls — recv_busy is never silently empty
+        while communication costs (the old simulator reported 0 here)."""
         res, _ = run("gpipe", 4, 4, t_c=0.5, prefetch=True)
-        assert sum(res.recv_busy.values()) == 0
+        assert sum(res.recv_busy.values()) > 0
+
+    def test_free_comm_leaves_recv_busy_empty(self):
+        for prefetch in (True, False):
+            res, _ = run("gpipe", 4, 4, t_c=0.0, prefetch=prefetch)
+            assert sum(res.recv_busy.values()) == 0
 
 
 class TestSimulatorDeadlock:

@@ -142,6 +142,41 @@ class TestCache:
                             lambda: "different-simulator-code")
         assert cache_key("gpipe", make_fc(4), tiny_model(), **shape) != base
 
+    def test_fingerprint_covers_execution_semantics(self):
+        """Cached cells must self-invalidate when execution semantics
+        change: the action/program compiler and the event-driven core
+        are part of every cache key, not just cost-model code."""
+        import pathlib
+
+        import repro
+        from repro.sweep.cache import fingerprint_files
+
+        root = pathlib.Path(repro.__file__).parent
+        covered = {p.relative_to(root).as_posix()
+                   for p in fingerprint_files()}
+        for required in (
+            "actions/compiler.py",
+            "actions/program.py",
+            "runtime/events.py",
+            "runtime/simulator.py",
+            "runtime/costs.py",
+            "cluster/comm_model.py",
+        ):
+            assert required in covered, required
+
+    def test_fingerprint_tracks_source_content(self, monkeypatch, tmp_path):
+        """The hash is over file *content*, so editing any covered file
+        flips it (checked via the un-memoized function)."""
+        import repro.sweep.cache as cache_mod
+
+        source = tmp_path / "events.py"
+        source.write_text("SEMANTICS = 1\n")
+        monkeypatch.setattr(cache_mod, "fingerprint_files",
+                            lambda: [source])
+        first = cache_mod.code_fingerprint.__wrapped__()
+        source.write_text("SEMANTICS = 2\n")
+        assert cache_mod.code_fingerprint.__wrapped__() != first
+
     def test_interrupted_sweep_keeps_finished_cells(self, tmp_path,
                                                     monkeypatch):
         """Cells are persisted as they finish, not at the end."""
