@@ -15,10 +15,11 @@ memory annotations:
 
 from __future__ import annotations
 
+from repro.actions import StageResources
 from repro.analysis import format_table
 from repro.config import CostConfig, PipelineConfig
 from repro.models import A100_40G, bert_64, stage_costs
-from repro.runtime import AbstractCosts, memory_stats, simulate
+from repro.runtime import AbstractCosts, simulate
 from repro.schedules import build_schedule
 from repro.viz import render_gantt
 
@@ -40,10 +41,12 @@ def compute():
         cfg = PipelineConfig(scheme=scheme, num_devices=p,
                              num_microbatches=b, num_waves=w)
         sched = build_schedule(cfg)
-        res = simulate(sched, AbstractCosts(CostConfig(), p, sched.num_stages))
         costs = stage_costs(model, sched.num_stages, A100_40G)
-        mem = memory_stats(sched, res.timeline, costs)
-        out[(scheme, w, p)] = (sched, res, mem, costs)
+        # memory peaks come from the event core's live watermarks —
+        # the program carries its own alloc/free effects
+        res = simulate(sched, AbstractCosts(CostConfig(), p, sched.num_stages),
+                       resources=StageResources.from_stage_costs(costs))
+        out[(scheme, w, p)] = (sched, res, res.memory, costs)
     return out
 
 

@@ -15,10 +15,11 @@ ordering DAPPLE >> Chimera > Hanayo.
 
 from __future__ import annotations
 
+from repro.actions import StageResources
 from repro.analysis import format_table
 from repro.config import CostConfig, PipelineConfig
 from repro.models import A100_40G, bert_64, gpt_128, stage_costs
-from repro.runtime import AbstractCosts, memory_stats, simulate
+from repro.runtime import AbstractCosts, simulate
 from repro.schedules import build_schedule
 
 from _helpers import write_result
@@ -41,9 +42,12 @@ def measure(model_fn, scheme, p, b, w, mb_size):
     cfg = PipelineConfig(scheme=scheme, num_devices=p, num_microbatches=b,
                          num_waves=w, microbatch_size=mb_size)
     sched = build_schedule(cfg)
-    res = simulate(sched, AbstractCosts(CostConfig(), p, sched.num_stages))
     costs = stage_costs(model, sched.num_stages, A100_40G, mb_size)
-    return memory_stats(sched, res.timeline, costs)
+    # the event core tracks the watermarks live; the bench just reads
+    # the per-device peaks off the simulation result
+    res = simulate(sched, AbstractCosts(CostConfig(), p, sched.num_stages),
+                   resources=StageResources.from_stage_costs(costs))
+    return res.memory
 
 
 def compute():

@@ -62,12 +62,22 @@ def test_fig10_config_search(benchmark):
         alive = [c for c in cells if not c.result.oom]
         if alive:
             best[(scheme, batch)] = best_config(cells)
+    all_cells = [c for cells in grids.values() for c in cells]
+    oom_cells = [c for c in all_cells if c.result.oom]
+    pruned = sum(1 for c in oom_cells if c.result.statically_pruned)
+    prune_note = (
+        f"OOM pruning: {len(oom_cells)}/{len(all_cells)} cells OOM; "
+        f"{pruned} rejected by the static pre-check (no event loop), "
+        f"{len(oom_cells) - pruned} aborted at the first violating "
+        "allocation"
+    )
     write_result("fig10_config_search", format_table(
         ["scheme", "batch", "P=8,D=4", "P=16,D=2", "P=32,D=1"],
         rows,
         title="Fig. 10 — throughput search on 32x V100-32G "
               "(paper winner: D=4, P=8, Hanayo w=2)",
-    ))
+    ) + "\n" + prune_note)
+    benchmark.extra_info["oom_pruned_statically"] = pruned
 
     for (scheme, batch), cell in best.items():
         # the deepest pipeline never wins: too many bubbles per device

@@ -9,6 +9,7 @@ from .compiler import (
 )
 from .interpreter import Executor, Interpreter
 from .program import Dependency, Program, compile_program, compute_key
+from .resources import StageResources
 from .ops import (
     Action,
     BatchedP2P,
@@ -37,6 +38,7 @@ __all__ = [
     "Program",
     "Recv",
     "Send",
+    "StageResources",
     "Tag",
     "batch_opposing",
     "check_deadlock_free",

@@ -16,7 +16,7 @@ Neither consumer re-derives communication from the schedule, so the
 prefetch and batched-P2P semantics the benchmarks measure are — by
 construction — exactly what the engine executes.
 
-Beyond the raw lists, compilation grows two annotations:
+Beyond the raw lists, compilation grows three annotations:
 
 * **Dependency edges** (:class:`Dependency`): for every compute, the
   producing computes it waits on, each resolved to a device and —
@@ -25,18 +25,26 @@ Beyond the raw lists, compilation grows two annotations:
 * **Per-action tensor sizes**: ``tensor_bytes`` maps every in-flight
   tag to its payload size, so trace exporters and contention models
   know what each message weighs.
+* **Memory effects** (optional, via :class:`StageResources`): static
+  weight/grad/optimizer bytes per resident ``(stage, replica)`` pair —
+  ×2 naturally for Chimera's two replicas — plus an activation
+  allocation on every forward start and the matching free on the
+  backward end, so the program alone determines each device's memory
+  trajectory and the event core can enforce a capacity live.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..errors import ValidationError
+from ..errors import OutOfMemoryError, ValidationError
 from ..schedules.base import Schedule
 from ..types import OpKind, ScheduleOp
 from .compiler import compile_schedule
 from .ops import Action, BatchedP2P, CommKind, Recv, Send, Tag
+from .resources import StageResources
 
 #: Identity of one compute: ``(kind, microbatch, stage)``.
 ComputeKey = tuple  # tuple[OpKind, int, int]
@@ -85,6 +93,16 @@ class Program:
     deps: dict[ComputeKey, tuple[Dependency, ...]] = field(default_factory=dict)
     #: wire tag -> payload bytes
     tensor_bytes: dict[Tag, float] = field(default_factory=dict)
+    #: device -> resident (stage, replica) pairs in chunk order — the
+    #: placement facts memory accounting needs, kept so re-annotating
+    #: resources never has to re-derive them from a schedule
+    resident: dict[int, tuple[tuple[int, int], ...]] = field(
+        default_factory=dict)
+    #: per-stage byte footprints; None for byte-blind (abstract) runs
+    resources: StageResources | None = None
+    #: device -> static bytes (weights+grads+optimizer of every resident
+    #: stage); empty when the program carries no resources
+    static_bytes: dict[int, float] = field(default_factory=dict)
 
     # -- shape -----------------------------------------------------------
 
@@ -115,6 +133,58 @@ class Program:
             raise ValidationError(f"{action} is not a compute action")
         return self.ops[key]
 
+    # -- memory effects ---------------------------------------------------
+
+    @property
+    def tracks_memory(self) -> bool:
+        """Whether execution can maintain per-device watermarks."""
+        return self.resources is not None
+
+    def with_resources(self, resources: StageResources | None) -> "Program":
+        """Re-annotate this program with a different resource model.
+
+        This is how Program-level memory transforms compose — e.g.
+        activation recomputation is
+        ``program.with_resources(program.resources.with_recompute())``.
+        Action lists, dependency edges and tensor sizes are shared with
+        the original (they are untouched by memory semantics).
+        """
+        if resources is not None and resources.num_stages != self.num_stages:
+            raise ValidationError(
+                f"{self.name}: resources cover {resources.num_stages} "
+                f"stages, program has {self.num_stages}"
+            )
+        return dataclasses.replace(
+            self,
+            resources=resources,
+            static_bytes=_static_bytes(self.resident, resources),
+        )
+
+    def alloc_bytes(self, key: ComputeKey) -> float:
+        """Bytes a compute pins when it *starts* (forward allocation)."""
+        if self.resources is None or key[0] is not OpKind.FORWARD:
+            return 0.0
+        return self.resources.activation_bytes[key[2]]
+
+    def free_bytes(self, key: ComputeKey) -> float:
+        """Bytes a compute releases when it *ends* (backward free)."""
+        if self.resources is None or key[0] is not OpKind.BACKWARD:
+            return 0.0
+        return self.resources.activation_bytes[key[2]]
+
+    def check_static_memory(self, capacity_bytes: int) -> None:
+        """O(P) feasibility pre-check: static footprint alone vs capacity.
+
+        Raises :class:`~repro.errors.OutOfMemoryError` for the lowest
+        violating device — *before* any event is simulated, which is
+        what lets capacity-constrained sweeps reject hopeless cells for
+        free.  A program without resources passes vacuously.
+        """
+        for device in sorted(self.static_bytes):
+            static = self.static_bytes[device]
+            if static > capacity_bytes:
+                raise OutOfMemoryError(device, int(static), capacity_bytes)
+
     def validate(self, rendezvous: bool = False) -> None:
         """Static matching + deadlock-freedom over the action lists."""
         from .validate import validate_actions
@@ -139,6 +209,24 @@ def compute_key(action: Action) -> ComputeKey | None:
     return None
 
 
+def _static_bytes(
+    resident: dict[int, tuple[tuple[int, int], ...]],
+    resources: StageResources | None,
+) -> dict[int, float]:
+    """Per-device static bytes, summed in chunk order.
+
+    Chunk order matters for bit-identical float accumulation against
+    the placement-walking replay (`runtime.memory.static_memory`).
+    """
+    if resources is None:
+        return {}
+    return {
+        device: sum(resources.weight_bytes[stage]
+                    for stage, _replica in pairs)
+        for device, pairs in resident.items()
+    }
+
+
 def _dep_tag(dep: ComputeKey) -> Tag:
     """Wire identity of the tensor a dependency's producer emits."""
     kind, microbatch, stage = dep
@@ -152,6 +240,7 @@ def compile_program(
     batch_cross_comm: bool = True,
     add_step: bool = False,
     boundary_bytes: float | Callable[[Tag], float] = 1.0,
+    resources: StageResources | None = None,
 ) -> Program:
     """Lower ``schedule`` to the single execution IR.
 
@@ -159,8 +248,16 @@ def compile_program(
     abstract-cost runs, or a callable ``Tag -> bytes`` when stage
     boundaries differ.  ``add_step`` appends the ``Flush`` +
     ``OptimizerStep`` tail (off by default: both consumers charge the
-    step explicitly).
+    step explicitly).  ``resources`` attaches per-stage memory
+    footprints so the compiled program carries its own alloc/free
+    effects and static residency bytes (see
+    :mod:`repro.actions.resources`).
     """
+    if resources is not None and resources.num_stages != schedule.num_stages:
+        raise ValidationError(
+            f"{schedule.name}: resources cover {resources.num_stages} "
+            f"stages, schedule has {schedule.num_stages}"
+        )
     lists = compile_schedule(
         schedule, prefetch=prefetch, batch_cross_comm=batch_cross_comm,
         add_step=add_step,
@@ -202,6 +299,11 @@ def compile_program(
             for send in sends:
                 tensor_bytes[send.tag] = float(size(send.tag))
 
+    resident = {
+        device: tuple(schedule.placement.stages_on(device))
+        for device in sorted(lists)
+    }
+
     return Program(
         name=schedule.name,
         num_devices=schedule.num_devices,
@@ -213,4 +315,7 @@ def compile_program(
         ops=ops,
         deps=deps,
         tensor_bytes=tensor_bytes,
+        resident=resident,
+        resources=resources,
+        static_bytes=_static_bytes(resident, resources),
     )

@@ -1,0 +1,89 @@
+"""Per-stage memory resources compiled into the execution IR.
+
+The paper treats memory as a first-class property of a schedule: Fig. 3
+annotates every diagram with weight/activation units, Fig. 8 reports
+byte-accurate per-device peaks, and the Sec. 5.3 search rejects OOM
+configurations.  This module is the vocabulary that lets a compiled
+:class:`~repro.actions.program.Program` carry those semantics itself:
+
+* :class:`StageResources` names the bytes each pipeline stage pins —
+  static weights+grads+optimizer state per resident stage, and the
+  activation footprint one live micro-batch holds on that stage.
+* :func:`compile-time annotation <repro.actions.program.compile_program>`
+  turns them into per-action effects: a forward **allocates** its
+  stage's activation bytes the instant it starts, the matching backward
+  **frees** them the instant it retires, and every resident
+  ``(stage, replica)`` pair contributes its static bytes up front —
+  which is how Chimera's two replicas pay double weights without any
+  scheme-specific code.
+
+The event core (:mod:`repro.runtime.events`) folds these deltas into
+live per-device watermarks during execution, so a program fully
+determines each device's memory trajectory — no post-hoc replay needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..models.costs import StageCosts
+
+
+@dataclass(frozen=True)
+class StageResources:
+    """Byte footprint of every pipeline stage.
+
+    ``weight_bytes[s]`` is the static cost of keeping stage ``s``
+    resident (parameters + gradients + optimizer state, the paper's
+    ``Mw`` numerator); ``activation_bytes[s]`` is the dynamic cost one
+    live micro-batch pins on stage ``s`` between its forward start and
+    backward end (the ``Ma`` numerator).  ``boundary_bytes`` is the
+    tensor crossing a stage boundary — the residual footprint under
+    activation recomputation.
+    """
+
+    weight_bytes: tuple[float, ...]
+    activation_bytes: tuple[float, ...]
+    boundary_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.weight_bytes) != len(self.activation_bytes):
+            raise ConfigError(
+                f"weight_bytes ({len(self.weight_bytes)} stages) and "
+                f"activation_bytes ({len(self.activation_bytes)} stages) "
+                "disagree"
+            )
+        if not self.weight_bytes:
+            raise ConfigError("StageResources needs at least one stage")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.weight_bytes)
+
+    @classmethod
+    def from_stage_costs(cls, costs: "StageCosts") -> "StageResources":
+        """Adopt the byte columns of a lowered cost model."""
+        return cls(
+            weight_bytes=tuple(costs.weight_bytes),
+            activation_bytes=tuple(costs.activation_bytes),
+            boundary_bytes=float(costs.boundary_bytes),
+        )
+
+    def with_recompute(self) -> "StageResources":
+        """The activation-checkpointing transform (paper Sec. 6).
+
+        Every stage retains only its boundary input and re-runs its
+        forward during the backward pass, so the per-micro-batch
+        activation footprint collapses to one boundary tensor.  The
+        compute-time side (``T_B`` growing from ``2 T_F`` to ``3 T_F``)
+        belongs to the cost oracle, not the resource model — see
+        ``repro.models.stage_costs(recompute=True)``.
+        """
+        return replace(
+            self,
+            activation_bytes=(self.boundary_bytes,) * self.num_stages,
+        )

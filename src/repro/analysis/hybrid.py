@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..actions.resources import StageResources
 from ..cluster.presets import Cluster
 from ..cluster.topology import ring_transfer_chain
 from ..config import PipelineConfig
@@ -25,11 +26,15 @@ from ..errors import ConfigError, OutOfMemoryError
 from ..models.costs import StageCosts, stage_costs
 from ..models.spec import ModelSpec
 from ..runtime.costs import ConcreteCosts
-from ..runtime.memory import memory_stats
 from ..runtime.metrics import bubble_stats
 from ..runtime.simulator import simulate
 from ..schedules.factory import build_schedule
-from .throughput import ThroughputResult, dp_allreduce_seconds, _pipeline_comm
+from .throughput import (
+    ThroughputResult,
+    _pipeline_comm,
+    dp_allreduce_seconds,
+    static_oom_result,
+)
 
 
 def tp_allreduce_seconds(cluster: Cluster, tp: int,
@@ -121,6 +126,14 @@ def measure_hybrid_throughput(
     costs = apply_tensor_parallel(base, cluster, model, layout.tp,
                                   microbatch_size, layers_per_stage)
 
+    capacity = cluster.device.memory_bytes
+    # Static pre-check: a TP-sharded stage set whose weights alone bust
+    # the budget never enters the event loop.
+    pruned = static_oom_result(cfg, cluster, model, schedule, costs,
+                               capacity)
+    if pruned is not None:
+        return pruned
+
     # Pipeline peers sit `tp` ranks apart (rank = tp_rank + tp * pp_rank).
     class _Spaced(ConcreteCosts):
         def transfer_time(self, src: int, dst: int, stage: int) -> float:
@@ -130,18 +143,21 @@ def measure_hybrid_throughput(
                 src * layout.tp, dst * layout.tp, self.stage_costs.boundary_bytes
             )
 
-    result = simulate(schedule, _Spaced(costs, _pipeline_comm(cluster, 0, layout.p)))
-    stats = bubble_stats(result.timeline)
-    mem = memory_stats(schedule, result.timeline, costs)
     try:
-        mem.check_capacity(cluster.device.memory_bytes)
+        result = simulate(
+            schedule, _Spaced(costs, _pipeline_comm(cluster, 0, layout.p)),
+            resources=StageResources.from_stage_costs(costs),
+            capacity_bytes=capacity,
+        )
     except OutOfMemoryError as exc:
         return ThroughputResult(
             config=cfg, cluster_name=cluster.name, model_name=model.name,
             seq_per_s=None, bubble_ratio=None,
-            peak_mem_bytes=mem.highest_peak, iteration_s=None,
+            peak_mem_bytes=float(exc.peak_bytes), iteration_s=None,
             oom_device=exc.device,
         )
+    stats = bubble_stats(result.timeline)
+    mem = result.memory
     grad_bytes = max(
         sum(costs.weight_bytes[stage]
             for stage, _r in schedule.placement.stages_on(dev))

@@ -1,8 +1,9 @@
 """Analytic memory model in the units of the paper's Fig. 3 axes.
 
 * **Weight units** ``Mw`` — one unit is a ``model / P`` slice (weights +
-  grads + optimizer).  Every scheme except Chimera stores exactly one
-  unit per device; Chimera's bidirectional replicas store two.
+  grads + optimizer).  Every unidirectional scheme stores exactly one
+  unit per device; the bidirectional-replica schemes (Chimera, GEMS)
+  store two.
 * **Activation units** ``Ma`` — one unit is the saved activations of
   one device-worth of layers for one micro-batch.  GPipe retains all
   ``B`` micro-batches; DAPPLE's warmup bounds device 0 at ``min(B, P)``;
@@ -21,10 +22,16 @@ from ..errors import ConfigError
 
 
 def weight_units(scheme: str) -> float:
-    """Model-weight copies per device, in ``model/P`` units."""
-    if scheme == "chimera":
+    """Model-weight copies per device, in ``model/P`` units.
+
+    Chimera *and* GEMS keep two model replicas resident (one per
+    direction) — the byte-accurate runtime watermarks show exactly 2x
+    static bytes for both, and the cross-check suite pins this module
+    against them.
+    """
+    if scheme in ("chimera", "gems"):
         return 2.0
-    if scheme in ("gpipe", "dapple", "gems", "chimera-wave", "hanayo",
+    if scheme in ("gpipe", "dapple", "chimera-wave", "hanayo",
                   "interleaved", "async-1f1b"):
         return 1.0
     raise ConfigError(f"unknown scheme {scheme!r}")

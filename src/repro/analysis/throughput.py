@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..actions.resources import StageResources
 from ..cluster.comm_model import CommModel, Transfer
 from ..cluster.presets import Cluster
 from ..cluster.topology import ring_transfer_chain
@@ -19,7 +20,7 @@ from ..errors import ConfigError, OutOfMemoryError
 from ..models.costs import stage_costs
 from ..models.spec import ModelSpec
 from ..runtime.costs import ConcreteCosts
-from ..runtime.memory import memory_stats
+from ..runtime.memory import static_memory
 from ..runtime.metrics import bubble_stats
 from ..runtime.simulator import simulate
 from ..schedules.factory import build_schedule
@@ -59,6 +60,10 @@ class ThroughputResult:
     peak_mem_bytes: float | None
     iteration_s: float | None
     oom_device: int | None = None
+    #: True when the static residency bytes alone exceeded capacity —
+    #: the cell was rejected in O(P) without entering the event loop.
+    #: OOM cells with ``False`` were aborted mid-simulation instead.
+    statically_pruned: bool = False
 
     @property
     def oom(self) -> bool:
@@ -66,12 +71,36 @@ class ThroughputResult:
 
     def describe(self) -> str:
         if self.oom:
+            tag = "static" if self.statically_pruned else "runtime"
             return (f"{self.config.describe():40s} {self.cluster_name:5s} "
-                    f"OOM (device {self.oom_device})")
+                    f"OOM (device {self.oom_device}, {tag})")
         return (f"{self.config.describe():40s} {self.cluster_name:5s} "
                 f"{self.seq_per_s:6.2f} seq/s  "
                 f"bubble={self.bubble_ratio * 100:4.1f}%  "
                 f"peak={self.peak_mem_bytes / 2**30:5.1f} GiB")
+
+
+def static_oom_result(cfg: PipelineConfig, cluster: Cluster,
+                      model: ModelSpec, schedule, costs,
+                      capacity: int) -> ThroughputResult | None:
+    """The O(P) static-memory pre-check, as a pruned result.
+
+    Returns a ``statically_pruned`` OOM :class:`ThroughputResult` for
+    the lowest device whose resident weights alone exceed ``capacity``,
+    or ``None`` when every device's static footprint fits (the cell
+    must then be simulated to get a verdict).  Shared by the throughput
+    and hybrid harnesses so the pruned-result shape cannot drift.
+    """
+    static = static_memory(schedule, costs)
+    for device in sorted(static):
+        if static[device] > capacity:
+            return ThroughputResult(
+                config=cfg, cluster_name=cluster.name,
+                model_name=model.name, seq_per_s=None, bubble_ratio=None,
+                peak_mem_bytes=static[device], iteration_s=None,
+                oom_device=device, statically_pruned=True,
+            )
+    return None
 
 
 def dp_allreduce_seconds(cluster: Cluster, p: int, d: int,
@@ -104,12 +133,20 @@ def measure_throughput(
     run: RunConfig | None = None,
     enforce_memory: bool = True,
     dp_overlap: float = 0.9,
+    capacity_bytes: int | None = None,
 ) -> ThroughputResult:
     """Simulate one configuration and return sequences/second (or OOM).
 
     ``dp_overlap`` is the fraction of the data-parallel gradient
     all-reduce hidden under backward compute (bucketed all-reduce as in
     Megatron/DeepSpeed); only the remainder extends the iteration.
+
+    Memory is enforced *live*: statically-infeasible cells (weights +
+    grads + optimizer alone exceed capacity) are rejected in O(P)
+    before any simulation, and all other OOM cells abort the event
+    loop at a violating allocation — OOM verdicts never pay a full
+    simulation.  ``capacity_bytes`` overrides the cluster device's
+    memory (a ``--capacity-gib`` what-if).
     """
     if not (0.0 <= dp_overlap <= 1.0):
         raise ConfigError("dp_overlap must be in [0, 1]")
@@ -117,6 +154,8 @@ def measure_throughput(
         raise ConfigError(
             f"layout P={p} x D={d} exceeds cluster of {cluster.num_devices}"
         )
+    capacity = (cluster.device.memory_bytes if capacity_bytes is None
+                else capacity_bytes)
     cfg = PipelineConfig(
         scheme=scheme,
         num_devices=p,
@@ -128,19 +167,27 @@ def measure_throughput(
     schedule = build_schedule(cfg)
     costs = stage_costs(model, schedule.num_stages, cluster.device,
                         microbatch_size)
-    oracle = ConcreteCosts(costs, _pipeline_comm(cluster, 0, p))
-    result = simulate(schedule, oracle, run)
-    stats = bubble_stats(result.timeline)
-    mem = memory_stats(schedule, result.timeline, costs)
     if enforce_memory:
-        try:
-            mem.check_capacity(cluster.device.memory_bytes)
-        except OutOfMemoryError as exc:
-            return ThroughputResult(
-                config=cfg, cluster_name=cluster.name, model_name=model.name,
-                seq_per_s=None, bubble_ratio=None, peak_mem_bytes=mem.highest_peak,
-                iteration_s=None, oom_device=exc.device,
-            )
+        pruned = static_oom_result(cfg, cluster, model, schedule, costs,
+                                   capacity)
+        if pruned is not None:
+            return pruned
+    oracle = ConcreteCosts(costs, _pipeline_comm(cluster, 0, p))
+    try:
+        result = simulate(
+            schedule, oracle, run,
+            resources=StageResources.from_stage_costs(costs),
+            capacity_bytes=capacity if enforce_memory else None,
+        )
+    except OutOfMemoryError as exc:
+        return ThroughputResult(
+            config=cfg, cluster_name=cluster.name, model_name=model.name,
+            seq_per_s=None, bubble_ratio=None,
+            peak_mem_bytes=float(exc.peak_bytes),
+            iteration_s=None, oom_device=exc.device,
+        )
+    stats = bubble_stats(result.timeline)
+    mem = result.memory
     # Gradients are fp32 shards of the device's parameters (weight_bytes
     # bundles params+grads+optimizer at 16 B/param; grads alone are 4).
     grad_bytes = max(

@@ -82,6 +82,7 @@ def cmd_trace(args) -> int:
         if args.t_c:
             print("note: --t-c is ignored with --cluster "
                   "(topology provides transfer times)", file=sys.stderr)
+        from .actions import StageResources
         from .cluster import CommModel, get_cluster
         from .models import bert_64, gpt_128, stage_costs, tiny_model
         from .runtime import ConcreteCosts
@@ -95,21 +96,29 @@ def cmd_trace(args) -> int:
             num_microbatches=args.microbatches, num_waves=args.waves,
         )
         sched = build_schedule(cfg)
-        oracle = ConcreteCosts(
-            stage_costs(model, sched.num_stages, cluster.device),
-            CommModel.from_cluster(cluster),
-        )
-        res = simulate(sched, oracle, run)
+        costs = stage_costs(model, sched.num_stages, cluster.device)
+        oracle = ConcreteCosts(costs, CommModel.from_cluster(cluster))
+        capacity = (int(args.capacity_gib * 2**30)
+                    if args.capacity_gib is not None else None)
+        res = simulate(sched, oracle, run,
+                       resources=StageResources.from_stage_costs(costs),
+                       capacity_bytes=capacity)
         unit = 1e6  # concrete costs are in seconds
         what = f"{args.scheme}/{cluster.name}/{model.name}"
     else:
+        if args.capacity_gib is not None:
+            print("note: --capacity-gib needs --cluster (abstract costs "
+                  "carry no bytes); ignored", file=sys.stderr)
         _, sched, res = _build(args, run)
         unit = 1000.0
         what = f"{args.scheme} (abstract costs)"
     write_sim_trace(res, args.output, time_unit_us=unit)
     spans = sum(len(s) for s in res.timeline.spans.values())
+    extra = ""
+    if res.memory is not None:
+        extra = f", peak mem {res.memory.highest_peak / 2**30:.1f} GiB"
     print(f"wrote {args.output} for {what} "
-          f"({spans} compute spans, {len(res.comm)} transfers); "
+          f"({spans} compute spans, {len(res.comm)} transfers{extra}); "
           "open it at https://ui.perfetto.dev")
     return 0
 
@@ -170,6 +179,8 @@ def cmd_sweep(args) -> int:
         total_batches=tuple(args.batch),
         waves=tuple(args.sweep_waves),
         target_microbatches=args.target_microbatches,
+        capacity_bytes=(int(args.capacity_gib * 2**30)
+                        if args.capacity_gib is not None else None),
         # explicitly requested layouts must error when they don't fit,
         # not vanish into an empty table
         skip_oversized=args.layouts is None,
@@ -244,6 +255,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="blocking receives (ablate Sec. 4.2 overlap)")
     t.add_argument("--contention", action="store_true",
                    help="serialize transfers sharing a device pair")
+    t.add_argument("--capacity-gib", type=float, default=None,
+                   help="abort the run at the first allocation past "
+                        "this per-device capacity (needs --cluster)")
     t.set_defaults(fn=cmd_trace)
 
     a = sub.add_parser("advise", help="configuration search")
@@ -272,6 +286,9 @@ def make_parser() -> argparse.ArgumentParser:
                     default=[1, 2, 4, 8],
                     help="wave counts searched for hanayo")
     sw.add_argument("--target-microbatches", type=int, default=None)
+    sw.add_argument("--capacity-gib", type=float, default=None,
+                    help="override per-device memory for OOM verdicts "
+                         "(what-if smaller/larger cards)")
     sw.add_argument("-j", "--workers", type=int, default=1,
                     help="worker processes for uncached cells")
     sw.add_argument("--cache", default=None,

@@ -1,7 +1,12 @@
 """Discrete-event runtime: cost oracles, simulator, memory, metrics."""
 
 from .costs import AbstractCosts, ConcreteCosts, CostOracle
-from .memory import MemoryStats, memory_stats, static_memory
+from .memory import (
+    MemoryStats,
+    memory_stats,
+    memory_stats_from_result,
+    static_memory,
+)
 from .metrics import (
     BubbleStats,
     bubble_stats,
@@ -10,7 +15,7 @@ from .metrics import (
     steady_state_bubble_ratio,
     throughput_seq_per_s,
 )
-from .events import CommEvent, EventResult, execute_program
+from .events import CommEvent, EventResult, MemoryEvent, execute_program
 from .simulator import (
     SimResult,
     TrainingSimResult,
@@ -26,6 +31,7 @@ __all__ = [
     "ConcreteCosts",
     "CostOracle",
     "EventResult",
+    "MemoryEvent",
     "MemoryStats",
     "SimResult",
     "TrainingSimResult",
@@ -34,6 +40,7 @@ __all__ = [
     "execute_program",
     "kind_time",
     "memory_stats",
+    "memory_stats_from_result",
     "simulate",
     "simulate_program",
     "simulate_training",

@@ -37,6 +37,26 @@ Optional fidelity knobs (:class:`~repro.config.RunConfig`):
 * Under contention, opposing transfers posted as one batched group
   share the wire back-to-back and the follower skips the link launch
   latency (:meth:`CostOracle.link_latency`) — the batched-P2P saving.
+
+Memory model
+------------
+
+When the program carries :class:`~repro.actions.StageResources`, the
+core maintains **live per-device watermarks**: every device starts at
+its static residency bytes, each forward start allocates its stage's
+activation bytes, each backward end frees them.  Per device the deltas
+are applied in execution (= program) order, which makes the resulting
+peaks bit-identical to the offline timeline replay
+(:func:`repro.runtime.memory.memory_stats`) — pinned by the parity
+suite.  An optional ``capacity_bytes`` turns the watermarks into an
+enforcement mechanism: a violating allocation aborts the run with a
+structured :class:`~repro.errors.OutOfMemoryError` (after an O(P)
+static pre-check that rejects statically-infeasible programs before a
+single event is simulated).  The abort fires at the first violation
+*in replay order* — deterministic per driver, but the attributed
+device/peak may differ between the greedy and time-ordered drivers
+when several devices would violate; the OOM *verdict* is
+driver-independent.
 """
 
 from __future__ import annotations
@@ -54,7 +74,7 @@ from ..actions.ops import (
 )
 from ..actions.program import Program, compute_key
 from ..config import RunConfig
-from ..errors import SchedulingError
+from ..errors import OutOfMemoryError, SchedulingError
 from ..types import TimedOp, Timeline
 from .costs import CostOracle
 
@@ -77,6 +97,17 @@ class CommEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class MemoryEvent:
+    """One watermark change on a device: an activation alloc or free."""
+
+    device: int
+    time: float     # forward start (alloc) or backward end (free)
+    delta: float    # signed bytes
+    level: float    # device watermark after applying the delta
+    key: tuple      # the compute (kind, microbatch, stage) responsible
+
+
 @dataclass
 class EventResult:
     """Everything one program execution produces."""
@@ -89,6 +120,11 @@ class EventResult:
     #: per-device executed action order — the parity witness: always a
     #: prefix-complete replay of ``program.actions``
     order: dict[int, list[Action]] = field(default_factory=dict)
+    #: per-device peak memory bytes (static + live activations); empty
+    #: when the program carries no resources
+    mem_peak: dict[int, float] = field(default_factory=dict)
+    #: every watermark change, in per-device execution order
+    mem_events: list[MemoryEvent] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -111,13 +147,28 @@ def execute_program(
     program: Program,
     costs: CostOracle,
     run: RunConfig | None = None,
+    capacity_bytes: int | None = None,
 ) -> EventResult:
     """Time ``program`` against ``costs`` and return its event log.
 
     Raises :class:`SchedulingError` if the worker programs deadlock —
     an action waits for a transfer whose sender is queued behind it.
+
+    ``capacity_bytes`` (requires a resource-annotated program) arms the
+    memory watermarks: the run aborts with
+    :class:`~repro.errors.OutOfMemoryError` at the first violating
+    allocation encountered in replay order — statically-infeasible
+    programs are rejected in O(P) before the event loop starts.
     """
     run = run or RunConfig()
+    tracked = program.tracks_memory
+    if capacity_bytes is not None:
+        if not tracked:
+            raise SchedulingError(
+                f"{program.name}: capacity enforcement needs a "
+                "resource-annotated program (compile with resources=...)"
+            )
+        program.check_static_memory(capacity_bytes)
     # Blocking-vs-overlapped receives are a property of the *compiled*
     # program (the prefetch hoisting pass and asynchronous recv
     # semantics belong together), so execution follows the program's
@@ -138,6 +189,38 @@ def execute_program(
     wires: dict[frozenset, _Wire] = {}
     timeline = Timeline()
     comm: list[CommEvent] = []
+    mem_level = dict(program.static_bytes)
+    mem_peak = dict(mem_level)
+    mem_events: list[MemoryEvent] = []
+
+    def account_memory(device: int, key: tuple, start: float,
+                       end: float) -> None:
+        """Fold one compute's alloc/free effect into the watermarks.
+
+        The deltas come from the program's own effect methods — the
+        single encoding of what each compute pins and releases.
+        """
+        alloc = program.alloc_bytes(key)
+        if alloc:
+            level = mem_level[device] + alloc
+            mem_level[device] = level
+            mem_events.append(MemoryEvent(
+                device=device, time=start, delta=+alloc, level=level,
+                key=key,
+            ))
+            if level > mem_peak[device]:
+                mem_peak[device] = level
+                if capacity_bytes is not None and level > capacity_bytes:
+                    raise OutOfMemoryError(device, int(level),
+                                           capacity_bytes)
+        free = program.free_bytes(key)
+        if free:
+            level = mem_level[device] - free
+            mem_level[device] = level
+            mem_events.append(MemoryEvent(
+                device=device, time=end, delta=-free, level=level,
+                key=key,
+            ))
 
     def post_send(device: int, send: Send,
                   exchange: frozenset | None) -> None:
@@ -214,6 +297,8 @@ def execute_program(
         timeline.add(TimedOp(op=op, start=start, end=end))
         clock[device] = end
         produced[key] = end
+        if tracked:
+            account_memory(device, key, start, end)
         return True
 
     def step(device: int, index: int, act: Action) -> bool:
@@ -352,8 +437,18 @@ def execute_program(
     else:
         run_greedy()
 
+    if tracked:
+        for device, level in mem_level.items():
+            drift = level - program.static_bytes[device]
+            # tolerance: float accumulation over many alloc/free pairs
+            # of non-representable byte counts (e.g. TP-sharded sizes)
+            if abs(drift) > max(64.0, 1e-9 * mem_peak[device]):
+                raise AssertionError(
+                    f"activation leak on device {device}: {drift} bytes"
+                )
+
     for spans in timeline.spans.values():
         spans.sort(key=lambda t: t.start)
     comm.sort(key=lambda e: (e.post, e.start))
     return EventResult(timeline=timeline, recv_wait=recv_wait, comm=comm,
-                       order=order)
+                       order=order, mem_peak=mem_peak, mem_events=mem_events)

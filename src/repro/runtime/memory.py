@@ -7,16 +7,25 @@ Memory on a device is::
     dynamic = live activation chunks: allocated when a micro-batch's
               forward for a stage starts, freed when its backward ends
 
-The tracker replays a simulated timeline and reports the peak per
-device.  An optional capacity turns the peak into the paper's OOM
-verdicts.
+Since memory became a first-class runtime resource, the **event core
+itself maintains these watermarks** while it executes a
+resource-annotated :class:`~repro.actions.Program`
+(see :mod:`repro.runtime.events`), and this module is primarily the
+thin reader over that stream: :func:`memory_stats_from_result` lifts a
+simulation's live peaks into a :class:`MemoryStats`.
+
+:func:`memory_stats` — the original offline *replay* over a finished
+:class:`~repro.types.Timeline` — is retained for two reasons: archived
+timelines (``Timeline.from_dict``) carry no program, and the replay is
+the independent oracle the parity suite pins the runtime watermarks
+against, byte for byte, on every schedule family.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import OutOfMemoryError
+from ..errors import ConfigError, OutOfMemoryError
 from ..models.costs import StageCosts
 from ..schedules.base import Schedule
 from ..types import OpKind, Timeline
@@ -65,17 +74,38 @@ def static_memory(schedule: Schedule, costs: StageCosts) -> dict[int, float]:
     return static
 
 
+def memory_stats_from_result(result) -> MemoryStats:
+    """Read a simulation's live watermarks as :class:`MemoryStats`.
+
+    ``result`` is a :class:`~repro.runtime.SimResult` whose program was
+    compiled with :class:`~repro.actions.StageResources` — the event
+    core already tracked every alloc/free, so this is a field read, not
+    a replay.
+    """
+    memory = getattr(result, "memory", None)
+    if memory is None:
+        raise ConfigError(
+            "simulation carries no memory watermarks; pass resources= "
+            "to simulate() (or compile the program with resources=...)"
+        )
+    return memory
+
+
 def memory_stats(
     schedule: Schedule,
     timeline: Timeline,
     costs: StageCosts,
     capacity_bytes: int | None = None,
 ) -> MemoryStats:
-    """Replay the timeline and compute per-device peak memory.
+    """Replay a finished timeline and compute per-device peak memory.
 
     Activation lifetime: F start → B end for each (micro-batch, stage).
     The replay is event-ordered per device, so peaks are exact for the
-    executed schedule, not a bound.
+    executed schedule, not a bound — and bit-identical to the event
+    core's live watermarks for the same program (the parity suite
+    asserts it).  Prefer :func:`memory_stats_from_result` for fresh
+    simulations; this replay serves archived timelines and acts as the
+    independent oracle.
     """
     static = static_memory(schedule, costs)
     peak = dict(static)

@@ -28,12 +28,14 @@ from dataclasses import dataclass, field
 
 from ..actions.ops import Action
 from ..actions.program import Program, compile_program
+from ..actions.resources import StageResources
 from ..config import RunConfig
 from ..errors import SchedulingError
 from ..schedules.base import Schedule
 from ..types import Timeline
 from .costs import CostOracle
-from .events import CommEvent, execute_program
+from .events import CommEvent, MemoryEvent, execute_program
+from .memory import MemoryStats
 
 
 @dataclass
@@ -54,6 +56,12 @@ class SimResult:
     #: per-device executed action order (the parity witness: equals the
     #: program's action lists action-for-action)
     action_order: dict[int, list[Action]] = field(default_factory=dict)
+    #: per-device memory watermark peaks + statics, maintained live by
+    #: the event core; None when the program carries no resources
+    memory: MemoryStats | None = None
+    #: every watermark change, in per-device execution order (feeds the
+    #: Chrome-trace memory counter lanes)
+    mem_events: list[MemoryEvent] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -104,6 +112,9 @@ def simulate(
     schedule: Schedule,
     costs: CostOracle,
     run: RunConfig | None = None,
+    *,
+    resources: StageResources | None = None,
+    capacity_bytes: int | None = None,
 ) -> SimResult:
     """Compile ``schedule`` to a program and execute it under ``costs``.
 
@@ -112,6 +123,13 @@ def simulate(
     :func:`repro.schedules.validation.check_executable` rules out for
     generator-produced schedules, but which hand-written schedules can
     trigger.
+
+    ``resources`` annotates the compiled program with per-stage memory
+    footprints, turning on live watermark tracking (``result.memory``);
+    ``capacity_bytes`` additionally enforces a device capacity — the
+    run aborts with :class:`~repro.errors.OutOfMemoryError` at the
+    first violating allocation in replay order, after a free O(P)
+    static pre-check.
     """
     run = run or RunConfig()
     program = compile_program(
@@ -120,8 +138,10 @@ def simulate(
         batch_cross_comm=run.batch_cross_comm,
         add_step=False,
         boundary_bytes=lambda tag: costs.tensor_nbytes(tag.stage),
+        resources=resources,
     )
-    return simulate_program(program, costs, run, schedule=schedule)
+    return simulate_program(program, costs, run, schedule=schedule,
+                            capacity_bytes=capacity_bytes)
 
 
 def simulate_program(
@@ -129,6 +149,8 @@ def simulate_program(
     costs: CostOracle,
     run: RunConfig | None = None,
     schedule: Schedule | None = None,
+    *,
+    capacity_bytes: int | None = None,
 ) -> SimResult:
     """Execute an already-compiled program — sim side of the parity pair.
 
@@ -140,7 +162,12 @@ def simulate_program(
     compiled with — while ``run`` contributes fidelity knobs such as
     ``contention``.
     """
-    result = execute_program(program, costs, run)
+    result = execute_program(program, costs, run,
+                             capacity_bytes=capacity_bytes)
+    memory = None
+    if program.tracks_memory:
+        memory = MemoryStats(static_bytes=dict(program.static_bytes),
+                             peak_bytes=result.mem_peak)
     return SimResult(
         schedule=schedule,
         timeline=result.timeline,
@@ -148,4 +175,6 @@ def simulate_program(
         program=program,
         comm=result.comm,
         action_order=result.order,
+        memory=memory,
+        mem_events=result.mem_events,
     )

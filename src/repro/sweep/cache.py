@@ -31,7 +31,9 @@ from ..analysis.throughput import ThroughputResult
 
 #: bump when record layout or fingerprint semantics change; old entries
 #: then read as misses instead of deserialising wrongly
-CACHE_VERSION = 1
+#: (2: memory-as-a-resource — records carry ``statically_pruned``, keys
+#: carry ``capacity_bytes``, OOM peaks are abort-time watermarks)
+CACHE_VERSION = 2
 
 #: package-relative sources whose behaviour determines a measurement;
 #: their content is hashed into every cache key so editing the cost
@@ -125,6 +127,7 @@ def cache_key(
     microbatch_size: int,
     dp_overlap: float = 0.9,
     enforce_memory: bool = True,
+    capacity_bytes: int | None = None,
     cluster_fp: dict | None = None,
     model_fp: dict | None = None,
 ) -> str:
@@ -160,6 +163,7 @@ def cache_key(
         "options": {
             "dp_overlap": dp_overlap,
             "enforce_memory": enforce_memory,
+            "capacity_bytes": capacity_bytes,
         },
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -183,6 +187,7 @@ def result_to_record(result: ThroughputResult) -> dict:
         "peak_mem_bytes": result.peak_mem_bytes,
         "iteration_s": result.iteration_s,
         "oom_device": result.oom_device,
+        "statically_pruned": result.statically_pruned,
     }
 
 
@@ -212,6 +217,7 @@ def record_to_result(record: dict) -> ThroughputResult | None:
         peak_mem_bytes=record["peak_mem_bytes"],
         iteration_s=record["iteration_s"],
         oom_device=record["oom_device"],
+        statically_pruned=record.get("statically_pruned", False),
     )
 
 

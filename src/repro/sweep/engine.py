@@ -39,7 +39,8 @@ MAX_WORKERS = 32
 
 def _evaluate(job: tuple) -> tuple[int, dict]:
     """Measure one grid cell; must stay module-level (pool pickling)."""
-    index, point, cluster, model, dp_overlap, enforce_memory = job
+    (index, point, cluster, model, dp_overlap, enforce_memory,
+     capacity_bytes) = job
     try:
         result = measure_throughput(
             point.scheme, cluster, model,
@@ -48,6 +49,7 @@ def _evaluate(job: tuple) -> tuple[int, dict]:
             microbatch_size=point.microbatch_size,
             dp_overlap=dp_overlap,
             enforce_memory=enforce_memory,
+            capacity_bytes=capacity_bytes,
         )
     except ConfigError as exc:
         return index, infeasible_record(str(exc))
@@ -67,6 +69,7 @@ def point_key(spec: SweepSpec, point: SweepPoint,
         microbatch_size=point.microbatch_size,
         dp_overlap=spec.dp_overlap,
         enforce_memory=spec.enforce_memory,
+        capacity_bytes=spec.capacity_bytes,
         cluster_fp=cluster_fp, model_fp=model_fp,
     )
 
@@ -106,7 +109,7 @@ def run_sweep(
             i, point,
             spec.clusters[point.cluster_index],
             spec.models[point.model_index],
-            spec.dp_overlap, spec.enforce_memory,
+            spec.dp_overlap, spec.enforce_memory, spec.capacity_bytes,
         ))
 
     if misses:
@@ -134,6 +137,8 @@ def run_sweep(
         if result is None:
             stats.infeasible += 1
             continue
+        if result.statically_pruned:
+            stats.pruned += 1
         rows.append(SweepRow(
             scheme=point.scheme,
             cluster=spec.clusters[point.cluster_index].name,

@@ -129,8 +129,11 @@ class SweepSpec:
         Wave counts searched for Hanayo (other schemes run ``W = 1``).
     target_microbatches:
         Preferred micro-batch count per pipeline (default: ``P``).
-    dp_overlap / enforce_memory:
-        Forwarded to ``measure_throughput``.
+    dp_overlap / enforce_memory / capacity_bytes:
+        Forwarded to ``measure_throughput``.  ``capacity_bytes``
+        overrides each cluster device's memory for capacity what-ifs
+        (the ``repro sweep --capacity-gib`` knob); ``None`` uses the
+        device's own capacity.
     skip_oversized:
         When true (the default), layouts that do not fit a cluster are
         silently dropped — useful for one spec spanning clusters of
@@ -160,6 +163,7 @@ class SweepSpec:
     target_microbatches: int | None = None
     dp_overlap: float = 0.9
     enforce_memory: bool = True
+    capacity_bytes: int | None = None
     skip_oversized: bool = True
 
     def __post_init__(self) -> None:
@@ -177,6 +181,8 @@ class SweepSpec:
                 raise ConfigError(f"bad layout {layout!r}; want (P, D) >= 1")
         if not (0.0 <= self.dp_overlap <= 1.0):
             raise ConfigError("dp_overlap must be in [0, 1]")
+        if self.capacity_bytes is not None and self.capacity_bytes < 1:
+            raise ConfigError("capacity_bytes must be >= 1 (or None)")
 
     @property
     def grid_size(self) -> int:

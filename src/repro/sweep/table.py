@@ -36,10 +36,16 @@ class SweepStats:
     computed: int = 0     #: fresh ``measure_throughput`` evaluations
     cached: int = 0       #: cells served from the result cache
     infeasible: int = 0   #: cells ``measure_throughput`` rejected
+    #: OOM cells rejected by the O(P) static-memory pre-check — these
+    #: never entered the event loop (cached or fresh alike)
+    pruned: int = 0
 
     def describe(self) -> str:
-        return (f"{self.total} cells: {self.computed} computed, "
+        text = (f"{self.total} cells: {self.computed} computed, "
                 f"{self.cached} cached, {self.infeasible} infeasible")
+        if self.pruned:
+            text += f", {self.pruned} OOM-pruned without simulating"
+        return text
 
 
 @dataclass(frozen=True)

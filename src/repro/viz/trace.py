@@ -7,9 +7,12 @@ way modern training stacks visualise pipeline execution.
 :func:`sim_to_chrome_trace` goes further: fed directly by the
 event-driven simulator's :class:`~repro.runtime.SimResult`, it adds a
 ``network`` process with one lane per directed link carrying every
-point-to-point transfer (tag, bytes, batched-group membership), so any
-run — bench, sweep or engine — can be inspected in one timeline format
-at https://ui.perfetto.dev.
+point-to-point transfer (tag, bytes, batched-group membership) — and,
+when the simulated program carried memory resources, one **counter
+lane per device** plotting its live memory watermark (static residency
+plus activation allocs/frees, in GiB) — so any run — bench, sweep or
+engine — can be inspected in one timeline format at
+https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -75,17 +78,43 @@ def write_chrome_trace(timeline: Timeline, path: str,
 
 def sim_to_chrome_trace(result, time_unit_us: float = 1000.0,
                         process_name: str = "pipeline") -> dict:
-    """Full simulator trace: compute spans plus per-link comm lanes.
+    """Full simulator trace: compute spans plus comm and memory lanes.
 
     ``result`` is a :class:`~repro.runtime.SimResult`; its ``comm``
     event log (one entry per point-to-point transfer, straight from the
     event core) becomes a second trace process with one thread per
     directed link.  Zero-duration transfers (free abstract comm) are
-    kept — they still mark message ordering.
+    kept — they still mark message ordering.  If the simulated program
+    carried :class:`~repro.actions.StageResources`, each device also
+    gets a ``memory dN`` counter lane sampling its live watermark at
+    every alloc/free (Perfetto renders counters as step plots).
     """
     trace = timeline_to_chrome_trace(result.timeline, time_unit_us,
                                      process_name=process_name)
     events = trace["traceEvents"]
+    mem_events = getattr(result, "mem_events", None)
+    if mem_events:
+        program = getattr(result, "program", None)
+        static = dict(program.static_bytes) if program is not None else {}
+        # anchor every device's counter at its static level so the lane
+        # starts where the run starts, not at the first alloc
+        for device in sorted(set(static)
+                             | {e.device for e in mem_events}):
+            events.append({
+                "name": f"memory d{device}",
+                "ph": "C",
+                "pid": 0,
+                "ts": 0.0,
+                "args": {"GiB": static.get(device, 0.0) / 2**30},
+            })
+        for e in mem_events:
+            events.append({
+                "name": f"memory d{e.device}",
+                "ph": "C",
+                "pid": 0,
+                "ts": e.time * time_unit_us,
+                "args": {"GiB": e.level / 2**30},
+            })
     if result.comm:
         events.append({
             "name": "process_name",

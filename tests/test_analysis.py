@@ -104,8 +104,11 @@ class TestClassicFormulas:
 
 class TestMemoryModelUnits:
     def test_weight_units(self):
+        # the bidirectional-replica schemes pay double weights — the
+        # byte-accurate watermarks confirm 2x static for both
         assert weight_units("chimera") == 2.0
-        for s in ("gpipe", "dapple", "hanayo", "gems", "chimera-wave"):
+        assert weight_units("gems") == 2.0
+        for s in ("gpipe", "dapple", "hanayo", "chimera-wave"):
             assert weight_units(s) == 1.0
         with pytest.raises(ConfigError):
             weight_units("nope")
@@ -156,8 +159,11 @@ class TestPerfModel:
         names = [r.scheme for r in rows]
         assert names == ["gpipe", "dapple", "gems", "chimera",
                          "hanayo", "hanayo"]
-        # chimera is the only 2x weight row
-        assert [r.weight_memory_units for r in rows].count(2.0) == 1
+        # the bidirectional-replica schemes (gems, chimera) pay 2x
+        # weights; everyone else 1x
+        units = {r.scheme: r.weight_memory_units for r in rows}
+        assert units["chimera"] == units["gems"] == 2.0
+        assert units["gpipe"] == units["dapple"] == units["hanayo"] == 1.0
 
 
 class TestZones:

@@ -133,6 +133,14 @@ class TestCache:
             keys.append(out.stdout.strip())
         assert set(keys) == {local}
 
+    def test_key_includes_capacity(self):
+        """Capacity what-ifs must not share cells with default runs."""
+        shape = dict(p=4, d=1, w=1, num_microbatches=4, microbatch_size=2)
+        base = cache_key("gpipe", make_fc(4), tiny_model(), **shape)
+        capped = cache_key("gpipe", make_fc(4), tiny_model(), **shape,
+                           capacity_bytes=10 * 2**30)
+        assert base != capped
+
     def test_key_includes_code_fingerprint(self, monkeypatch):
         """Editing measurement code must invalidate cached cells."""
         import repro.sweep.cache as cache_mod
@@ -157,7 +165,12 @@ class TestCache:
         for required in (
             "actions/compiler.py",
             "actions/program.py",
+            # resource deltas are measurement semantics: editing the
+            # alloc/free model or the watermark tracker must turn a
+            # durable cache into misses
+            "actions/resources.py",
             "runtime/events.py",
+            "runtime/memory.py",
             "runtime/simulator.py",
             "runtime/costs.py",
             "cluster/comm_model.py",

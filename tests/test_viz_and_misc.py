@@ -45,6 +45,37 @@ class TestGantt:
         assert text.count("P0:") == 1
 
 
+class TestTraceMemoryLanes:
+    def _sim(self, resources=False):
+        from repro.actions import StageResources
+        from repro.models import A100_40G, bert_64, stage_costs
+        sched = build_schedule(make_config("dapple", 4, 4))
+        kw = {}
+        if resources:
+            costs = stage_costs(bert_64(), sched.num_stages, A100_40G)
+            kw["resources"] = StageResources.from_stage_costs(costs)
+        return simulate(sched, AbstractCosts(CostConfig(), 4, 4), **kw)
+
+    def test_counter_lanes_for_annotated_program(self):
+        from repro.viz.trace import sim_to_chrome_trace
+        trace = sim_to_chrome_trace(self._sim(resources=True))
+        counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+        assert counters
+        # one lane per device, anchored at the static level at t=0
+        names = {e["name"] for e in counters}
+        assert names == {f"memory d{d}" for d in range(4)}
+        anchors = counters[:4]  # emitted first, one per device
+        assert [e["name"] for e in anchors] == [f"memory d{d}"
+                                                for d in range(4)]
+        assert all(e["ts"] == 0.0 and e["args"]["GiB"] > 0
+                   for e in anchors)
+
+    def test_no_counter_lanes_without_resources(self):
+        from repro.viz.trace import sim_to_chrome_trace
+        trace = sim_to_chrome_trace(self._sim(resources=False))
+        assert not [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+
+
 class TestErrors:
     def test_oom_carries_details(self):
         err = OutOfMemoryError(3, 50 * 2**30, 40 * 2**30)
