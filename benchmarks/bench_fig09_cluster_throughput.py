@@ -7,10 +7,18 @@ best Hanayo over Chimera-wave: 15.7%, 30.4%, 23.2%, 29.9% (row 1) and
 8.2%, 17.1%, 24.6%, 28.0% (row 2); G and D are ~20% below C.
 
 Shape asserted here: Hanayo's best wave count beats Chimera-wave on
-every cluster in both layouts (gap in the 5-45% band); GPipe and DAPPLE
-are within a few percent of each other and below Chimera-wave; on the
-NVLink clusters throughput rises with the wave count while TACC's
-weaker interconnect caps the useful wave count.
+every cluster in both layouts; GPipe and DAPPLE are within a few
+percent of each other and below Chimera-wave; on the NVLink clusters
+throughput rises with the wave count while TACC's weaker interconnect
+caps the useful wave count.
+
+Since the collectives-in-the-IR refactor the D=2 row uses *simulated*
+gradient-sync overlap (ring collectives compiled into the program)
+instead of the paper-era 0.9 constant, so the D=2 gaps widen past the
+paper's fixed-overlap estimates on clusters whose DP rings cross slow
+links (PC's PCIe): 1F1B schemes cannot hide the sync their stage-0
+device finishes last, while Hanayo's early-finishing wave chunks can.
+The asserted band is therefore 2-70%.
 """
 
 from __future__ import annotations
@@ -86,7 +94,8 @@ def test_fig09_cluster_throughput(benchmark):
             assert abs(g - dd) / dd < 0.05, (cname, p)
             assert c > min(g, dd), (cname, p)
             # Hanayo's best wave beats Chimera-wave by a paper-like gap
-            assert 2.0 < best_gaps[(cname, p)] < 50.0, (cname, p)
+            # (upper bound widened for simulated D=2 sync exposure)
+            assert 2.0 < best_gaps[(cname, p)] < 70.0, (cname, p)
     # interconnect sensitivity: TACC gains less from waves than FC
     assert best_gaps[("FC", 8)] > best_gaps[("TACC", 8)]
     benchmark.extra_info["best_gaps_percent"] = {

@@ -7,7 +7,14 @@ DAPPLE/GPipe by ~33%, parallel efficiency ≈ 100%.
 
 Shape asserted here: the scheme ordering holds at every size, Hanayo's
 gap over Chimera-wave lands in a single-digit-to-30% band on this
-interconnect, and Hanayo's parallel efficiency stays above 85%.
+interconnect, and Hanayo's parallel efficiency stays above 75%.
+
+The efficiency floor is lower than the paper's ~100% because since the
+collectives-in-the-IR refactor gradient sync is *simulated*: the 16-
+and 32-GPU points run D > 1 layouts whose DP rings cross InfiniBand,
+and the event core only hides the ring steps that pipeline bubbles can
+actually cover (stage 0's bucket, finishing last, is exposed) — the
+old 0.9 overlap constant assumed most of that time away.
 """
 
 from __future__ import annotations
@@ -68,5 +75,6 @@ def test_fig11_weak_scaling(benchmark):
         assert abs(tps["gpipe"] - tps["dapple"]) / tps["dapple"] < 0.06
         assert 2.0 < gap(tps["hanayo"], tps["chimera-wave"]) < 40.0
         assert gap(tps["hanayo"], tps["dapple"]) > 10.0
-    assert all(e > 0.85 for e in effs)
+    # simulated sync exposure over IB lowers this vs the paper's ~100%
+    assert all(e > 0.75 for e in effs)
     benchmark.extra_info["hanayo_efficiency"] = [round(e, 3) for e in effs]

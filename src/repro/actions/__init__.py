@@ -7,12 +7,21 @@ from .compiler import (
     count_messages,
     hoist_recvs,
 )
+from .collectives import (
+    collectives_in,
+    ring_pairs,
+    ring_step_count,
+    with_gradient_sync,
+    with_tp_sync,
+)
 from .interpreter import Executor, Interpreter
 from .program import Dependency, Program, compile_program, compute_key
 from .resources import StageResources
 from .ops import (
     Action,
     BatchedP2P,
+    CollectiveKind,
+    CollectiveOp,
     CommKind,
     ComputeBackward,
     ComputeForward,
@@ -27,6 +36,8 @@ from .validate import check_deadlock_free, check_matching, validate_actions
 __all__ = [
     "Action",
     "BatchedP2P",
+    "CollectiveKind",
+    "CollectiveOp",
     "CommKind",
     "ComputeBackward",
     "ComputeForward",
@@ -43,11 +54,16 @@ __all__ = [
     "batch_opposing",
     "check_deadlock_free",
     "check_matching",
+    "collectives_in",
     "comm_actions",
     "compile_program",
     "compile_schedule",
     "compute_key",
     "count_messages",
     "hoist_recvs",
+    "ring_pairs",
+    "ring_step_count",
     "validate_actions",
+    "with_gradient_sync",
+    "with_tp_sync",
 ]

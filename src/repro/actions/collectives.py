@@ -1,0 +1,182 @@
+"""Compile collectives into the execution IR (paper Secs. 3.2 and 6).
+
+The paper folds Chimera-style model replication into ordinary data
+parallelism and argues gradient synchronisation hides inside pipeline
+bubbles.  Until this module, the repo *assumed* that claim: every
+collective was a closed-form scalar added after simulation, discounted
+by a hand-tuned overlap constant.  Here collectives become first-class
+compiled actions instead:
+
+* :func:`with_gradient_sync` inserts an asynchronous
+  :class:`~repro.actions.ops.CollectiveOp` right after the **last
+  backward of every resident (stage, replica)** on each device — the
+  moment that stage's gradient is final — so the event core can overlap
+  the ring steps with whatever compute the rest of the pipeline still
+  has, and the bubble-overlap fraction *falls out of the event loop*.
+* :func:`with_tp_sync` inserts a blocking ``CollectiveOp`` after every
+  compute action: the Megatron-style tensor-parallel boundary
+  all-reduces (two per layer per pass) that sit on the compute critical
+  path.
+
+Both transforms operate on an already-compiled
+:class:`~repro.actions.program.Program` and return a new one sharing
+ops, dependency edges and tensor sizes — collectives are pure additions
+to the action lists, exactly like the prefetch and batching passes.
+
+Ring decomposition: an all-reduce of ``nbytes`` over ``D`` ranks splits
+the payload into ``D`` chunks of ``nbytes / D`` and runs
+``2 * (D - 1)`` synchronised steps (reduce-scatter then all-gather); in
+every step each rank forwards one chunk to its ring successor, so a
+step lasts as long as the slowest link in the ring.  That is the same
+model :func:`repro.cluster.topology.ring_transfer_chain` expresses in
+closed form — the parity the timing tests pin down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping
+
+from ..errors import ValidationError
+from ..types import OpKind
+from .ops import Action, CollectiveKind, CollectiveOp, ComputeBackward, ComputeForward
+from .program import Program
+
+
+def ring_pairs(group: tuple[int, ...]) -> tuple[tuple[int, int], ...]:
+    """Consecutive rank pairs of the ring, wraparound included.
+
+    >>> ring_pairs((0, 4, 8))
+    ((0, 4), (4, 8), (8, 0))
+    >>> ring_pairs((3,))
+    ()
+    """
+    if len(group) < 2:
+        return ()
+    return tuple(zip(group, group[1:] + group[:1]))
+
+
+def ring_step_count(group_size: int) -> int:
+    """Steps of a ring all-reduce: reduce-scatter + all-gather."""
+    return 2 * (group_size - 1) if group_size > 1 else 0
+
+
+def collectives_in(program: Program) -> list[tuple[int, CollectiveOp]]:
+    """All ``(device, CollectiveOp)`` pairs, in device/program order."""
+    out: list[tuple[int, CollectiveOp]] = []
+    for device in sorted(program.actions):
+        for act in program.actions[device]:
+            if isinstance(act, CollectiveOp):
+                out.append((device, act))
+    return out
+
+
+def _check_groups(program: Program, groups: Mapping[int, tuple[int, ...]],
+                  what: str) -> None:
+    for device in program.actions:
+        group = groups.get(device)
+        if group is None:
+            raise ValidationError(
+                f"{program.name}: no {what} group for device {device}"
+            )
+        if len(set(group)) != len(group):
+            raise ValidationError(
+                f"{program.name}: {what} group {group} repeats a rank"
+            )
+
+
+def with_gradient_sync(
+    program: Program,
+    groups: Mapping[int, tuple[int, ...]],
+    grad_bytes: Mapping[int, float],
+) -> Program:
+    """Compile data-parallel gradient syncs into ``program``.
+
+    ``groups[device]`` is the global-rank ring the device's gradients
+    reduce over (its own global rank among them); ``grad_bytes[stage]``
+    sizes one replica's gradient shard for that stage.  One asynchronous
+    :class:`~repro.actions.ops.CollectiveOp` is inserted immediately
+    after the last backward of each resident ``(stage, replica)`` pair —
+    per-stage bucketing, as in bucketed DDP, which is what gives the
+    early pipeline stages' syncs a chance to overlap trailing compute.
+
+    Groups of fewer than two ranks (D = 1) compile to nothing: the
+    program is returned unchanged.
+    """
+    _check_groups(program, groups, "gradient-sync")
+    if all(len(groups[d]) < 2 for d in program.actions):
+        return program
+    new_actions: dict[int, list[Action]] = {}
+    for device, acts in program.actions.items():
+        group = tuple(groups[device])
+        if len(group) < 2:
+            new_actions[device] = list(acts)
+            continue
+        last: dict[tuple[int, int], int] = {}
+        for i, act in enumerate(acts):
+            if isinstance(act, ComputeBackward):
+                op = program.ops[(OpKind.BACKWARD, act.microbatch, act.stage)]
+                last[(act.stage, op.replica)] = i
+        inserts: dict[int, list[CollectiveOp]] = {}
+        for (stage, replica), i in sorted(last.items(),
+                                          key=lambda kv: (kv[1], kv[0])):
+            if stage not in grad_bytes:
+                raise ValidationError(
+                    f"{program.name}: no gradient bytes for stage {stage}"
+                )
+            inserts.setdefault(i, []).append(CollectiveOp(
+                kind=CollectiveKind.GRAD_SYNC, group=group,
+                nbytes=float(grad_bytes[stage]), stage=stage,
+                replica=replica, blocking=False,
+            ))
+        out: list[Action] = []
+        for i, act in enumerate(acts):
+            out.append(act)
+            out.extend(inserts.get(i, ()))
+        new_actions[device] = out
+    return dataclasses.replace(program, actions=new_actions)
+
+
+def with_tp_sync(
+    program: Program,
+    groups: Mapping[int, tuple[int, ...]],
+    nbytes: float,
+    count_per_pass: float,
+) -> Program:
+    """Compile tensor-parallel boundary all-reduces into ``program``.
+
+    After every compute action a *blocking* collective over the
+    device's TP group is inserted: ``count_per_pass`` back-to-back ring
+    all-reduces of the ``nbytes`` boundary tensor (2 per layer per
+    pass x the stage's layer count; backward mirrors forward).
+    Blocking placement *after* the compute is exact: the device clock,
+    and every Send the compute feeds, advance past the collective, so
+    the makespan matches folding the same seconds into the op duration
+    — while the timeline keeps compute and communication distinct.
+    """
+    _check_groups(program, groups, "tensor-parallel")
+    if count_per_pass < 0:
+        raise ValidationError("count_per_pass must be >= 0")
+    if all(len(groups[d]) < 2 for d in program.actions):
+        return program
+    new_actions: dict[int, list[Action]] = {}
+    for device, acts in program.actions.items():
+        group = tuple(groups[device])
+        if len(group) < 2:
+            new_actions[device] = list(acts)
+            continue
+        out: list[Action] = []
+        for act in acts:
+            out.append(act)
+            if isinstance(act, (ComputeForward, ComputeBackward)):
+                kind = (OpKind.FORWARD if isinstance(act, ComputeForward)
+                        else OpKind.BACKWARD)
+                op = program.ops[(kind, act.microbatch, act.stage)]
+                out.append(CollectiveOp(
+                    kind=CollectiveKind.TP_BOUNDARY, group=group,
+                    nbytes=float(nbytes), stage=act.stage,
+                    replica=op.replica, blocking=True,
+                    count=float(count_per_pass),
+                ))
+        new_actions[device] = out
+    return dataclasses.replace(program, actions=new_actions)

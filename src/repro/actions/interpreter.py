@@ -23,6 +23,7 @@ from ..errors import EngineError
 from .ops import (
     Action,
     BatchedP2P,
+    CollectiveOp,
     ComputeBackward,
     ComputeForward,
     Flush,
@@ -45,6 +46,8 @@ class Executor(Protocol):
     def post_recv(self, peer: int, tag: Tag) -> None: ...
 
     def wait_recv(self, peer: int, tag: Tag) -> None: ...
+
+    def collective(self, op) -> None: ...
 
     def flush(self) -> None: ...
 
@@ -99,6 +102,12 @@ class Interpreter:
                 self._pending.append((r.peer, r.tag))
             for s in act.sends:
                 ex.post_send(s.peer, s.tag)
+        elif isinstance(act, CollectiveOp):
+            # Collectives span pipelines, so a per-worker executor has
+            # nothing local to reduce against: the data-parallel layer
+            # (repro.engine.dataparallel) drives them, keyed off the
+            # annotated program.
+            ex.collective(act)
         elif isinstance(act, Flush):
             self._drain_pending()
             ex.flush()

@@ -23,6 +23,15 @@ class CommKind(enum.Enum):
     GRADIENT = "grad"
 
 
+class CollectiveKind(enum.Enum):
+    """What a :class:`CollectiveOp` synchronises."""
+
+    #: data-parallel gradient all-reduce after a stage's last backward
+    GRAD_SYNC = "grad_sync"
+    #: tensor-parallel boundary all-reduces inside a stage pass
+    TP_BOUNDARY = "tp_boundary"
+
+
 @dataclass(frozen=True)
 class Tag:
     """Wire identity of one tensor."""
@@ -102,6 +111,40 @@ class BatchedP2P(Action):
     def __str__(self) -> str:
         parts = [str(s) for s in self.sends] + [str(r) for r in self.recvs]
         return "batch{" + ", ".join(parts) + "}"
+
+
+@dataclass(frozen=True)
+class CollectiveOp(Action):
+    """One collective over a concrete rank group, ring-decomposed.
+
+    ``group`` holds the *global cluster ranks* participating (the owning
+    worker's own global rank included); execution decomposes the
+    all-reduce into its ``2 * (len(group) - 1)`` per-chunk ring steps
+    over concrete topology routes — see
+    :mod:`repro.actions.collectives`.  ``nbytes`` is the full payload
+    each participant contributes (the ring moves ``nbytes / D`` chunks).
+
+    ``blocking`` distinguishes the two uses: tensor-parallel boundary
+    all-reduces gate the owning worker's next action (they sit on the
+    compute critical path), while data-parallel gradient syncs are
+    posted asynchronously and only bound the *iteration* end — which is
+    exactly what lets them hide inside pipeline bubbles.  ``count``
+    scales the collective to ``count`` back-to-back identical rings
+    (fractional for per-layer TP all-reduces averaged over a stage).
+    """
+
+    kind: CollectiveKind
+    group: tuple[int, ...]
+    nbytes: float
+    stage: int
+    replica: int = 0
+    blocking: bool = False
+    count: float = 1.0
+
+    def __str__(self) -> str:
+        mode = "sync" if self.blocking else "async"
+        return (f"{self.kind.value}[s{self.stage}]"
+                f"@ranks{list(self.group)} ({mode})")
 
 
 @dataclass(frozen=True)

@@ -7,33 +7,39 @@ parallelism on top.  This module adds the tensor-parallel dimension to
 the throughput harness so that recipe can be searched and the paper's
 placement claim checked quantitatively.
 
-Tensor-parallel cost model (Megatron-style column/row splits): a degree
-``t`` divides every stage's compute and weights by ``t`` and inserts
-two all-reduces of the boundary tensor per layer per micro-batch
-(one in the attention block, one in the MLP), executed within the TP
-group's ranks.
+Since the collectives-in-the-IR refactor both communication dimensions
+are *compiled into the program*: TP boundary all-reduces become
+blocking ring collectives after every compute action
+(:func:`repro.actions.with_tp_sync`, two per layer per pass) and DP
+gradient syncs become asynchronous per-stage rings
+(:func:`repro.actions.with_gradient_sync`), so the hybrid figures run
+on simulated overlap exactly like the flat DP path.  The closed-form
+model (:func:`apply_tensor_parallel` with ``include_comm=True``, plus
+:func:`dp_allreduce_seconds`) is retained as the analytic cross-check
+and the ``overlap="model"`` fallback.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-from ..actions.resources import StageResources
+from ..actions.collectives import with_tp_sync
+from ..cluster.comm_model import CommModel
 from ..cluster.presets import Cluster
 from ..cluster.topology import ring_transfer_chain
-from ..config import PipelineConfig
+from ..config import PipelineConfig, RunConfig
 from ..errors import ConfigError, OutOfMemoryError
 from ..models.costs import StageCosts, stage_costs
 from ..models.spec import ModelSpec
 from ..runtime.costs import ConcreteCosts
-from ..runtime.metrics import bubble_stats
-from ..runtime.simulator import simulate
+from ..runtime.simulator import simulate_program
 from ..schedules.factory import build_schedule
 from .throughput import (
+    OVERLAP_MODES,
     ThroughputResult,
-    _pipeline_comm,
-    dp_allreduce_seconds,
+    compile_cluster_program,
     static_oom_result,
+    throughput_from_simulation,
 )
 
 
@@ -42,6 +48,11 @@ def tp_allreduce_seconds(cluster: Cluster, tp: int,
     """One tensor-parallel all-reduce over the first TP group's ranks."""
     if tp <= 1:
         return 0.0
+    if tp > cluster.num_devices:
+        raise ConfigError(
+            f"TP group of {tp} ranks exceeds cluster {cluster.name} "
+            f"of {cluster.num_devices} devices"
+        )
     ranks = list(range(tp))
     return ring_transfer_chain(cluster.topology, ranks, nbytes)
 
@@ -53,8 +64,16 @@ def apply_tensor_parallel(
     tp: int,
     microbatch_size: int,
     layers_per_stage: float,
+    include_comm: bool = True,
 ) -> StageCosts:
-    """Shard stage costs over a TP group and charge its collectives."""
+    """Shard stage costs over a TP group.
+
+    ``include_comm=True`` (the closed-form model) folds the boundary
+    all-reduce seconds into every stage duration; the simulated path
+    passes ``False`` and lets the compiled :class:`CollectiveOp`\\ s
+    carry exactly those seconds instead — the parity the hybrid tests
+    pin down.
+    """
     if tp < 1:
         raise ConfigError("tensor-parallel degree must be >= 1")
     if tp == 1:
@@ -64,10 +83,12 @@ def apply_tensor_parallel(
             f"TP degree {tp} exceeds the node size "
             f"{cluster.gpus_per_node} (TP wants NVLink locality)"
         )
-    ar = tp_allreduce_seconds(cluster, tp,
-                              model.boundary_bytes(microbatch_size))
-    # 2 all-reduces per layer per pass; backward mirrors them.
-    per_stage_comm = 2.0 * layers_per_stage * ar
+    per_stage_comm = 0.0
+    if include_comm:
+        ar = tp_allreduce_seconds(cluster, tp,
+                                  model.boundary_bytes(microbatch_size))
+        # 2 all-reduces per layer per pass; backward mirrors them.
+        per_stage_comm = 2.0 * layers_per_stage * ar
     return StageCosts(
         forward=tuple(f / tp + per_stage_comm for f in costs.forward),
         backward=tuple(b / tp + per_stage_comm for b in costs.backward),
@@ -75,6 +96,41 @@ def apply_tensor_parallel(
         weight_bytes=tuple(w / tp for w in costs.weight_bytes),
         activation_bytes=tuple(a / tp for a in costs.activation_bytes),
     )
+
+
+class _SpacedCosts(ConcreteCosts):
+    """Cost oracle of a hybrid pipeline.
+
+    Pipeline peers sit ``tp`` ranks apart in the cluster topology
+    (rank = tp_rank + tp * pp_rank), so both pipeline transfers and the
+    program-local → global rank mapping space by the TP degree — which
+    is what routes DP/TP collective rings and link contention onto the
+    *physical* ranks.
+    """
+
+    def __init__(self, stage_costs: StageCosts, cluster: Cluster,
+                 tp: int) -> None:
+        super().__init__(stage_costs,
+                         CommModel(topology=cluster.topology))
+        self._tp = tp
+
+    def global_rank(self, device: int) -> int:
+        return device * self._tp
+
+    def transfer_time(self, src: int, dst: int, stage: int) -> float:
+        if src == dst:
+            return 0.0
+        return self.comm.topology.transfer_time(
+            self.global_rank(src), self.global_rank(dst),
+            self.stage_costs.boundary_bytes,
+        )
+
+    def link_latency(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        return self.comm.topology.effective_link(
+            self.global_rank(src), self.global_rank(dst)
+        ).latency
 
 
 @dataclass(frozen=True)
@@ -93,7 +149,30 @@ class HybridLayout:
         return f"TP={self.tp} x PP={self.p} x DP={self.d}"
 
 
-def measure_hybrid_throughput(
+def tp_rank_groups(cluster: Cluster, layout: HybridLayout
+                   ) -> dict[int, tuple[int, ...]]:
+    """Global-rank TP group for every in-pipeline device.
+
+    Pipeline device ``g`` owns cluster ranks ``[g*tp, (g+1)*tp)`` —
+    contiguous in-node ranks, the Megatron placement.  Raises
+    :class:`~repro.errors.ConfigError` when the layout references
+    ranks the topology does not have.
+    """
+    groups: dict[int, tuple[int, ...]] = {}
+    for g in range(layout.p):
+        ranks = tuple(g * layout.tp + j for j in range(layout.tp))
+        if ranks and ranks[-1] >= cluster.num_devices:
+            raise ConfigError(
+                f"TP group {list(ranks)} of pipeline device {g} "
+                f"references rank {ranks[-1]}, but cluster "
+                f"{cluster.name} has {cluster.num_devices} devices "
+                f"({layout.describe()})"
+            )
+        groups[g] = ranks
+    return groups
+
+
+def build_hybrid_simulation(
     scheme: str,
     cluster: Cluster,
     model: ModelSpec,
@@ -101,19 +180,24 @@ def measure_hybrid_throughput(
     num_microbatches: int,
     w: int = 1,
     microbatch_size: int = 1,
-    dp_overlap: float = 0.9,
-) -> ThroughputResult:
-    """Throughput of one (TP, PP, DP) layout on a cluster.
+    run: RunConfig | None = None,
+    simulated: bool = True,
+):
+    """Compile one hybrid cell: ``(cfg, schedule, costs, program, oracle)``.
 
-    TP groups occupy contiguous in-node ranks; the pipeline's P2P hops
-    then connect *node-distance* peers, which is modeled by spacing
-    pipeline ranks ``tp`` apart in the cluster topology.
+    The single build path ``measure_hybrid_throughput`` and ``repro
+    trace --dp/--tp`` share.  ``simulated=True`` compiles TP boundary
+    and DP gradient collectives into the program (comm excluded from
+    stage durations); ``simulated=False`` folds TP comm into durations
+    and leaves the program collective-free (the closed-form model).
+    ``HybridLayout(1, p, d)`` degrades gracefully to the flat DP case.
     """
     if layout.devices > cluster.num_devices:
         raise ConfigError(
             f"{layout.describe()} needs {layout.devices} devices; "
             f"cluster has {cluster.num_devices}"
         )
+    run = run or RunConfig()
     cfg = PipelineConfig(
         scheme=scheme, num_devices=layout.p,
         num_microbatches=num_microbatches, num_waves=w,
@@ -124,30 +208,72 @@ def measure_hybrid_throughput(
                        microbatch_size)
     layers_per_stage = (model.num_layers + 2) / schedule.num_stages
     costs = apply_tensor_parallel(base, cluster, model, layout.tp,
-                                  microbatch_size, layers_per_stage)
+                                  microbatch_size, layers_per_stage,
+                                  include_comm=not simulated)
+    program = compile_cluster_program(
+        schedule, cluster, costs,
+        d=layout.d if simulated else 1, run=run, spacing=layout.tp,
+    )
+    if simulated and layout.tp > 1:
+        program = with_tp_sync(
+            program, tp_rank_groups(cluster, layout),
+            nbytes=model.boundary_bytes(microbatch_size),
+            count_per_pass=2.0 * layers_per_stage,
+        )
+    oracle = _SpacedCosts(costs, cluster, layout.tp)
+    return cfg, schedule, costs, program, oracle
 
-    capacity = cluster.device.memory_bytes
-    # Static pre-check: a TP-sharded stage set whose weights alone bust
-    # the budget never enters the event loop.
-    pruned = static_oom_result(cfg, cluster, model, schedule, costs,
-                               capacity)
-    if pruned is not None:
-        return pruned
 
-    # Pipeline peers sit `tp` ranks apart (rank = tp_rank + tp * pp_rank).
-    class _Spaced(ConcreteCosts):
-        def transfer_time(self, src: int, dst: int, stage: int) -> float:
-            if src == dst:
-                return 0.0
-            return cluster.topology.transfer_time(
-                src * layout.tp, dst * layout.tp, self.stage_costs.boundary_bytes
-            )
+def measure_hybrid_throughput(
+    scheme: str,
+    cluster: Cluster,
+    model: ModelSpec,
+    layout: HybridLayout,
+    num_microbatches: int,
+    w: int = 1,
+    microbatch_size: int = 1,
+    run: RunConfig | None = None,
+    overlap: str = "simulated",
+    enforce_memory: bool = True,
+    capacity_bytes: int | None = None,
+) -> ThroughputResult:
+    """Throughput of one (TP, PP, DP) layout on a cluster.
+
+    TP groups occupy contiguous in-node ranks; the pipeline's P2P hops
+    then connect *node-distance* peers, which is modeled by spacing
+    pipeline ranks ``tp`` apart in the cluster topology.  Under the
+    default ``overlap="simulated"`` both the TP boundary all-reduces
+    and the DP gradient rings are compiled into the program and timed
+    by the event core; ``overlap="model"`` keeps the closed-form
+    folding + :data:`ANALYTIC_DP_OVERLAP` discount.
+    """
+    if overlap not in OVERLAP_MODES:
+        raise ConfigError(
+            f"unknown overlap mode {overlap!r}; expected one of "
+            f"{OVERLAP_MODES}"
+        )
+    run = run or RunConfig()
+    simulated = overlap == "simulated"
+    cfg, schedule, costs, program, oracle = build_hybrid_simulation(
+        scheme, cluster, model, layout, num_microbatches,
+        w=w, microbatch_size=microbatch_size, run=run,
+        simulated=simulated,
+    )
+
+    capacity = (cluster.device.memory_bytes if capacity_bytes is None
+                else capacity_bytes)
+    if enforce_memory:
+        # Static pre-check: a TP-sharded stage set whose weights alone
+        # bust the budget never enters the event loop.
+        pruned = static_oom_result(cfg, cluster, model, schedule, costs,
+                                   capacity)
+        if pruned is not None:
+            return pruned
 
     try:
-        result = simulate(
-            schedule, _Spaced(costs, _pipeline_comm(cluster, 0, layout.p)),
-            resources=StageResources.from_stage_costs(costs),
-            capacity_bytes=capacity,
+        result = simulate_program(
+            program, oracle, run, schedule=schedule,
+            capacity_bytes=capacity if enforce_memory else None,
         )
     except OutOfMemoryError as exc:
         return ThroughputResult(
@@ -156,21 +282,9 @@ def measure_hybrid_throughput(
             peak_mem_bytes=float(exc.peak_bytes), iteration_s=None,
             oom_device=exc.device,
         )
-    stats = bubble_stats(result.timeline)
-    mem = result.memory
-    grad_bytes = max(
-        sum(costs.weight_bytes[stage]
-            for stage, _r in schedule.placement.stages_on(dev))
-        for dev in range(layout.p)
-    ) / 16.0 * 4.0
-    overhead = dp_allreduce_seconds(cluster, layout.p * layout.tp,
-                                    layout.d, grad_bytes)
-    iteration = result.makespan + overhead * (1.0 - dp_overlap)
-    seqs = num_microbatches * microbatch_size * layout.d
-    return ThroughputResult(
-        config=cfg, cluster_name=cluster.name, model_name=model.name,
-        seq_per_s=seqs / iteration, bubble_ratio=stats.bubble_ratio,
-        peak_mem_bytes=mem.highest_peak, iteration_s=iteration,
+    return throughput_from_simulation(
+        cfg, cluster, model, schedule, costs, result,
+        ring_p=layout.p * layout.tp, overlap=overlap,
     )
 
 
@@ -180,6 +294,7 @@ def hybrid_search(
     model: ModelSpec,
     total_batch: int,
     waves: tuple[int, ...] = (1, 2, 4),
+    overlap: str = "simulated",
 ) -> list[tuple[HybridLayout, int, ThroughputResult]]:
     """Sweep (TP, PP, DP) factorizations of the cluster's device count."""
     n = cluster.num_devices
@@ -201,7 +316,7 @@ def hybrid_search(
                         r = measure_hybrid_throughput(
                             scheme, cluster, model,
                             HybridLayout(tp, p, d), b, w=w,
-                            microbatch_size=mb,
+                            microbatch_size=mb, overlap=overlap,
                         )
                     except ConfigError:
                         continue

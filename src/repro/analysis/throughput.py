@@ -2,28 +2,51 @@
 
 This is the harness behind Figs. 9–12: pick a scheme and a parallel
 layout (``D`` pipelines of ``P`` devices each), lower the model onto the
-cluster's GPUs, simulate one training iteration, gate it against GPU
-memory, and convert the makespan into sequences/second including the
-data-parallel gradient all-reduce.
+cluster's GPUs, compile the schedule **plus its data-parallel gradient
+collectives** into one Program, simulate the iteration, gate it against
+GPU memory, and convert the result into sequences/second.
+
+Gradient-sync overlap is **measured, not assumed**: the compiler
+inserts a ring all-reduce after each stage's last backward
+(:func:`repro.actions.with_gradient_sync`), the event core schedules
+its ``2 * (D - 1)`` chunk steps against the same link model as the
+pipeline P2P, and the iteration ends when both compute and the last
+collective finish.  The closed-form ring model
+(:func:`dp_allreduce_seconds`) is retained as an upper-bound
+cross-check and as the explicitly-named ``overlap="model"`` analytic
+fallback.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..actions.collectives import with_gradient_sync
+from ..actions.ops import CollectiveKind
+from ..actions.program import Program, compile_program
 from ..actions.resources import StageResources
 from ..cluster.comm_model import CommModel, Transfer
 from ..cluster.presets import Cluster
 from ..cluster.topology import ring_transfer_chain
 from ..config import PipelineConfig, RunConfig
 from ..errors import ConfigError, OutOfMemoryError
-from ..models.costs import stage_costs
+from ..models.costs import StageCosts, stage_costs
 from ..models.spec import ModelSpec
 from ..runtime.costs import ConcreteCosts
 from ..runtime.memory import static_memory
 from ..runtime.metrics import bubble_stats
-from ..runtime.simulator import simulate
+from ..runtime.simulator import SimResult, simulate_program
+from ..schedules.base import Schedule
 from ..schedules.factory import build_schedule
+
+#: gradient-sync fraction the *analytic* fallback assumes is hidden
+#: under backward compute (bucketed all-reduce as in Megatron /
+#: DeepSpeed).  Only ``overlap="model"`` reads this; the default
+#: ``overlap="simulated"`` path measures the fraction from events.
+ANALYTIC_DP_OVERLAP = 0.9
+
+#: accepted values of the ``overlap`` knob
+OVERLAP_MODES = ("simulated", "model")
 
 
 def _pipeline_comm(cluster: Cluster, pipeline_index: int, p: int) -> CommModel:
@@ -64,6 +87,21 @@ class ThroughputResult:
     #: the cell was rejected in O(P) without entering the event loop.
     #: OOM cells with ``False`` were aborted mid-simulation instead.
     statically_pruned: bool = False
+    #: gradient-sync seconds the busiest device spends in ring steps
+    #: (0 for D == 1)
+    sync_s: float = 0.0
+    #: gradient-sync seconds that extend the iteration past the compute
+    #: makespan — the part pipeline bubbles could *not* hide
+    sync_exposed_s: float = 0.0
+    #: fraction of ``sync_s`` hidden under compute; None when there is
+    #: no sync to hide (D == 1)
+    sync_overlap: float | None = None
+    #: closed-form ring upper bound (``dp_allreduce_seconds``), kept as
+    #: a cross-check against the simulated ``sync_s``
+    sync_model_s: float = 0.0
+    #: "simulated" (overlap measured from events) or "model" (analytic
+    #: ``ANALYTIC_DP_OVERLAP`` fallback)
+    overlap_mode: str = "simulated"
 
     @property
     def oom(self) -> bool:
@@ -74,10 +112,13 @@ class ThroughputResult:
             tag = "static" if self.statically_pruned else "runtime"
             return (f"{self.config.describe():40s} {self.cluster_name:5s} "
                     f"OOM (device {self.oom_device}, {tag})")
-        return (f"{self.config.describe():40s} {self.cluster_name:5s} "
+        text = (f"{self.config.describe():40s} {self.cluster_name:5s} "
                 f"{self.seq_per_s:6.2f} seq/s  "
                 f"bubble={self.bubble_ratio * 100:4.1f}%  "
                 f"peak={self.peak_mem_bytes / 2**30:5.1f} GiB")
+        if self.sync_overlap is not None:
+            text += f"  sync-overlap={self.sync_overlap * 100:4.1f}%"
+        return text
 
 
 def static_oom_result(cfg: PipelineConfig, cluster: Cluster,
@@ -103,15 +144,49 @@ def static_oom_result(cfg: PipelineConfig, cluster: Cluster,
     return None
 
 
+def dp_rank_groups(cluster: Cluster, p: int, d: int,
+                   spacing: int = 1) -> dict[int, tuple[int, ...]]:
+    """Global-rank DP ring for every in-pipeline device.
+
+    Device ``g`` of pipeline 0 sits at cluster rank ``g * spacing``
+    (``spacing`` is the tensor-parallel degree in hybrid layouts) and
+    reduces with its mirrors one pipeline block — ``p * spacing`` ranks
+    — apart.  Raises :class:`~repro.errors.ConfigError` when any group
+    member falls outside the cluster, instead of letting the rank leak
+    surface later as a raw networkx routing error.
+    """
+    groups: dict[int, tuple[int, ...]] = {}
+    for g in range(p):
+        ranks = tuple(g * spacing + i * p * spacing for i in range(d))
+        for rank in ranks:
+            if rank >= cluster.num_devices:
+                raise ConfigError(
+                    f"DP group {list(ranks)} of pipeline device {g} "
+                    f"references rank {rank}, but cluster "
+                    f"{cluster.name} has {cluster.num_devices} devices "
+                    f"(layout P={p} x D={d}"
+                    + (f" x TP={spacing}" if spacing > 1 else "") + ")"
+                )
+        groups[g] = ranks
+    return groups
+
+
 def dp_allreduce_seconds(cluster: Cluster, p: int, d: int,
                          grad_bytes_per_device: float) -> float:
-    """Ring all-reduce of one device's gradient shard across D replicas.
+    """Closed-form ring all-reduce of one device's gradient shard.
 
-    DP groups are the ranks ``{g, g+P, g+2P, ...}``; the slowest group
-    member bounds the iteration.  Returns 0 for D == 1.
+    DP groups are the ranks ``{g, g+P, 2P+g, ...}``; the slowest group
+    bounds the iteration.  Returns 0 for D == 1.  This is the analytic
+    upper bound the simulated path cross-checks against (and the whole
+    story under ``overlap="model"``).
     """
     if d <= 1:
         return 0.0
+    if p * d > cluster.num_devices:
+        raise ConfigError(
+            f"DP layout P={p} x D={d} references rank {p * d - 1}, but "
+            f"cluster {cluster.name} has {cluster.num_devices} devices"
+        )
     worst = 0.0
     for g in range(p):
         ranks = [g + i * p for i in range(d)]
@@ -119,6 +194,124 @@ def dp_allreduce_seconds(cluster: Cluster, p: int, d: int,
             cluster.topology, ranks, grad_bytes_per_device
         ))
     return worst
+
+
+def stage_grad_bytes(costs: StageCosts) -> dict[int, float]:
+    """fp32 gradient bytes per stage.
+
+    ``weight_bytes`` bundles params+grads+optimizer at 16 B/param;
+    the all-reduced gradients alone are 4 B/param.
+    """
+    return {s: w / 16.0 * 4.0 for s, w in enumerate(costs.weight_bytes)}
+
+
+def compile_cluster_program(
+    schedule: Schedule,
+    cluster: Cluster,
+    costs: StageCosts,
+    d: int = 1,
+    run: RunConfig | None = None,
+    spacing: int = 1,
+) -> Program:
+    """Lower a schedule onto a cluster, gradient collectives included.
+
+    The one compilation path the throughput harness, the hybrid
+    harness, and ``repro trace --dp`` share: compile the schedule with
+    byte-accurate tensors and memory resources, then — for ``d > 1`` —
+    insert the per-stage DP gradient rings over their concrete cluster
+    rank groups (``spacing`` is the tensor-parallel degree of hybrid
+    layouts).
+    """
+    run = run or RunConfig()
+    program = compile_program(
+        schedule,
+        prefetch=run.prefetch,
+        batch_cross_comm=run.batch_cross_comm,
+        add_step=False,
+        boundary_bytes=float(costs.boundary_bytes),
+        resources=StageResources.from_stage_costs(costs),
+    )
+    if d > 1:
+        groups = dp_rank_groups(cluster, schedule.num_devices, d,
+                                spacing=spacing)
+        program = with_gradient_sync(program, groups,
+                                     stage_grad_bytes(costs))
+    return program
+
+
+def sync_accounting(result: SimResult) -> tuple[float, float, float | None]:
+    """``(sync_s, exposed_s, overlap)`` measured from simulator events.
+
+    ``sync_s`` is the busiest device's total gradient-ring seconds,
+    ``exposed_s`` the iteration extension past ``result.busy_end`` (the
+    end of compute plus blocking communication — trailing TP
+    all-reduces are *busy* time, not sync exposure), and ``overlap``
+    the hidden fraction ``1 - exposed / sync`` — the number the paper's
+    Sec. 3.2 claim is about.
+    """
+    per_device: dict[int, float] = {}
+    for c in result.collectives:
+        if c.op.kind is CollectiveKind.GRAD_SYNC:
+            per_device[c.device] = per_device.get(c.device, 0.0) + c.duration
+    if not per_device:
+        return 0.0, 0.0, None
+    sync_s = max(per_device.values())
+    exposed = max(0.0, result.sync_done() - result.busy_end)
+    overlap = 1.0 - exposed / sync_s if sync_s > 0 else None
+    return sync_s, exposed, overlap
+
+
+def throughput_from_simulation(
+    cfg: PipelineConfig,
+    cluster: Cluster,
+    model: ModelSpec,
+    schedule: Schedule,
+    costs: StageCosts,
+    result: SimResult,
+    *,
+    ring_p: int,
+    overlap: str,
+) -> ThroughputResult:
+    """Fold one simulated iteration into a :class:`ThroughputResult`.
+
+    The single accounting tail the flat and hybrid harnesses share —
+    bubble stats, the closed-form ring cross-check over ``ring_p``
+    in-ring devices (``P`` flat, ``P * TP`` hybrid), the
+    simulated-vs-analytic overlap branch, and the iteration =
+    ``busy_end + exposed sync`` conversion — so the two paths cannot
+    drift apart.
+    """
+    d = cfg.data_parallel
+    stats = bubble_stats(result.timeline)
+    mem = result.memory
+    grad_bytes = max(
+        sum(stage_grad_bytes(costs)[stage]
+            for stage, _r in schedule.placement.stages_on(dev))
+        for dev in range(schedule.num_devices)
+    )
+    sync_model = dp_allreduce_seconds(cluster, ring_p, d, grad_bytes)
+    if overlap == "simulated":
+        sync_s, exposed, frac = sync_accounting(result)
+    else:
+        sync_s = sync_model
+        exposed = sync_model * (1.0 - ANALYTIC_DP_OVERLAP)
+        frac = ANALYTIC_DP_OVERLAP if d > 1 else None
+    iteration = result.busy_end + exposed
+    seqs = cfg.num_microbatches * cfg.microbatch_size * d
+    return ThroughputResult(
+        config=cfg,
+        cluster_name=cluster.name,
+        model_name=model.name,
+        seq_per_s=seqs / iteration,
+        bubble_ratio=stats.bubble_ratio,
+        peak_mem_bytes=mem.highest_peak,
+        iteration_s=iteration,
+        sync_s=sync_s,
+        sync_exposed_s=exposed,
+        sync_overlap=frac,
+        sync_model_s=sync_model,
+        overlap_mode=overlap,
+    )
 
 
 def measure_throughput(
@@ -132,14 +325,18 @@ def measure_throughput(
     microbatch_size: int = 1,
     run: RunConfig | None = None,
     enforce_memory: bool = True,
-    dp_overlap: float = 0.9,
+    overlap: str = "simulated",
     capacity_bytes: int | None = None,
 ) -> ThroughputResult:
     """Simulate one configuration and return sequences/second (or OOM).
 
-    ``dp_overlap`` is the fraction of the data-parallel gradient
-    all-reduce hidden under backward compute (bucketed all-reduce as in
-    Megatron/DeepSpeed); only the remainder extends the iteration.
+    ``overlap`` selects how data-parallel gradient synchronisation is
+    charged.  ``"simulated"`` (the default) compiles the per-stage ring
+    all-reduces into the program and lets the event core measure how
+    much of them pipeline bubbles hide; ``"model"`` is the analytic
+    fallback — closed-form ring time discounted by the assumed
+    :data:`ANALYTIC_DP_OVERLAP` fraction — kept for cross-checks and
+    for comparison with the paper's own estimates.
 
     Memory is enforced *live*: statically-infeasible cells (weights +
     grads + optimizer alone exceed capacity) are rejected in O(P)
@@ -148,8 +345,11 @@ def measure_throughput(
     simulation.  ``capacity_bytes`` overrides the cluster device's
     memory (a ``--capacity-gib`` what-if).
     """
-    if not (0.0 <= dp_overlap <= 1.0):
-        raise ConfigError("dp_overlap must be in [0, 1]")
+    if overlap not in OVERLAP_MODES:
+        raise ConfigError(
+            f"unknown overlap mode {overlap!r}; expected one of "
+            f"{OVERLAP_MODES}"
+        )
     if p * d > cluster.num_devices:
         raise ConfigError(
             f"layout P={p} x D={d} exceeds cluster of {cluster.num_devices}"
@@ -172,11 +372,13 @@ def measure_throughput(
                                    capacity)
         if pruned is not None:
             return pruned
+    sync_d = d if overlap == "simulated" else 1
+    program = compile_cluster_program(schedule, cluster, costs,
+                                      d=sync_d, run=run)
     oracle = ConcreteCosts(costs, _pipeline_comm(cluster, 0, p))
     try:
-        result = simulate(
-            schedule, oracle, run,
-            resources=StageResources.from_stage_costs(costs),
+        result = simulate_program(
+            program, oracle, run, schedule=schedule,
             capacity_bytes=capacity if enforce_memory else None,
         )
     except OutOfMemoryError as exc:
@@ -186,24 +388,6 @@ def measure_throughput(
             peak_mem_bytes=float(exc.peak_bytes),
             iteration_s=None, oom_device=exc.device,
         )
-    stats = bubble_stats(result.timeline)
-    mem = result.memory
-    # Gradients are fp32 shards of the device's parameters (weight_bytes
-    # bundles params+grads+optimizer at 16 B/param; grads alone are 4).
-    grad_bytes = max(
-        sum(costs.weight_bytes[stage]
-            for stage, _r in schedule.placement.stages_on(dev))
-        for dev in range(p)
-    ) / 16.0 * 4.0
-    overhead = dp_allreduce_seconds(cluster, p, d, grad_bytes)
-    iteration = result.makespan + overhead * (1.0 - dp_overlap)
-    seqs = cfg.num_microbatches * cfg.microbatch_size * d
-    return ThroughputResult(
-        config=cfg,
-        cluster_name=cluster.name,
-        model_name=model.name,
-        seq_per_s=seqs / iteration,
-        bubble_ratio=stats.bubble_ratio,
-        peak_mem_bytes=mem.highest_peak,
-        iteration_s=iteration,
-    )
+    return throughput_from_simulation(cfg, cluster, model, schedule,
+                                      costs, result, ring_p=p,
+                                      overlap=overlap)

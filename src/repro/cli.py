@@ -17,7 +17,7 @@ import sys
 
 from .analysis import format_table
 from .config import CostConfig, PipelineConfig
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .runtime import AbstractCosts, bubble_stats, simulate
 
 
@@ -82,33 +82,38 @@ def cmd_trace(args) -> int:
         if args.t_c:
             print("note: --t-c is ignored with --cluster "
                   "(topology provides transfer times)", file=sys.stderr)
-        from .actions import StageResources
-        from .cluster import CommModel, get_cluster
-        from .models import bert_64, gpt_128, stage_costs, tiny_model
-        from .runtime import ConcreteCosts
-        from .schedules import build_schedule
+        from .analysis import HybridLayout, build_hybrid_simulation
+        from .cluster import get_cluster
+        from .models import bert_64, gpt_128, tiny_model
+        from .runtime import simulate_program
 
         model = {"bert": bert_64, "gpt": gpt_128,
                  "tiny": tiny_model}[args.model]()
-        cluster = get_cluster(args.cluster, args.devices)
-        cfg = PipelineConfig(
-            scheme=args.scheme, num_devices=args.devices,
-            num_microbatches=args.microbatches, num_waves=args.waves,
+        cluster = get_cluster(args.cluster,
+                              args.devices * args.dp * args.tp)
+        layout = HybridLayout(tp=args.tp, p=args.devices, d=args.dp)
+        # One build path with the throughput harness: DP gradient rings
+        # and TP boundary all-reduces are compiled into the program, so
+        # the trace shows the collective lanes the figures measure.
+        _cfg, sched, _costs, program, oracle = build_hybrid_simulation(
+            args.scheme, cluster, model, layout,
+            num_microbatches=args.microbatches, w=args.waves, run=run,
         )
-        sched = build_schedule(cfg)
-        costs = stage_costs(model, sched.num_stages, cluster.device)
-        oracle = ConcreteCosts(costs, CommModel.from_cluster(cluster))
         capacity = (int(args.capacity_gib * 2**30)
                     if args.capacity_gib is not None else None)
-        res = simulate(sched, oracle, run,
-                       resources=StageResources.from_stage_costs(costs),
-                       capacity_bytes=capacity)
+        res = simulate_program(program, oracle, run, schedule=sched,
+                               capacity_bytes=capacity)
         unit = 1e6  # concrete costs are in seconds
         what = f"{args.scheme}/{cluster.name}/{model.name}"
+        if args.dp > 1 or args.tp > 1:
+            what += f" ({layout.describe()})"
     else:
         if args.capacity_gib is not None:
             print("note: --capacity-gib needs --cluster (abstract costs "
                   "carry no bytes); ignored", file=sys.stderr)
+        if args.dp > 1 or args.tp > 1:
+            print("note: --dp/--tp need --cluster (collective rings "
+                  "route over a topology); ignored", file=sys.stderr)
         _, sched, res = _build(args, run)
         unit = 1000.0
         what = f"{args.scheme} (abstract costs)"
@@ -117,6 +122,8 @@ def cmd_trace(args) -> int:
     extra = ""
     if res.memory is not None:
         extra = f", peak mem {res.memory.highest_peak / 2**30:.1f} GiB"
+    if res.collectives:
+        extra += f", {len(res.collectives)} collectives"
     print(f"wrote {args.output} for {what} "
           f"({spans} compute spans, {len(res.comm)} transfers{extra}); "
           "open it at https://ui.perfetto.dev")
@@ -124,38 +131,86 @@ def cmd_trace(args) -> int:
 
 
 def cmd_advise(args) -> int:
-    from .analysis import layouts_for, search_grid
+    from .analysis import (
+        HybridLayout,
+        feasible_waves,
+        layouts_for,
+        measure_hybrid_throughput,
+        search_grid,
+        split_batch,
+    )
     from .cluster import get_cluster
     from .models import bert_64, gpt_128
 
     model = {"bert": bert_64, "gpt": gpt_128}[args.model]()
     cluster = get_cluster(args.cluster, args.devices)
+    # --tp carves each pipeline device into a TP group, so the pipeline
+    # budget shrinks; --dp restricts the data-parallel widths searched.
+    budget = args.devices // args.tp
+    layouts = tuple(
+        (p, d) for p, d in layouts_for(budget)
+        if args.dp is None or d in args.dp
+    )
+    if not layouts:
+        raise ConfigError(
+            f"no (P, D) layout fits {args.devices} devices with "
+            f"--tp {args.tp}" + (f" --dp {args.dp}" if args.dp else "")
+        )
     rows = []
     for scheme in ("gpipe", "dapple", "chimera-wave", "hanayo"):
-        for c in search_grid(scheme, cluster, model,
-                             layouts_for(args.devices), args.batch):
+        if args.tp == 1:
+            cells = ((c.p, c.d, c.w, c.result)
+                     for c in search_grid(scheme, cluster, model,
+                                          layouts, args.batch))
+        else:
+            cells = []
+            for p, d in layouts:
+                shape = split_batch(args.batch, d, p, scheme)
+                if shape is None:
+                    continue
+                waves = (feasible_waves(model, p) if scheme == "hanayo"
+                         else [1])
+                for w in waves:
+                    try:
+                        r = measure_hybrid_throughput(
+                            scheme, cluster, model,
+                            HybridLayout(args.tp, p, d), shape[0],
+                            w=w, microbatch_size=shape[1],
+                        )
+                    except ConfigError:
+                        # infeasible cell (layout/node-size limits);
+                        # anything else is a real bug and propagates
+                        continue
+                    cells.append((p, d, w, r))
+        for p, d, w, result in cells:
             rows.append([
-                scheme, c.p, c.d, c.w,
-                None if c.result.oom else f"{c.throughput:.2f}",
+                scheme, p, d, args.tp, w,
+                None if result.oom else f"{result.seq_per_s:.2f}",
             ])
-    rows.sort(key=lambda r: float(r[4]) if r[4] else -1.0, reverse=True)
-    print(format_table(["scheme", "P", "D", "W", "seq/s"], rows[:args.top],
+    rows.sort(key=lambda r: float(r[5]) if r[5] else -1.0, reverse=True)
+    print(format_table(["scheme", "P", "D", "TP", "W", "seq/s"],
+                       rows[:args.top],
                        title=f"{model.name} on {cluster.describe()}, "
                              f"batch {args.batch}"))
     return 0
 
 
-def _parse_layouts(text: str) -> tuple[tuple[int, int], ...]:
-    """Parse ``"8x1,4x2"`` into ``((8, 1), (4, 2))``."""
-    from .errors import ConfigError
+def _parse_layouts(text: str) -> tuple[tuple[int, ...], ...]:
+    """Parse ``"8x1,4x2"`` into ``((8, 1), (4, 2))``.
+
+    A third component pins a cell's tensor-parallel degree:
+    ``"4x1x2"`` is (P=4, D=1, TP=2), exempt from the ``--tp`` cross.
+    """
     layouts = []
     for token in text.split(","):
         parts = token.lower().strip().split("x")
-        if len(parts) != 2 or not all(t.strip().isdigit() for t in parts):
+        if (len(parts) not in (2, 3)
+                or not all(t.strip().isdigit() for t in parts)):
             raise ConfigError(
-                f"bad layout {token!r}; expected PxD pairs like 8x1,4x2"
+                f"bad layout {token!r}; expected PxD pairs like 8x1,4x2 "
+                "(or PxDxTP triples)"
             )
-        layouts.append((int(parts[0]), int(parts[1])))
+        layouts.append(tuple(int(t) for t in parts))
     return tuple(layouts)
 
 
@@ -169,8 +224,30 @@ def cmd_sweep(args) -> int:
     models = tuple(factories[name]() for name in args.models)
     clusters = tuple(get_cluster(name, args.devices)
                      for name in args.clusters)
-    layouts = (_parse_layouts(args.layouts) if args.layouts
-               else layouts_for(args.devices))
+    tps = tuple(dict.fromkeys(args.tp))
+    if args.layouts:
+        layouts = _parse_layouts(args.layouts)
+    elif args.dp or any(t > 1 for t in tps):
+        # Hybrid layouts without Python: each requested DP width (all
+        # power-of-two widths when --dp is omitted) is paired with the
+        # deepest pipeline that exactly fills the cluster *per TP
+        # degree* — (P, D, TP) triples, so the spec does not re-cross
+        # a depth derived for one degree with the others.
+        dps = tuple(args.dp) if args.dp else tuple(
+            dict.fromkeys(d for _p, d in layouts_for(args.devices)))
+        layouts = tuple(sorted(
+            {(args.devices // (d * t), d, t)
+             for d in dps for t in tps
+             if args.devices % (d * t) == 0 and args.devices // (d * t) >= 2},
+            reverse=True,
+        ))
+        if not layouts:
+            raise ConfigError(
+                f"no (P, D) layout fits {args.devices} devices with "
+                f"--dp {args.dp} --tp {list(tps)}"
+            )
+    else:
+        layouts = layouts_for(args.devices)
     spec = SweepSpec(
         schemes=tuple(args.schemes),
         clusters=clusters,
@@ -178,7 +255,9 @@ def cmd_sweep(args) -> int:
         layouts=layouts,
         total_batches=tuple(args.batch),
         waves=tuple(args.sweep_waves),
+        tensor_parallel=tps,
         target_microbatches=args.target_microbatches,
+        overlap=args.overlap,
         capacity_bytes=(int(args.capacity_gib * 2**30)
                         if args.capacity_gib is not None else None),
         # explicitly requested layouts must error when they don't fit,
@@ -258,6 +337,13 @@ def make_parser() -> argparse.ArgumentParser:
     t.add_argument("--capacity-gib", type=float, default=None,
                    help="abort the run at the first allocation past "
                         "this per-device capacity (needs --cluster)")
+    t.add_argument("--dp", type=int, default=1,
+                   help="data-parallel width: compile gradient-sync "
+                        "rings into the traced program (needs --cluster)")
+    t.add_argument("--tp", type=int, default=1,
+                   help="tensor-parallel degree: compile TP boundary "
+                        "all-reduces into the traced program "
+                        "(needs --cluster)")
     t.set_defaults(fn=cmd_trace)
 
     a = sub.add_parser("advise", help="configuration search")
@@ -267,6 +353,10 @@ def make_parser() -> argparse.ArgumentParser:
     a.add_argument("-n", "--devices", type=int, default=8)
     a.add_argument("--batch", type=int, default=16)
     a.add_argument("--top", type=int, default=10)
+    a.add_argument("--dp", type=int, nargs="+", default=None,
+                   help="restrict the data-parallel widths searched")
+    a.add_argument("--tp", type=int, default=1,
+                   help="tensor-parallel degree (hybrid layouts)")
     a.set_defaults(fn=cmd_advise)
 
     sw = sub.add_parser(
@@ -282,6 +372,16 @@ def make_parser() -> argparse.ArgumentParser:
                     help="total batch size(s) to sweep")
     sw.add_argument("--layouts", default=None,
                     help="PxD pairs like 8x1,4x2 (default: all for -n)")
+    sw.add_argument("--dp", type=int, nargs="+", default=None,
+                    help="data-parallel widths to sweep (derives P from "
+                         "-n; overridden by --layouts)")
+    sw.add_argument("--tp", type=int, nargs="+", default=[1],
+                    help="tensor-parallel degrees to cross with every "
+                         "layout (TP > 1 runs the hybrid harness)")
+    sw.add_argument("--overlap", default="simulated",
+                    choices=["simulated", "model"],
+                    help="gradient-sync accounting: event-core measured "
+                         "overlap (default) or the analytic closed form")
     sw.add_argument("--waves", dest="sweep_waves", type=int, nargs="+",
                     default=[1, 2, 4, 8],
                     help="wave counts searched for hanayo")

@@ -63,6 +63,20 @@ class CommModel:
         return self.topology.transfer_time(transfer.src, transfer.dst,
                                            transfer.nbytes)
 
+    def rank_transfer_time(self, a: int, b: int, nbytes: float) -> float:
+        """Transfer seconds between two *global* ranks, unshifted.
+
+        Collective rings address cluster ranks directly, so this
+        resolves against the raw topology even in oracles whose
+        :meth:`transfer_time` re-bases program-local device ids.
+        """
+        if a == b:
+            return 0.0
+        if self.uniform_tc is not None:
+            return self.uniform_tc
+        assert self.topology is not None
+        return self.topology.transfer_time(a, b, nbytes)
+
     def batched_time(self, transfers: list[Transfer]) -> float:
         """Duration of one batched isend/irecv group.
 

@@ -1,7 +1,12 @@
 """Real NumPy execution engine: layers, channels, workers, trainer."""
 
 from .channels import PeerNetwork, batch_isend_irecv
-from .dataparallel import DataParallelPipelines, DPStepResult, allreduce_average
+from .dataparallel import (
+    DataParallelPipelines,
+    DPStepResult,
+    allreduce_average,
+    ring_allreduce,
+)
 from .executor import EngineExecutor
 from .layers import (
     Embedding,
@@ -40,6 +45,7 @@ __all__ = [
     "StepResult",
     "TransformerBlock",
     "allreduce_average",
+    "ring_allreduce",
     "batch_isend_irecv",
     "build_stages",
     "instantiate_layer",

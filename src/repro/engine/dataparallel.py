@@ -1,10 +1,22 @@
-"""Data parallelism across pipeline replicas (all-reduce emulation).
+"""Data parallelism across pipeline replicas (program-driven ring).
 
 The paper folds Chimera's model replication into standard data
 parallelism (Sec. 3.2); this module provides that DP layer for the real
 engine: ``D`` independent :class:`PipelineTrainer` replicas process
-disjoint micro-batch shards, then gradients are averaged — a ring
-all-reduce's numerical result, computed centrally.
+disjoint micro-batch shards, then gradients are synchronised.
+
+Synchronisation is **program-driven**: the same
+:func:`repro.actions.with_gradient_sync` transform that feeds the
+simulator annotates the trainer's compiled program with one
+:class:`~repro.actions.CollectiveOp` per stage, and ``train_step``
+executes each of them as a real chunked ring all-reduce
+(:func:`ring_allreduce`) over the replicas' NumPy gradients —
+reduce-scatter then all-gather, ``2 * (D - 1)`` chunk steps, exactly
+the decomposition the event core times.  The central
+:func:`allreduce_average` is retained as the numerical parity oracle:
+the ring's result must match it (bit-for-bit for ``D = 2``, where ring
+and list-order summation coincide; ``allclose`` beyond, where float
+summation order differs).
 """
 
 from __future__ import annotations
@@ -13,6 +25,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..actions.collectives import collectives_in, with_gradient_sync
+from ..actions.ops import CollectiveKind
+from ..actions.program import Program
 from ..config import PipelineConfig
 from ..errors import ConfigError, EngineError
 from ..models.spec import ModelSpec
@@ -33,25 +48,149 @@ def allreduce_average(grads_list: list[dict[str, np.ndarray]]) -> dict[str, np.n
     }
 
 
+def _flatten(named: dict[str, np.ndarray]
+             ) -> tuple[np.ndarray, list[tuple[str, tuple, int]]]:
+    """Pack named arrays (sorted by name) into one contiguous buffer."""
+    meta: list[tuple[str, tuple, int]] = []
+    parts = []
+    offset = 0
+    for name in sorted(named):
+        arr = np.asarray(named[name], dtype=np.float64)
+        parts.append(arr.reshape(-1))
+        meta.append((name, arr.shape, offset))
+        offset += arr.size
+    flat = (np.concatenate(parts) if parts
+            else np.empty(0, dtype=np.float64))
+    return flat, meta
+
+
+def _unflatten(flat: np.ndarray,
+               meta: list[tuple[str, tuple, int]]) -> dict[str, np.ndarray]:
+    out: dict[str, np.ndarray] = {}
+    for name, shape, offset in meta:
+        size = int(np.prod(shape)) if shape else 1
+        out[name] = flat[offset:offset + size].reshape(shape)
+    return out
+
+
+def ring_allreduce(grads_list: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    """Chunked ring all-reduce average — the executable decomposition.
+
+    Each participant's gradients are flattened into one buffer, split
+    into ``D`` contiguous chunks, and moved through the ``2 * (D - 1)``
+    ring steps: ``D - 1`` reduce-scatter steps in which every rank
+    forwards one chunk to its successor and accumulates the chunk it
+    receives, then ``D - 1`` all-gather steps that circulate the
+    reduced chunks.  Numerically equal to :func:`allreduce_average`
+    (the parity oracle): bit-for-bit for ``D = 2``, ``allclose``
+    otherwise (ring summation order differs from list order).
+    """
+    if not grads_list:
+        raise EngineError("allreduce of zero participants")
+    d = len(grads_list)
+    if d == 1:
+        return {name: g.copy() for name, g in grads_list[0].items()}
+    names = set(grads_list[0])
+    for g in grads_list[1:]:
+        if set(g) != names:
+            raise EngineError("gradient name mismatch across replicas")
+    flats, meta = [], None
+    for named in grads_list:
+        flat, m = _flatten(named)
+        flats.append(flat.copy())
+        meta = m
+    n = flats[0].size
+    bounds = [len(arr) for arr in np.array_split(np.empty(n), d)]
+    slices = []
+    start = 0
+    for width in bounds:
+        slices.append(slice(start, start + width))
+        start += width
+
+    # Reduce-scatter: step s moves chunk (r - s) mod D from rank r to
+    # rank r+1, which accumulates it onto its own copy.  After D-1
+    # steps chunk c is fully reduced at rank (c - 1) mod D.
+    for step in range(d - 1):
+        sent = {}
+        for r in range(d):
+            c = (r - step) % d
+            sent[(r + 1) % d] = (c, flats[r][slices[c]].copy())
+        for r, (c, data) in sent.items():
+            flats[r][slices[c]] = data + flats[r][slices[c]]
+
+    # All-gather: circulate each reduced chunk around the ring.
+    for step in range(d - 1):
+        sent = {}
+        for r in range(d):
+            c = (r + 1 - step) % d
+            sent[(r + 1) % d] = (c, flats[r][slices[c]].copy())
+        for r, (c, data) in sent.items():
+            flats[r][slices[c]] = data
+
+    return _unflatten(flats[0] / d, meta)
+
+
 @dataclass
 class DPStepResult:
     loss: float
     grads: dict[str, np.ndarray]
     replica_results: list[StepResult]
+    #: how many per-stage ring collectives the program drove (0 under
+    #: ``sync="average"``)
+    sync_collectives: int = 0
 
 
 class DataParallelPipelines:
-    """``D`` pipeline replicas with gradient averaging."""
+    """``D`` pipeline replicas with program-driven gradient sync.
 
-    def __init__(self, spec: ModelSpec, config: PipelineConfig, seed: int = 0):
+    ``sync="ring"`` (the default) executes the compiled program's
+    per-stage :class:`~repro.actions.CollectiveOp`\\ s as real chunked
+    ring all-reduces; ``sync="average"`` keeps the centralised oracle.
+    """
+
+    def __init__(self, spec: ModelSpec, config: PipelineConfig,
+                 seed: int = 0, sync: str = "ring"):
         if config.data_parallel < 1:
             raise ConfigError("data_parallel must be >= 1")
+        if sync not in ("ring", "average"):
+            raise ConfigError(
+                f"unknown sync mode {sync!r}; expected 'ring' or 'average'"
+            )
         self.spec = spec
         self.config = config
+        self.sync = sync
         self.trainers = [
             PipelineTrainer(spec, config, seed=seed)
             for _ in range(config.data_parallel)
         ]
+        #: the trainer program annotated with gradient-sync collectives
+        #: over *replica indices* — the engine's logical DP ring — built
+        #: with the same transform the simulator path compiles with
+        self.sync_program: Program = self._annotate(self.trainers[0])
+
+    def _annotate(self, trainer: PipelineTrainer) -> Program:
+        d = self.config.data_parallel
+        program = trainer.program
+        groups = {dev: tuple(range(d)) for dev in program.actions}
+        grad_bytes = {
+            stage.stage_id: float(stage.param_count() * 8.0)
+            for stage in trainer.replica_stages[0]
+        }
+        return with_gradient_sync(program, groups, grad_bytes)
+
+    def sync_stages(self) -> list[int]:
+        """Stages the program syncs, in collective order (deduplicated).
+
+        Chimera's two replicas each carry a collective for their stage;
+        the engine reduces replica-summed gradients, so each stage rings
+        once.
+        """
+        seen: list[int] = []
+        for _device, coll in collectives_in(self.sync_program):
+            if (coll.kind is CollectiveKind.GRAD_SYNC
+                    and coll.stage not in seen):
+                seen.append(coll.stage)
+        return seen
 
     def train_step(
         self,
@@ -62,6 +201,9 @@ class DataParallelPipelines:
 
         ``inputs`` holds ``B * D`` micro-batches; replica ``r`` takes
         those with ``m % D == r``, re-indexed to ``0..B-1`` locally.
+        After the pipelines drain, gradient sync follows the compiled
+        program: one chunked ring per stage bucket (``sync="ring"``) or
+        the centralised average (``sync="average"``).
         """
         b, d = self.config.num_microbatches, self.config.data_parallel
         if set(inputs) != set(range(b * d)):
@@ -71,9 +213,41 @@ class DataParallelPipelines:
             local_in = {i: inputs[i * d + r] for i in range(b)}
             local_tg = {i: targets[i * d + r] for i in range(b)}
             results.append(trainer.train_step(local_in, local_tg))
-        grads = allreduce_average([res.grads for res in results])
+        replica_grads = [res.grads for res in results]
+        if self.sync == "ring" and d > 1:
+            grads, executed = self._ring_sync(replica_grads)
+        else:
+            grads, executed = allreduce_average(replica_grads), 0
         return DPStepResult(
             loss=float(np.mean([res.loss for res in results])),
             grads=grads,
             replica_results=results,
+            sync_collectives=executed,
         )
+
+    def _ring_sync(
+        self, replica_grads: list[dict[str, np.ndarray]]
+    ) -> tuple[dict[str, np.ndarray], int]:
+        """Execute the program's grad-sync collectives, stage by stage."""
+        out: dict[str, np.ndarray] = {}
+        executed = 0
+        for stage in self.sync_stages():
+            prefix = f"s{stage}."
+            bucket = [
+                {k: v for k, v in grads.items() if k.startswith(prefix)}
+                for grads in replica_grads
+            ]
+            if not bucket[0]:
+                raise EngineError(
+                    f"program syncs stage {stage} but no gradient is "
+                    f"named {prefix}*"
+                )
+            out.update(ring_allreduce(bucket))
+            executed += 1
+        missing = set(replica_grads[0]) - set(out)
+        if missing:
+            raise EngineError(
+                f"gradients not covered by any sync collective: "
+                f"{sorted(missing)[:4]}"
+            )
+        return out, executed

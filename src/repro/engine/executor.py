@@ -158,6 +158,14 @@ class EngineExecutor:
     def wait_recv(self, peer: int, tag: Tag) -> None:
         self._tensors[tag] = self.network.recv(self.device, peer, tag)
 
+    def collective(self, op) -> None:
+        raise EngineError(
+            f"device {self.device}: {op} reached a per-worker executor; "
+            "collectives are driven by the data-parallel layer "
+            "(repro.engine.dataparallel) — execute the un-annotated "
+            "pipeline program here"
+        )
+
     def flush(self) -> None:
         leftovers = [
             str(m) for mod in self.stages.values()

@@ -15,7 +15,7 @@ from .metrics import (
     steady_state_bubble_ratio,
     throughput_seq_per_s,
 )
-from .events import CommEvent, EventResult, MemoryEvent, execute_program
+from .events import CollectiveEvent, CommEvent, EventResult, MemoryEvent, execute_program
 from .simulator import (
     SimResult,
     TrainingSimResult,
@@ -27,6 +27,7 @@ from .simulator import (
 __all__ = [
     "AbstractCosts",
     "BubbleStats",
+    "CollectiveEvent",
     "CommEvent",
     "ConcreteCosts",
     "CostOracle",

@@ -41,6 +41,28 @@ class CostOracle:
         traces.  Abstract models have no byte notion (unit size)."""
         return 1.0
 
+    def global_rank(self, device: int) -> int:
+        """Cluster rank of a program-local device.
+
+        Programs are compiled for one pipeline's workers ``0..P-1``;
+        oracles that place the pipeline elsewhere in a cluster (rank
+        blocks, TP spacing) override this so link contention and
+        collective routes resolve against *physical* ranks.
+        """
+        return device
+
+    def collective_link_time(self, a: int, b: int, nbytes: float) -> float:
+        """Seconds for one ring-step chunk between **global** ranks.
+
+        Collective groups address cluster ranks directly (they span
+        pipelines), so this bypasses the program-local view that
+        :meth:`transfer_time` resolves.
+        """
+        raise ConfigError(
+            f"{type(self).__name__} cannot time collectives "
+            "(no topology route between global ranks)"
+        )
+
 
 @dataclass
 class AbstractCosts(CostOracle):
@@ -67,6 +89,10 @@ class AbstractCosts(CostOracle):
 
     def transfer_time(self, src: int, dst: int, stage: int) -> float:
         return 0.0 if src == dst else self.costs.t_c
+
+    def collective_link_time(self, a: int, b: int, nbytes: float) -> float:
+        # Abstract comm is per-message: a ring chunk costs one t_c hop.
+        return 0.0 if a == b else self.costs.t_c
 
 
 @dataclass
@@ -101,3 +127,6 @@ class ConcreteCosts(CostOracle):
 
     def tensor_nbytes(self, stage: int) -> float:
         return self.stage_costs.boundary_bytes
+
+    def collective_link_time(self, a: int, b: int, nbytes: float) -> float:
+        return self.comm.rank_transfer_time(a, b, nbytes)

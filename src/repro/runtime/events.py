@@ -25,6 +25,17 @@ Timing model
   idle — matching the paper's bubble convention).
 * **BatchedP2P** posts its whole group before waiting (the
   ``batch_isend_irecv`` discipline of Sec. 4.2).
+* **CollectiveOp** (see :mod:`repro.actions.collectives`) executes a
+  ring all-reduce as its ``2 * (D - 1)`` per-chunk steps, each lasting
+  as long as the slowest ring link; a device's collectives serialize on
+  a per-device NIC cursor (bucketed-NCCL style).  Asynchronous
+  collectives (DP gradient sync) never advance the device clock — their
+  completion only bounds the *iteration* end, which is how bubble
+  overlap is measured instead of assumed.  Blocking collectives (TP
+  boundary all-reduces) advance the clock like compute.  Replica
+  symmetry: every data-parallel replica executes the same program, so
+  the off-program ring peers are ready exactly when the owning device
+  is — one simulated pipeline times the whole ring.
 
 Both modes account ``recv_wait`` per device: blocking transfers charge
 their full duration, prefetched transfers charge the residual stall
@@ -63,9 +74,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..actions.collectives import ring_pairs, ring_step_count
 from ..actions.ops import (
     Action,
     BatchedP2P,
+    CollectiveKind,
+    CollectiveOp,
     Flush,
     OptimizerStep,
     Recv,
@@ -91,6 +105,28 @@ class CommEvent:
     end: float      # arrival at the receiver
     nbytes: float
     batched: bool   # posted from inside a BatchedP2P group
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CollectiveEvent:
+    """One executed collective, with its per-step ring schedule.
+
+    ``steps`` holds the ``(start, end)`` interval of each of the first
+    ring round's ``2 * (D - 1)`` chunk steps; for ``op.count != 1`` the
+    remaining rounds extend ``end`` without per-step detail (they
+    repeat the first round back-to-back).
+    """
+
+    op: CollectiveOp
+    device: int      # program-local device that owns this collective
+    post: float      # the cursor reached the action
+    start: float     # first ring step began (>= post: NIC + wire waits)
+    end: float       # last chunk arrived everywhere
+    steps: tuple[tuple[float, float], ...] = ()
 
     @property
     def duration(self) -> float:
@@ -125,10 +161,28 @@ class EventResult:
     mem_peak: dict[int, float] = field(default_factory=dict)
     #: every watermark change, in per-device execution order
     mem_events: list[MemoryEvent] = field(default_factory=list)
+    #: every executed collective, in posting order
+    collectives: list[CollectiveEvent] = field(default_factory=list)
+    #: per-device clock when its program finished — unlike the compute
+    #: timeline this includes blocking communication (TP collectives,
+    #: blocking receives) that trails the device's last compute span
+    device_end: dict[int, float] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
         return self.timeline.makespan
+
+    @property
+    def busy_end(self) -> float:
+        """End of all compute *and* blocking communication."""
+        return max([self.timeline.makespan]
+                   + list(self.device_end.values()))
+
+    def sync_done(self) -> float:
+        """When the last asynchronous gradient sync completed (0 if none)."""
+        ends = [c.end for c in self.collectives
+                if c.op.kind is CollectiveKind.GRAD_SYNC]
+        return max(ends) if ends else 0.0
 
 
 class _Wire:
@@ -186,9 +240,15 @@ def execute_program(
     #: batched groups whose sends are already posted (posts must not be
     #: re-issued while the group blocks on its inbound transfers)
     posted_groups: set[tuple[int, int]] = set()
+    # Wires are keyed by *global* rank pairs so pipeline P2P and
+    # cross-pipeline collective rings arbitrate the same physical links
+    # (for identity-mapped oracles the keys are unchanged).
     wires: dict[frozenset, _Wire] = {}
     timeline = Timeline()
     comm: list[CommEvent] = []
+    collectives: list[CollectiveEvent] = []
+    #: per-device NIC cursor: a device's collectives run back-to-back
+    coll_free = {d: 0.0 for d in program.actions}
     mem_level = dict(program.static_bytes)
     mem_peak = dict(mem_level)
     mem_events: list[MemoryEvent] = []
@@ -229,7 +289,9 @@ def execute_program(
         post = start = clock[device]
         duration = t_comm
         if contention and t_comm > 0.0:
-            wire = wires.setdefault(frozenset((device, dst)), _Wire())
+            wire = wires.setdefault(
+                frozenset((costs.global_rank(device),
+                           costs.global_rank(dst))), _Wire())
             if post < wire.free:
                 start = wire.free
                 if exchange is not None and wire.last_exchange == exchange:
@@ -249,6 +311,56 @@ def execute_program(
         )
         transfers[(dst, tag)] = event
         comm.append(event)
+
+    def run_collective(device: int, coll: CollectiveOp) -> None:
+        """Execute one ring all-reduce through the wire machinery.
+
+        The ring advances in synchronised steps: every participant
+        forwards one ``nbytes / D`` chunk to its successor, so a step
+        lasts as long as the slowest ring link — the same model the
+        closed form :func:`repro.cluster.topology.ring_transfer_chain`
+        expresses, which the parity tests pin to 1e-9.
+        """
+        post = clock[device]
+        start = max(post, coll_free[device])
+        pairs = ring_pairs(coll.group)
+        steps: list[tuple[float, float]] = []
+        t = start
+        if pairs and coll.nbytes > 0 and coll.count > 0:
+            chunk = coll.nbytes / len(coll.group)
+            step_time = max(
+                costs.collective_link_time(a, b, chunk) for a, b in pairs
+            )
+            round_time = 0.0
+            for _ in range(ring_step_count(len(coll.group))):
+                step_start = t
+                if contention:
+                    ws = [wires.setdefault(frozenset(pair), _Wire())
+                          for pair in pairs]
+                    step_start = max([t] + [w.free for w in ws])
+                step_end = step_start + step_time
+                steps.append((step_start, step_end))
+                round_time += step_time
+                if contention:
+                    for w in ws:
+                        w.free = step_end
+                        w.last_exchange = None
+                t = step_end
+            if coll.count != 1.0:
+                # Remaining rounds repeat the first back-to-back; the
+                # wires stay held for the whole run.
+                t += (coll.count - 1.0) * round_time
+                if contention:
+                    for pair in pairs:
+                        wires[frozenset(pair)].free = t
+        end = t
+        coll_free[device] = end
+        collectives.append(CollectiveEvent(
+            op=coll, device=device, post=post, start=start, end=end,
+            steps=tuple(steps),
+        ))
+        if coll.blocking:
+            clock[device] = end
 
     def blocking_recv(device: int, recv: Recv) -> bool:
         """Execute one blocking receive; False if the send isn't posted."""
@@ -307,6 +419,9 @@ def execute_program(
             return try_compute(device, act)
         if isinstance(act, Send):
             post_send(device, act, exchange=None)
+            return True
+        if isinstance(act, CollectiveOp):
+            run_collective(device, act)
             return True
         if isinstance(act, Recv):
             if prefetch:
@@ -450,5 +565,7 @@ def execute_program(
     for spans in timeline.spans.values():
         spans.sort(key=lambda t: t.start)
     comm.sort(key=lambda e: (e.post, e.start))
+    collectives.sort(key=lambda e: (e.post, e.start, e.device))
     return EventResult(timeline=timeline, recv_wait=recv_wait, comm=comm,
-                       order=order, mem_peak=mem_peak, mem_events=mem_events)
+                       order=order, mem_peak=mem_peak, mem_events=mem_events,
+                       collectives=collectives, device_end=dict(clock))

@@ -34,7 +34,7 @@ from ..errors import SchedulingError
 from ..schedules.base import Schedule
 from ..types import Timeline
 from .costs import CostOracle
-from .events import CommEvent, MemoryEvent, execute_program
+from .events import CollectiveEvent, CommEvent, MemoryEvent, execute_program
 from .memory import MemoryStats
 
 
@@ -62,10 +62,31 @@ class SimResult:
     #: every watermark change, in per-device execution order (feeds the
     #: Chrome-trace memory counter lanes)
     mem_events: list[MemoryEvent] = field(default_factory=list)
+    #: every executed collective (ring all-reduces with per-step
+    #: schedules), in posting order; empty for programs without
+    #: compiled collectives
+    collectives: list[CollectiveEvent] = field(default_factory=list)
+    #: per-device end-of-program clocks (compute + blocking comm)
+    device_end: dict[int, float] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
         return self.timeline.makespan
+
+    @property
+    def busy_end(self) -> float:
+        """End of all compute and blocking communication — the base
+        the gradient-sync exposure is measured against."""
+        return max([self.timeline.makespan]
+                   + list(self.device_end.values()))
+
+    def sync_done(self) -> float:
+        """End of the last asynchronous gradient sync (0 if none)."""
+        from ..actions.ops import CollectiveKind
+
+        ends = [c.end for c in self.collectives
+                if c.op.kind is CollectiveKind.GRAD_SYNC]
+        return max(ends) if ends else 0.0
 
 
 @dataclass
@@ -177,4 +198,6 @@ def simulate_program(
         action_order=result.order,
         memory=memory,
         mem_events=result.mem_events,
+        collectives=result.collectives,
+        device_end=result.device_end,
     )

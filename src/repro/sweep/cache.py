@@ -32,8 +32,11 @@ from ..analysis.throughput import ThroughputResult
 #: bump when record layout or fingerprint semantics change; old entries
 #: then read as misses instead of deserialising wrongly
 #: (2: memory-as-a-resource — records carry ``statically_pruned``, keys
-#: carry ``capacity_bytes``, OOM peaks are abort-time watermarks)
-CACHE_VERSION = 2
+#: carry ``capacity_bytes``, OOM peaks are abort-time watermarks;
+#: 3: collectives-in-the-IR — keys carry ``tp`` and the ``overlap``
+#: mode instead of the retired ``dp_overlap`` constant, records carry
+#: the measured sync/overlap columns)
+CACHE_VERSION = 3
 
 #: package-relative sources whose behaviour determines a measurement;
 #: their content is hashed into every cache key so editing the cost
@@ -125,7 +128,8 @@ def cache_key(
     w: int,
     num_microbatches: int,
     microbatch_size: int,
-    dp_overlap: float = 0.9,
+    tp: int = 1,
+    overlap: str = "simulated",
     enforce_memory: bool = True,
     capacity_bytes: int | None = None,
     cluster_fp: dict | None = None,
@@ -156,12 +160,12 @@ def cache_key(
         "model": model_fp if model_fp is not None
         else model_fingerprint(model),
         "shape": {
-            "p": p, "d": d, "w": w,
+            "p": p, "d": d, "w": w, "tp": tp,
             "num_microbatches": num_microbatches,
             "microbatch_size": microbatch_size,
         },
         "options": {
-            "dp_overlap": dp_overlap,
+            "overlap": overlap,
             "enforce_memory": enforce_memory,
             "capacity_bytes": capacity_bytes,
         },
@@ -188,6 +192,11 @@ def result_to_record(result: ThroughputResult) -> dict:
         "iteration_s": result.iteration_s,
         "oom_device": result.oom_device,
         "statically_pruned": result.statically_pruned,
+        "sync_s": result.sync_s,
+        "sync_exposed_s": result.sync_exposed_s,
+        "sync_overlap": result.sync_overlap,
+        "sync_model_s": result.sync_model_s,
+        "overlap_mode": result.overlap_mode,
     }
 
 
@@ -218,6 +227,11 @@ def record_to_result(record: dict) -> ThroughputResult | None:
         iteration_s=record["iteration_s"],
         oom_device=record["oom_device"],
         statically_pruned=record.get("statically_pruned", False),
+        sync_s=record.get("sync_s", 0.0),
+        sync_exposed_s=record.get("sync_exposed_s", 0.0),
+        sync_overlap=record.get("sync_overlap"),
+        sync_model_s=record.get("sync_model_s", 0.0),
+        overlap_mode=record.get("overlap_mode", "simulated"),
     )
 
 

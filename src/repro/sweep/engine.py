@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import multiprocessing
 
+from ..analysis.hybrid import HybridLayout, measure_hybrid_throughput
 from ..analysis.throughput import measure_throughput
 from ..errors import ConfigError
 from .cache import (
@@ -38,19 +39,35 @@ MAX_WORKERS = 32
 
 
 def _evaluate(job: tuple) -> tuple[int, dict]:
-    """Measure one grid cell; must stay module-level (pool pickling)."""
-    (index, point, cluster, model, dp_overlap, enforce_memory,
+    """Measure one grid cell; must stay module-level (pool pickling).
+
+    TP = 1 cells run the flat throughput harness; TP > 1 cells run the
+    hybrid harness — both compile their collectives into the program
+    and share the overlap accounting.
+    """
+    (index, point, cluster, model, overlap, enforce_memory,
      capacity_bytes) = job
     try:
-        result = measure_throughput(
-            point.scheme, cluster, model,
-            p=point.p, d=point.d, w=point.w,
-            num_microbatches=point.num_microbatches,
-            microbatch_size=point.microbatch_size,
-            dp_overlap=dp_overlap,
-            enforce_memory=enforce_memory,
-            capacity_bytes=capacity_bytes,
-        )
+        if point.tp > 1:
+            result = measure_hybrid_throughput(
+                point.scheme, cluster, model,
+                HybridLayout(tp=point.tp, p=point.p, d=point.d),
+                num_microbatches=point.num_microbatches, w=point.w,
+                microbatch_size=point.microbatch_size,
+                overlap=overlap,
+                enforce_memory=enforce_memory,
+                capacity_bytes=capacity_bytes,
+            )
+        else:
+            result = measure_throughput(
+                point.scheme, cluster, model,
+                p=point.p, d=point.d, w=point.w,
+                num_microbatches=point.num_microbatches,
+                microbatch_size=point.microbatch_size,
+                overlap=overlap,
+                enforce_memory=enforce_memory,
+                capacity_bytes=capacity_bytes,
+            )
     except ConfigError as exc:
         return index, infeasible_record(str(exc))
     return index, result_to_record(result)
@@ -64,10 +81,10 @@ def point_key(spec: SweepSpec, point: SweepPoint,
         point.scheme,
         spec.clusters[point.cluster_index],
         spec.models[point.model_index],
-        p=point.p, d=point.d, w=point.w,
+        p=point.p, d=point.d, w=point.w, tp=point.tp,
         num_microbatches=point.num_microbatches,
         microbatch_size=point.microbatch_size,
-        dp_overlap=spec.dp_overlap,
+        overlap=spec.overlap,
         enforce_memory=spec.enforce_memory,
         capacity_bytes=spec.capacity_bytes,
         cluster_fp=cluster_fp, model_fp=model_fp,
@@ -109,7 +126,7 @@ def run_sweep(
             i, point,
             spec.clusters[point.cluster_index],
             spec.models[point.model_index],
-            spec.dp_overlap, spec.enforce_memory, spec.capacity_bytes,
+            spec.overlap, spec.enforce_memory, spec.capacity_bytes,
         ))
 
     if misses:
@@ -143,7 +160,7 @@ def run_sweep(
             scheme=point.scheme,
             cluster=spec.clusters[point.cluster_index].name,
             model=spec.models[point.model_index].name,
-            p=point.p, d=point.d, w=point.w,
+            p=point.p, d=point.d, w=point.w, tp=point.tp,
             num_microbatches=point.num_microbatches,
             microbatch_size=point.microbatch_size,
             total_batch=point.total_batch,

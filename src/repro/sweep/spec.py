@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..analysis.throughput import OVERLAP_MODES
 from ..cluster.presets import Cluster
 from ..config import KNOWN_SCHEMES
 from ..errors import ConfigError
@@ -106,6 +107,7 @@ class SweepPoint:
     num_microbatches: int
     microbatch_size: int
     total_batch: int
+    tp: int = 1
 
 
 @dataclass(frozen=True)
@@ -121,18 +123,32 @@ class SweepSpec:
     models:
         :class:`~repro.models.spec.ModelSpec` objects to evaluate.
     layouts:
-        ``(P, D)`` pairs — pipeline depth × data-parallel width.
+        ``(P, D)`` pairs — pipeline depth × data-parallel width — or
+        ``(P, D, TP)`` triples that pin a cell to one tensor-parallel
+        degree.  Pairs are crossed with every ``tensor_parallel``
+        degree; triples are not (the CLI's ``--dp``/``--tp`` layout
+        derivation uses triples so each degree gets exactly the
+        pipeline depth that fills the cluster).
     total_batches:
         Total sequences per iteration for the whole job; each layout
         splits a total batch per the Sec. 5.3 fairness rule.
     waves:
         Wave counts searched for Hanayo (other schemes run ``W = 1``).
+    tensor_parallel:
+        Tensor-parallel degrees to cross with every layout (default:
+        TP = 1 only).  Cells with TP > 1 run through the hybrid
+        harness; layouts whose ``TP * P * D`` exceeds a cluster, or
+        whose TP degree exceeds the node size, are skipped (or raise,
+        per ``skip_oversized``).
     target_microbatches:
         Preferred micro-batch count per pipeline (default: ``P``).
-    dp_overlap / enforce_memory / capacity_bytes:
-        Forwarded to ``measure_throughput``.  ``capacity_bytes``
-        overrides each cluster device's memory for capacity what-ifs
-        (the ``repro sweep --capacity-gib`` knob); ``None`` uses the
+    overlap / enforce_memory / capacity_bytes:
+        Forwarded to ``measure_throughput``.  ``overlap`` selects how
+        gradient-sync time is charged: ``"simulated"`` (measured from
+        compiled collectives by the event core) or ``"model"`` (the
+        analytic closed-form fallback).  ``capacity_bytes`` overrides
+        each cluster device's memory for capacity what-ifs (the
+        ``repro sweep --capacity-gib`` knob); ``None`` uses the
         device's own capacity.
     skip_oversized:
         When true (the default), layouts that do not fit a cluster are
@@ -160,15 +176,16 @@ class SweepSpec:
     layouts: tuple[tuple[int, int], ...]
     total_batches: tuple[int, ...]
     waves: tuple[int, ...] = DEFAULT_WAVES
+    tensor_parallel: tuple[int, ...] = (1,)
     target_microbatches: int | None = None
-    dp_overlap: float = 0.9
+    overlap: str = "simulated"
     enforce_memory: bool = True
     capacity_bytes: int | None = None
     skip_oversized: bool = True
 
     def __post_init__(self) -> None:
         for name in ("schemes", "clusters", "models", "layouts",
-                     "total_batches", "waves"):
+                     "total_batches", "waves", "tensor_parallel"):
             if not getattr(self, name):
                 raise ConfigError(f"sweep spec has empty {name}")
         for scheme in self.schemes:
@@ -177,10 +194,18 @@ class SweepSpec:
                     f"unknown scheme {scheme!r}; expected one of {KNOWN_SCHEMES}"
                 )
         for layout in self.layouts:
-            if (len(layout) != 2 or layout[0] < 1 or layout[1] < 1):
-                raise ConfigError(f"bad layout {layout!r}; want (P, D) >= 1")
-        if not (0.0 <= self.dp_overlap <= 1.0):
-            raise ConfigError("dp_overlap must be in [0, 1]")
+            if (len(layout) not in (2, 3) or any(v < 1 for v in layout)):
+                raise ConfigError(
+                    f"bad layout {layout!r}; want (P, D) or (P, D, TP) >= 1"
+                )
+        for tp in self.tensor_parallel:
+            if tp < 1:
+                raise ConfigError(f"tensor-parallel degree {tp} must be >= 1")
+        if self.overlap not in OVERLAP_MODES:
+            raise ConfigError(
+                f"unknown overlap mode {self.overlap!r}; expected one of "
+                f"{OVERLAP_MODES}"
+            )
         if self.capacity_bytes is not None and self.capacity_bytes < 1:
             raise ConfigError("capacity_bytes must be >= 1 (or None)")
 
@@ -189,43 +214,57 @@ class SweepSpec:
         """Upper bound on the cell count before feasibility filtering."""
         return (len(self.schemes) * len(self.clusters) * len(self.models)
                 * len(self.layouts) * len(self.total_batches)
-                * max(len(self.waves), 1))
+                * len(self.tensor_parallel) * max(len(self.waves), 1))
 
     def expand(self) -> list[SweepPoint]:
         """Lower the grid to feasible :class:`SweepPoint` s, in a
         deterministic order (clusters, models, schemes, batches,
-        layouts, waves — slowest to fastest)."""
+        layouts, TP degrees, waves — slowest to fastest)."""
         points: list[SweepPoint] = []
         for ci, cluster in enumerate(self.clusters):
             for mi, model in enumerate(self.models):
                 for scheme in self.schemes:
                     for total_batch in self.total_batches:
-                        for p, d in self.layouts:
-                            if p * d > cluster.num_devices:
-                                if self.skip_oversized:
-                                    continue
-                                raise ConfigError(
-                                    f"layout ({p},{d}) exceeds cluster "
-                                    f"{cluster.name}"
-                                )
-                            shape = split_batch(total_batch, d, p, scheme,
-                                                self.target_microbatches)
-                            if shape is None:
-                                continue
-                            b, mb_size = shape
-                            wave_options = (
-                                feasible_waves(model, p, self.waves)
-                                if scheme == "hanayo" else [1]
+                        for layout in self.layouts:
+                            p, d = layout[0], layout[1]
+                            tp_options = (
+                                (layout[2],) if len(layout) == 3
+                                else self.tensor_parallel
                             )
-                            for w in wave_options:
-                                points.append(SweepPoint(
-                                    scheme=scheme, cluster_index=ci,
-                                    model_index=mi, p=p, d=d, w=w,
-                                    num_microbatches=b,
-                                    microbatch_size=mb_size,
-                                    total_batch=total_batch,
+                            for tp in tp_options:
+                                points.extend(self._expand_cell(
+                                    ci, cluster, mi, model, scheme,
+                                    total_batch, p, d, tp,
                                 ))
         return points
+
+    def _expand_cell(self, ci, cluster, mi, model, scheme,
+                     total_batch, p, d, tp) -> list[SweepPoint]:
+        if tp * p * d > cluster.num_devices or tp > cluster.gpus_per_node:
+            if self.skip_oversized or tp > 1:
+                # TP degrees are a crossed axis: a degree that does not
+                # fit one layout may fit the next, so oversized hybrid
+                # cells are always dropped rather than fatal.
+                return []
+            raise ConfigError(
+                f"layout ({p},{d}) exceeds cluster {cluster.name}"
+            )
+        shape = split_batch(total_batch, d, p, scheme,
+                            self.target_microbatches)
+        if shape is None:
+            return []
+        b, mb_size = shape
+        wave_options = (feasible_waves(model, p, self.waves)
+                        if scheme == "hanayo" else [1])
+        return [
+            SweepPoint(
+                scheme=scheme, cluster_index=ci, model_index=mi,
+                p=p, d=d, w=w, num_microbatches=b,
+                microbatch_size=mb_size, total_batch=total_batch,
+                tp=tp,
+            )
+            for w in wave_options
+        ]
 
     def describe(self) -> str:
         return (f"sweep[{'/'.join(self.schemes)} on "

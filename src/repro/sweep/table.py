@@ -21,10 +21,10 @@ from ..errors import ConfigError
 
 #: flat export schema, also the CSV header
 EXPORT_FIELDS = (
-    "scheme", "cluster", "model", "p", "d", "w",
+    "scheme", "cluster", "model", "p", "d", "w", "tp",
     "num_microbatches", "microbatch_size", "total_batch",
     "seq_per_s", "bubble_ratio", "peak_mem_gib", "iteration_s",
-    "oom", "cached",
+    "sync_overlap", "oom", "cached",
 )
 
 
@@ -63,6 +63,7 @@ class SweepRow:
     total_batch: int
     result: ThroughputResult
     cached: bool = False
+    tp: int = 1
 
     @property
     def oom(self) -> bool:
@@ -82,6 +83,7 @@ class SweepRow:
             "p": self.p,
             "d": self.d,
             "w": self.w,
+            "tp": self.tp,
             "num_microbatches": self.num_microbatches,
             "microbatch_size": self.microbatch_size,
             "total_batch": self.total_batch,
@@ -89,6 +91,7 @@ class SweepRow:
             "bubble_ratio": self.result.bubble_ratio,
             "peak_mem_gib": None if peak is None else peak / 2**30,
             "iteration_s": self.result.iteration_s,
+            "sync_overlap": self.result.sync_overlap,
             "oom": self.oom,
             "cached": self.cached,
         }
@@ -186,14 +189,16 @@ class SweepTable:
         if top is not None:
             rows = rows[:top]
         body = [
-            [r.scheme, r.cluster, r.model, r.p, r.d, r.w,
+            [r.scheme, r.cluster, r.model, r.p, r.d, r.w, r.tp,
              r.num_microbatches, r.microbatch_size,
              None if r.oom else f"{r.throughput:.2f}",
+             ("" if r.result.sync_overlap is None
+              else f"{r.result.sync_overlap * 100:.0f}%"),
              "*" if r.cached else ""]
             for r in rows
         ]
         return format_table(
-            ["scheme", "cluster", "model", "P", "D", "W", "B", "mb",
-             "seq/s", "hit"],
+            ["scheme", "cluster", "model", "P", "D", "W", "TP", "B",
+             "mb", "seq/s", "sync-ovl", "hit"],
             body, title=title,
         )

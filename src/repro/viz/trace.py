@@ -7,11 +7,13 @@ way modern training stacks visualise pipeline execution.
 :func:`sim_to_chrome_trace` goes further: fed directly by the
 event-driven simulator's :class:`~repro.runtime.SimResult`, it adds a
 ``network`` process with one lane per directed link carrying every
-point-to-point transfer (tag, bytes, batched-group membership) — and,
-when the simulated program carried memory resources, one **counter
-lane per device** plotting its live memory watermark (static residency
-plus activation allocs/frees, in GiB) — so any run — bench, sweep or
-engine — can be inspected in one timeline format at
+point-to-point transfer (tag, bytes, batched-group membership); a
+``collectives`` process with one lane per device showing every ring
+all-reduce (DP gradient sync, TP boundary) and its individual chunk
+steps; and, when the simulated program carried memory resources, one
+**counter lane per device** plotting its live memory watermark (static
+residency plus activation allocs/frees, in GiB) — so any run — bench,
+sweep or engine — can be inspected in one timeline format at
 https://ui.perfetto.dev.
 """
 
@@ -115,6 +117,53 @@ def sim_to_chrome_trace(result, time_unit_us: float = 1000.0,
                 "ts": e.time * time_unit_us,
                 "args": {"GiB": e.level / 2**30},
             })
+    collectives = getattr(result, "collectives", None)
+    if collectives:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": 2,
+            "args": {"name": "collectives"},
+        })
+        for device in sorted({c.device for c in collectives}):
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 2,
+                "tid": device,
+                "args": {"name": f"collectives d{device}"},
+            })
+        for c in collectives:
+            label = (f"{c.op.kind.value} s{c.op.stage}"
+                     + (f" r{c.op.replica}" if c.op.replica else ""))
+            events.append({
+                "name": label,
+                "cat": "collective",
+                "ph": "X",
+                "pid": 2,
+                "tid": c.device,
+                "ts": c.start * time_unit_us,
+                "dur": c.duration * time_unit_us,
+                "args": {
+                    "group": list(c.op.group),
+                    "nbytes": c.op.nbytes,
+                    "blocking": c.op.blocking,
+                    "count": c.op.count,
+                    "posted_at": c.post * time_unit_us,
+                    "ring_steps": len(c.steps),
+                },
+            })
+            for k, (s, e) in enumerate(c.steps):
+                events.append({
+                    "name": f"{label} step {k + 1}/{len(c.steps)}",
+                    "cat": "collective-step",
+                    "ph": "X",
+                    "pid": 2,
+                    "tid": c.device,
+                    "ts": s * time_unit_us,
+                    "dur": (e - s) * time_unit_us,
+                    "args": {"step": k},
+                })
     if result.comm:
         events.append({
             "name": "process_name",

@@ -225,7 +225,9 @@ class TestCache:
         assert base != cache_key("gpipe", make_fc(4), tiny_model(),
                                  **(shape | {"microbatch_size": 4}))
         assert base != cache_key("gpipe", make_fc(4), tiny_model(),
-                                 **shape, dp_overlap=0.5)
+                                 **shape, overlap="model")
+        assert base != cache_key("gpipe", make_fc(4), tiny_model(),
+                                 **shape, tp=2)
 
 
 class TestEngine:
@@ -273,8 +275,10 @@ class TestEngine:
             tiny_spec(schemes=("warp-drive",))
         with pytest.raises(ConfigError, match="layout"):
             tiny_spec(layouts=((0, 1),))
-        with pytest.raises(ConfigError, match="dp_overlap"):
-            tiny_spec(dp_overlap=1.5)
+        with pytest.raises(ConfigError, match="overlap"):
+            tiny_spec(overlap="guess")
+        with pytest.raises(ConfigError, match="tensor-parallel"):
+            tiny_spec(tensor_parallel=(0,))
 
 
 class TestTable:
