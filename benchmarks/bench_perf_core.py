@@ -1,0 +1,324 @@
+#!/usr/bin/env python
+"""Perf harness for the lowered-plan event core (``BENCH_core.json``).
+
+Measures wall time and events/second of the measurement hot path on two
+canonical scenarios and compares against the retained pre-refactor
+interpreter (:func:`repro.runtime.execute_program_reference`):
+
+* ``fig09_sweep`` — a full fig09-style grid pass (4 clusters × 2
+  layouts × {GPipe, DAPPLE, Chimera-wave, Hanayo-2/4}) through
+  ``measure_throughput`` with a warm plan cache, i.e. what one sweep
+  worker does per cost-axis cell.  The reference path re-runs the
+  pre-refactor pipeline per cell: schedule build + program compilation
+  + dict-walking event loop.
+* ``families_prefetch`` — the raw event core on 8 schedule families ×
+  prefetch on/off (abstract costs, P = B = 8): ``execute_plan`` over a
+  pre-lowered plan vs the reference interpreter over the same program.
+
+Usage::
+
+    python benchmarks/bench_perf_core.py            # run + print
+    python benchmarks/bench_perf_core.py --write    # refresh baseline
+    python benchmarks/bench_perf_core.py --check    # CI gate
+
+``--check`` fails (exit 1) when a scenario's **speedup vs reference**
+regresses more than :data:`REGRESSION_TOLERANCE` against the committed
+``BENCH_core.json``, or when the fig09 speedup drops below the
+:data:`SPEEDUP_FLOOR` the lowering refactor is required to hold.  The
+speedup ratio is the machine-portable signal (both sides run in the
+same process on the same data), so the gate works on CI runners of any
+speed; absolute events/second is compared too but only *warns* when it
+drifts, since it tracks the baseline host's hardware.  Baseline
+protocol: see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+if __package__ is None or __package__ == "":  # direct script invocation
+    _src = pathlib.Path(__file__).resolve().parents[1] / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_core.json"
+
+#: --check fails when events/s or speedup fall below (1 - this) x baseline
+REGRESSION_TOLERANCE = 0.30
+
+#: the refactor's acceptance floor: fig09 must stay >= this much faster
+#: than the pre-refactor core
+SPEEDUP_FLOOR = 3.0
+
+#: timing repeats (best-of is reported, to shed scheduler noise)
+REPEATS = 3
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None or dt < best else best
+    return best
+
+
+# -- scenario: fig09 sweep cells --------------------------------------------
+
+
+def _fig09_cells():
+    from repro.cluster import all_clusters
+
+    cells = []
+    for cluster in all_clusters(8):
+        for p, d in ((8, 1), (4, 2)):
+            b = 8 // d
+            for scheme, w in (("gpipe", 1), ("dapple", 1),
+                              ("chimera-wave", 1), ("hanayo", 2),
+                              ("hanayo", 4)):
+                cells.append((scheme, cluster, p, b, d, w))
+    return cells
+
+
+def _run_fig09_pass(model, cells) -> None:
+    from repro.analysis import measure_throughput
+
+    for scheme, cluster, p, b, d, w in cells:
+        measure_throughput(scheme, cluster, model, p=p,
+                           num_microbatches=b, d=d, w=w,
+                           microbatch_size=1)
+
+
+def _run_fig09_reference_pass(model, cells) -> None:
+    """The pre-refactor per-cell pipeline, cell for cell.
+
+    Rebuilds schedule + program every call and interprets the rich IR
+    with the reference core — exactly what ``measure_throughput`` did
+    before the lowering refactor.
+    """
+    from repro.analysis.throughput import (
+        _pipeline_comm,
+        compile_cluster_program,
+        throughput_from_simulation,
+    )
+    from repro.config import PipelineConfig, RunConfig
+    from repro.models.costs import stage_costs
+    from repro.runtime import ConcreteCosts, execute_program_reference
+    from repro.runtime.memory import MemoryStats
+    from repro.runtime.simulator import SimResult
+    from repro.schedules import build_schedule
+
+    run = RunConfig()
+    for scheme, cluster, p, b, d, w in cells:
+        cfg = PipelineConfig(scheme=scheme, num_devices=p,
+                             num_microbatches=b, num_waves=w,
+                             data_parallel=d, microbatch_size=1)
+        schedule = build_schedule(cfg)
+        costs = stage_costs(model, schedule.num_stages, cluster.device, 1)
+        program = compile_cluster_program(schedule, cluster, costs, d=d,
+                                          run=run)
+        oracle = ConcreteCosts(costs, _pipeline_comm(cluster, 0, p))
+        ev = execute_program_reference(program, oracle, run)
+        result = SimResult(
+            schedule=schedule, timeline=ev.timeline,
+            recv_busy=ev.recv_wait, program=program, comm=ev.comm,
+            action_order=ev.order,
+            memory=MemoryStats(static_bytes=dict(program.static_bytes),
+                               peak_bytes=ev.mem_peak),
+            mem_events=ev.mem_events, collectives=ev.collectives,
+            device_end=ev.device_end,
+        )
+        throughput_from_simulation(cfg, cluster, model, schedule, costs,
+                                   result, ring_p=p, overlap="simulated")
+
+
+def bench_fig09() -> dict:
+    from repro.analysis import plan_cache
+    from repro.cluster import all_clusters
+    from repro.models import bert_64
+
+    model = bert_64()
+    cells = _fig09_cells()
+    plan_cache().clear()
+    _run_fig09_pass(model, cells)        # warm the plan cache
+    # the grid crosses every structure with every cluster, so one pass
+    # executes each cached structure once per cluster
+    actions = len(list(all_clusters(8))) * sum(
+        e.plan.n_actions for e in plan_cache()._store.values())
+    wall = _best_of(lambda: _run_fig09_pass(model, cells))
+    ref_wall = _best_of(lambda: _run_fig09_reference_pass(model, cells))
+    return {
+        "cells": len(cells),
+        "actions_per_pass": actions,
+        "wall_s": round(wall, 6),
+        "events_per_s": round(actions / wall, 1),
+        "reference_wall_s": round(ref_wall, 6),
+        "speedup_vs_reference": round(ref_wall / wall, 3),
+    }
+
+
+# -- scenario: 8 families x prefetch, raw event core -------------------------
+
+
+def _family_plans():
+    from repro.actions import ExecutablePlan, compile_program
+    from repro.config import CostConfig, PipelineConfig
+    from repro.runtime import AbstractCosts
+    from repro.schedules import build_schedule
+
+    families = [
+        ("gpipe", {}), ("dapple", {}), ("interleaved", {"num_waves": 2}),
+        ("gems", {}), ("chimera", {}), ("chimera-wave", {}),
+        ("hanayo", {"num_waves": 2}), ("async-1f1b", {}),
+    ]
+    out = []
+    for scheme, kw in families:
+        for prefetch in (True, False):
+            cfg = PipelineConfig(scheme=scheme, num_devices=8,
+                                 num_microbatches=8, **kw)
+            sched = build_schedule(cfg)
+            program = compile_program(sched, prefetch=prefetch)
+            costs = AbstractCosts(CostConfig(t_c=0.2), 8, sched.num_stages)
+            out.append((program, costs,
+                        ExecutablePlan.lower(program, costs)))
+    return out
+
+
+def bench_families() -> dict:
+    from repro.config import RunConfig
+    from repro.runtime import execute_plan, execute_program_reference
+
+    triples = _family_plans()
+    run = RunConfig()
+    actions = sum(plan.n_actions for _p, _c, plan in triples)
+
+    def new_pass():
+        for _program, _costs, plan in triples:
+            execute_plan(plan, run)
+
+    def ref_pass():
+        for program, costs, _plan in triples:
+            execute_program_reference(program, costs, run)
+
+    new_pass()  # warm (fills lazy duration columns)
+    wall = _best_of(new_pass)
+    ref_wall = _best_of(ref_pass)
+    return {
+        "cells": len(triples),
+        "actions_per_pass": actions,
+        "wall_s": round(wall, 6),
+        "events_per_s": round(actions / wall, 1),
+        "reference_wall_s": round(ref_wall, 6),
+        "speedup_vs_reference": round(ref_wall / wall, 3),
+    }
+
+
+# -- driver -------------------------------------------------------------------
+
+
+SCENARIOS = {
+    "fig09_sweep": bench_fig09,
+    "families_prefetch": bench_families,
+}
+
+
+def run_all() -> dict:
+    return {"version": 1,
+            "scenarios": {name: fn() for name, fn in SCENARIOS.items()}}
+
+
+def report(payload: dict) -> str:
+    lines = ["perf core benchmark (lowered plan vs reference interpreter)"]
+    for name, s in payload["scenarios"].items():
+        lines.append(
+            f"  {name:20s} {s['cells']:3d} cells  "
+            f"{s['events_per_s']:12,.0f} events/s  "
+            f"wall {s['wall_s'] * 1e3:8.1f} ms  "
+            f"ref {s['reference_wall_s'] * 1e3:8.1f} ms  "
+            f"speedup {s['speedup_vs_reference']:5.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def check(payload: dict, baseline: dict) -> tuple[list[str], list[str]]:
+    """``(failures, warnings)`` vs the committed baseline.
+
+    Failures gate CI: the machine-portable speedup ratio regressing
+    past the tolerance, or fig09 dropping under the absolute floor.
+    Absolute events/s drift only warns — it tracks the baseline host's
+    hardware, not the code (docs/performance.md).
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    floor = 1.0 - REGRESSION_TOLERANCE
+    for name, s in payload["scenarios"].items():
+        base = baseline.get("scenarios", {}).get(name)
+        if base is None:
+            problems.append(f"{name}: no committed baseline entry")
+            continue
+        if s["events_per_s"] < floor * base["events_per_s"]:
+            warnings.append(
+                f"{name}: events/s {s['events_per_s']:,.0f} is below "
+                f"{floor:.0%} of the baseline host's "
+                f"{base['events_per_s']:,.0f} (machine-dependent; "
+                "gated via the speedup ratio instead)"
+            )
+        if (s["speedup_vs_reference"]
+                < floor * base["speedup_vs_reference"]):
+            problems.append(
+                f"{name}: speedup vs reference regressed "
+                f"{s['speedup_vs_reference']:.2f}x < {floor:.0%} of "
+                f"baseline {base['speedup_vs_reference']:.2f}x"
+            )
+    fig09 = payload["scenarios"]["fig09_sweep"]["speedup_vs_reference"]
+    if fig09 < SPEEDUP_FLOOR:
+        problems.append(
+            f"fig09_sweep: speedup {fig09:.2f}x below the required "
+            f"{SPEEDUP_FLOOR:.0f}x floor"
+        )
+    return problems, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--write", action="store_true",
+                      help=f"refresh {BASELINE_PATH.name}")
+    mode.add_argument("--check", action="store_true",
+                      help="fail on >30%% regression vs the committed "
+                           "baseline")
+    args = parser.parse_args(argv)
+
+    payload = run_all()
+    print(report(payload))
+    if args.write:
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+    if args.check:
+        try:
+            baseline = json.loads(BASELINE_PATH.read_text())
+        except FileNotFoundError:
+            print(f"error: no committed baseline at {BASELINE_PATH}",
+                  file=sys.stderr)
+            return 1
+        problems, warnings = check(payload, baseline)
+        for warning in warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"speedup within {REGRESSION_TOLERANCE:.0%} of the "
+              f"committed baseline; fig09 floor {SPEEDUP_FLOOR:.0f}x held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

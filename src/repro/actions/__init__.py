@@ -15,6 +15,7 @@ from .collectives import (
     with_tp_sync,
 )
 from .interpreter import Executor, Interpreter
+from .lowering import ExecutablePlan
 from .program import Dependency, Program, compile_program, compute_key
 from .resources import StageResources
 from .ops import (
@@ -42,6 +43,7 @@ __all__ = [
     "ComputeBackward",
     "ComputeForward",
     "Dependency",
+    "ExecutablePlan",
     "Executor",
     "Flush",
     "Interpreter",

@@ -24,6 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..actions.collectives import with_tp_sync
+from ..actions.lowering import ExecutablePlan
+from ..actions.program import Program
+from .. import profiling
 from ..cluster.comm_model import CommModel
 from ..cluster.presets import Cluster
 from ..cluster.topology import ring_transfer_chain
@@ -33,7 +36,9 @@ from ..models.costs import StageCosts, stage_costs
 from ..models.spec import ModelSpec
 from ..runtime.costs import ConcreteCosts
 from ..runtime.simulator import simulate_program
+from ..schedules.base import Schedule
 from ..schedules.factory import build_schedule
+from .plans import PlanEntry, plan_cache
 from .throughput import (
     OVERLAP_MODES,
     ThroughputResult,
@@ -172,6 +177,23 @@ def tp_rank_groups(cluster: Cluster, layout: HybridLayout
     return groups
 
 
+@dataclass
+class HybridCell:
+    """One compiled hybrid configuration, ready to simulate.
+
+    ``plan`` is the lowered + cost-bound execution plan of ``program``
+    (shared through the analysis plan cache across cost-only axes);
+    pass both to :func:`~repro.runtime.simulate_program`.
+    """
+
+    cfg: PipelineConfig
+    schedule: Schedule
+    costs: StageCosts
+    program: Program
+    oracle: ConcreteCosts
+    plan: ExecutablePlan
+
+
 def build_hybrid_simulation(
     scheme: str,
     cluster: Cluster,
@@ -182,8 +204,8 @@ def build_hybrid_simulation(
     microbatch_size: int = 1,
     run: RunConfig | None = None,
     simulated: bool = True,
-):
-    """Compile one hybrid cell: ``(cfg, schedule, costs, program, oracle)``.
+) -> HybridCell:
+    """Compile one hybrid cell into a :class:`HybridCell`.
 
     The single build path ``measure_hybrid_throughput`` and ``repro
     trace --dp/--tp`` share.  ``simulated=True`` compiles TP boundary
@@ -191,6 +213,10 @@ def build_hybrid_simulation(
     stage durations); ``simulated=False`` folds TP comm into durations
     and leaves the program collective-free (the closed-form model).
     ``HybridLayout(1, p, d)`` degrades gracefully to the flat DP case.
+
+    Schedule, program and lowered plan are shared through the analysis
+    plan cache: a cell differing only in the cluster re-times the
+    cached plan instead of recompiling (see :mod:`repro.analysis.plans`).
     """
     if layout.devices > cluster.num_devices:
         raise ConfigError(
@@ -203,25 +229,38 @@ def build_hybrid_simulation(
         num_microbatches=num_microbatches, num_waves=w,
         data_parallel=layout.d, microbatch_size=microbatch_size,
     )
-    schedule = build_schedule(cfg)
-    base = stage_costs(model, schedule.num_stages, cluster.device,
-                       microbatch_size)
-    layers_per_stage = (model.num_layers + 2) / schedule.num_stages
-    costs = apply_tensor_parallel(base, cluster, model, layout.tp,
-                                  microbatch_size, layers_per_stage,
-                                  include_comm=not simulated)
-    program = compile_cluster_program(
-        schedule, cluster, costs,
-        d=layout.d if simulated else 1, run=run, spacing=layout.tp,
-    )
-    if simulated and layout.tp > 1:
-        program = with_tp_sync(
-            program, tp_rank_groups(cluster, layout),
-            nbytes=model.boundary_bytes(microbatch_size),
-            count_per_pass=2.0 * layers_per_stage,
-        )
+    plans = plan_cache()
+    key = ("hybrid", scheme, layout.tp, layout.p, layout.d,
+           num_microbatches, microbatch_size, w, simulated,
+           run.prefetch, run.batch_cross_comm, model)
+    entry = plans.get(key)
+    with profiling.phase("build"):
+        schedule = entry.schedule if entry is not None else \
+            build_schedule(cfg)
+        base = stage_costs(model, schedule.num_stages, cluster.device,
+                           microbatch_size)
+        layers_per_stage = (model.num_layers + 2) / schedule.num_stages
+        costs = apply_tensor_parallel(base, cluster, model, layout.tp,
+                                      microbatch_size, layers_per_stage,
+                                      include_comm=not simulated)
     oracle = _SpacedCosts(costs, cluster, layout.tp)
-    return cfg, schedule, costs, program, oracle
+    with profiling.phase("lower"):
+        if entry is None:
+            program = compile_cluster_program(
+                schedule, cluster, costs,
+                d=layout.d if simulated else 1, run=run, spacing=layout.tp,
+            )
+            if simulated and layout.tp > 1:
+                program = with_tp_sync(
+                    program, tp_rank_groups(cluster, layout),
+                    nbytes=model.boundary_bytes(microbatch_size),
+                    count_per_pass=2.0 * layers_per_stage,
+                )
+            entry = plans.put(key, PlanEntry(
+                schedule, program, ExecutablePlan.lower(program)))
+        plan = entry.plan.retime(oracle)
+    return HybridCell(cfg=cfg, schedule=schedule, costs=costs,
+                      program=entry.program, oracle=oracle, plan=plan)
 
 
 def measure_hybrid_throughput(
@@ -254,7 +293,7 @@ def measure_hybrid_throughput(
         )
     run = run or RunConfig()
     simulated = overlap == "simulated"
-    cfg, schedule, costs, program, oracle = build_hybrid_simulation(
+    cell = build_hybrid_simulation(
         scheme, cluster, model, layout, num_microbatches,
         w=w, microbatch_size=microbatch_size, run=run,
         simulated=simulated,
@@ -265,25 +304,26 @@ def measure_hybrid_throughput(
     if enforce_memory:
         # Static pre-check: a TP-sharded stage set whose weights alone
         # bust the budget never enters the event loop.
-        pruned = static_oom_result(cfg, cluster, model, schedule, costs,
-                                   capacity)
+        pruned = static_oom_result(cell.cfg, cluster, model,
+                                   cell.schedule, cell.costs, capacity)
         if pruned is not None:
             return pruned
 
     try:
         result = simulate_program(
-            program, oracle, run, schedule=schedule,
+            cell.program, cell.oracle, run, schedule=cell.schedule,
+            plan=cell.plan,
             capacity_bytes=capacity if enforce_memory else None,
         )
     except OutOfMemoryError as exc:
         return ThroughputResult(
-            config=cfg, cluster_name=cluster.name, model_name=model.name,
-            seq_per_s=None, bubble_ratio=None,
+            config=cell.cfg, cluster_name=cluster.name,
+            model_name=model.name, seq_per_s=None, bubble_ratio=None,
             peak_mem_bytes=float(exc.peak_bytes), iteration_s=None,
             oom_device=exc.device,
         )
     return throughput_from_simulation(
-        cfg, cluster, model, schedule, costs, result,
+        cell.cfg, cluster, model, cell.schedule, cell.costs, result,
         ring_p=layout.p * layout.tp, overlap=overlap,
     )
 

@@ -1,0 +1,100 @@
+"""The analysis-level plan cache: one lowering, many cost bindings.
+
+A sweep grid typically crosses a handful of *structural* axes (scheme,
+pipeline depth, micro-batch count, DP/TP widths, waves, prefetch,
+recompute/capacity knobs) with *cost-only* axes (which cluster's
+devices and links time the program).  Before this cache every cell paid
+the full schedule → compile → collective-annotation → lowering chain;
+now structurally identical cells share one compiled
+:class:`~repro.actions.program.Program` and one
+:class:`~repro.actions.lowering.ExecutablePlan`, and a cost-only cell
+merely **re-times** the cached plan against its oracle
+(:meth:`ExecutablePlan.retime`) before executing.
+
+Safety of sharing: everything a compiled program carries — action
+streams, dependency edges, tensor/gradient byte sizes, resource deltas,
+collective groups — derives from the model spec and the layout shape,
+never from the cluster's device speeds or topology (those live in the
+cost oracle, resolved at re-time) and never from the capacity knob
+(enforcement is an execute-time argument).  The cache key therefore
+spans ``(scheme, P, B, microbatch size, D-as-compiled, TP, W, prefetch,
+batching, the ModelSpec itself)``; cluster and capacity are
+deliberately absent.  Out-of-range layouts are still rejected per call
+by the harness-level device-count checks, which run before the cache
+is consulted.  The sharing contract is *verifiable*, not assumed:
+:attr:`ExecutablePlan.plan_key` content-hashes exactly the structural
+arrays execution reads, and the test suite pins that independent
+compilations of one cell shape against different clusters (and
+capacities) produce plans with equal keys — the oracle for every claim
+in this paragraph.
+
+The cache is process-global (each sweep worker process grows its own)
+and bounded FIFO; ``repro sweep --profile`` surfaces the hit/miss
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..actions.lowering import ExecutablePlan
+from ..actions.program import Program
+from ..schedules.base import Schedule
+
+#: default bound on retained plans (a full fig09-style grid is ~50)
+MAX_PLANS = 256
+
+
+@dataclass
+class PlanEntry:
+    """Everything a measurement reuses across cost-only axes."""
+
+    schedule: Schedule
+    program: Program
+    plan: ExecutablePlan
+
+
+@dataclass
+class PlanCache:
+    """Bounded FIFO map from structural cell keys to plan entries."""
+
+    maxsize: int = MAX_PLANS
+    hits: int = 0
+    misses: int = 0
+    _store: dict = field(default_factory=dict)
+
+    def get(self, key: tuple) -> PlanEntry | None:
+        """The cached entry for ``key`` (counts a hit/miss)."""
+        found = self._store.get(key)
+        if found is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return found
+
+    def put(self, key: tuple, entry: PlanEntry) -> PlanEntry:
+        """Retain ``entry`` under ``key`` (FIFO-evicting past maxsize)."""
+        self._store[key] = entry
+        while len(self._store) > self.maxsize:
+            self._store.pop(next(iter(self._store)))
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def describe(self) -> str:
+        return (f"plan cache: {len(self._store)} plans, "
+                f"{self.hits} hits, {self.misses} misses")
+
+
+_CACHE = PlanCache()
+
+
+def plan_cache() -> PlanCache:
+    """The process-global cache the measurement harnesses share."""
+    return _CACHE

@@ -22,9 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..actions.collectives import with_gradient_sync
+from ..actions.lowering import ExecutablePlan
 from ..actions.ops import CollectiveKind
 from ..actions.program import Program, compile_program
 from ..actions.resources import StageResources
+from .. import profiling
 from ..cluster.comm_model import CommModel, Transfer
 from ..cluster.presets import Cluster
 from ..cluster.topology import ring_transfer_chain
@@ -38,6 +40,7 @@ from ..runtime.metrics import bubble_stats
 from ..runtime.simulator import SimResult, simulate_program
 from ..schedules.base import Schedule
 from ..schedules.factory import build_schedule
+from .plans import PlanEntry, plan_cache
 
 #: gradient-sync fraction the *analytic* fallback assumes is hidden
 #: under backward compute (bucketed all-reduce as in Megatron /
@@ -354,6 +357,7 @@ def measure_throughput(
         raise ConfigError(
             f"layout P={p} x D={d} exceeds cluster of {cluster.num_devices}"
         )
+    run = run or RunConfig()
     capacity = (cluster.device.memory_bytes if capacity_bytes is None
                 else capacity_bytes)
     cfg = PipelineConfig(
@@ -364,21 +368,36 @@ def measure_throughput(
         data_parallel=d,
         microbatch_size=microbatch_size,
     )
-    schedule = build_schedule(cfg)
-    costs = stage_costs(model, schedule.num_stages, cluster.device,
-                        microbatch_size)
+    sync_d = d if overlap == "simulated" else 1
+    # Everything the compiled program + lowered plan depend on; the
+    # cluster and the capacity knob are deliberately absent — devices,
+    # links and enforcement are per-call concerns resolved at re-time /
+    # execute, never compiled into the plan (see analysis.plans).
+    plans = plan_cache()
+    key = ("flat", scheme, p, num_microbatches, microbatch_size, d,
+           sync_d, w, run.prefetch, run.batch_cross_comm, model)
+    entry = plans.get(key)
+    with profiling.phase("build"):
+        schedule = entry.schedule if entry is not None else \
+            build_schedule(cfg)
+        costs = stage_costs(model, schedule.num_stages, cluster.device,
+                            microbatch_size)
     if enforce_memory:
         pruned = static_oom_result(cfg, cluster, model, schedule, costs,
                                    capacity)
         if pruned is not None:
             return pruned
-    sync_d = d if overlap == "simulated" else 1
-    program = compile_cluster_program(schedule, cluster, costs,
-                                      d=sync_d, run=run)
     oracle = ConcreteCosts(costs, _pipeline_comm(cluster, 0, p))
+    with profiling.phase("lower"):
+        if entry is None:
+            program = compile_cluster_program(schedule, cluster, costs,
+                                              d=sync_d, run=run)
+            entry = plans.put(key, PlanEntry(
+                schedule, program, ExecutablePlan.lower(program)))
+        plan = entry.plan.retime(oracle)
     try:
         result = simulate_program(
-            program, oracle, run, schedule=schedule,
+            entry.program, oracle, run, schedule=schedule, plan=plan,
             capacity_bytes=capacity if enforce_memory else None,
         )
     except OutOfMemoryError as exc:

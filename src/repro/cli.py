@@ -32,13 +32,15 @@ def _add_shape_args(p: argparse.ArgumentParser) -> None:
 
 
 def _build(args, run=None) -> tuple:
+    from . import profiling
     from .schedules import build_schedule
     cfg = PipelineConfig(
         scheme=args.scheme, num_devices=args.devices,
         num_microbatches=args.microbatches, num_waves=args.waves,
     )
     costs = CostConfig(t_c=args.t_c)
-    sched = build_schedule(cfg, costs)
+    with profiling.phase("build"):
+        sched = build_schedule(cfg, costs)
     oracle = AbstractCosts(costs, cfg.num_devices, sched.num_stages)
     return cfg, sched, simulate(sched, oracle, run)
 
@@ -70,11 +72,30 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    from . import profiling
     from .config import RunConfig
-    from .viz.trace import write_sim_trace
 
     run = RunConfig(prefetch=not args.no_prefetch,
                     contention=args.contention)
+    if args.profile:
+        # collect the build / lower / simulate split of this one cell
+        with profiling.profiled() as prof:
+            with profiling.cell(_trace_label(args)):
+                rc = _trace_body(args, run)
+        print(prof.format())
+        return rc
+    return _trace_body(args, run)
+
+
+def _trace_label(args) -> str:
+    where = args.cluster if args.cluster else "abstract"
+    return (f"{args.scheme}/{where} P{args.devices} B{args.microbatches}"
+            + (f" D{args.dp}" if args.dp > 1 else "")
+            + (f" TP{args.tp}" if args.tp > 1 else ""))
+
+
+def _trace_body(args, run) -> int:
+    from .viz.trace import write_sim_trace
     if args.cluster:
         # Concrete triple: scheme on a modeled cluster running a model.
         # Comm time comes from the cluster topology, so the abstract
@@ -95,13 +116,14 @@ def cmd_trace(args) -> int:
         # One build path with the throughput harness: DP gradient rings
         # and TP boundary all-reduces are compiled into the program, so
         # the trace shows the collective lanes the figures measure.
-        _cfg, sched, _costs, program, oracle = build_hybrid_simulation(
+        cell = build_hybrid_simulation(
             args.scheme, cluster, model, layout,
             num_microbatches=args.microbatches, w=args.waves, run=run,
         )
         capacity = (int(args.capacity_gib * 2**30)
                     if args.capacity_gib is not None else None)
-        res = simulate_program(program, oracle, run, schedule=sched,
+        res = simulate_program(cell.program, cell.oracle, run,
+                               schedule=cell.schedule, plan=cell.plan,
                                capacity_bytes=capacity)
         unit = 1e6  # concrete costs are in seconds
         what = f"{args.scheme}/{cluster.name}/{model.name}"
@@ -265,7 +287,18 @@ def cmd_sweep(args) -> int:
         skip_oversized=args.layouts is None,
     )
     cache = ResultCache(args.cache) if args.cache else None
-    table = run_sweep(spec, cache=cache, workers=args.workers)
+    prof = None
+    if args.profile:
+        from . import profiling
+        workers = args.workers
+        if workers and workers > 1:
+            print("note: --profile evaluates inline (phase timings are "
+                  "collected in-process); ignoring -j", file=sys.stderr)
+            workers = 1
+        with profiling.profiled() as prof:
+            table = run_sweep(spec, cache=cache, workers=workers)
+    else:
+        table = run_sweep(spec, cache=cache, workers=args.workers)
     if args.csv:
         table.to_csv(args.csv)
         print(f"wrote {args.csv}")
@@ -274,6 +307,10 @@ def cmd_sweep(args) -> int:
         print(f"wrote {args.json}")
     print(table.format(title=spec.describe(), top=args.top))
     print(table.stats.describe())
+    if prof is not None:
+        from .analysis import plan_cache
+        print(prof.format())
+        print(plan_cache().describe())
     if not table.rows:
         print("no feasible cells: every combination was rejected at "
               "expansion or measurement (check --batch divisibility, "
@@ -344,6 +381,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="tensor-parallel degree: compile TP boundary "
                         "all-reduces into the traced program "
                         "(needs --cluster)")
+    t.add_argument("--profile", action="store_true",
+                   help="print the build / lower / simulate phase-"
+                        "timing breakdown of the traced cell")
     t.set_defaults(fn=cmd_trace)
 
     a = sub.add_parser("advise", help="configuration search")
@@ -397,6 +437,10 @@ def make_parser() -> argparse.ArgumentParser:
     sw.add_argument("--json", default=None, help="write results as JSON")
     sw.add_argument("--top", type=int, default=None,
                     help="print only the best N cells")
+    sw.add_argument("--profile", action="store_true",
+                    help="print a per-cell build / lower / simulate "
+                         "phase-timing breakdown plus plan-cache stats "
+                         "(forces inline evaluation)")
     sw.set_defaults(fn=cmd_sweep)
 
     tr = sub.add_parser("train", help="real NumPy pipeline step + verify")

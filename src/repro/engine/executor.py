@@ -14,6 +14,12 @@ a local producer stored it, or a ``Recv`` fetched it from the
 :class:`~repro.engine.channels.PeerNetwork`.  Routing is therefore a
 property of the program, never re-derived here — which is what the
 program-parity suite pins down against the simulator.
+
+Since the lowered-plan refactor the trainer hands each worker the
+*decoded* action list of its :class:`~repro.actions.ExecutablePlan`
+(pinned value-identical to ``program.actions`` by the round-trip
+tests), so the order this executor runs is the same lowered order the
+event core times.
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..actions.interpreter import Interpreter
+from ..actions.lowering import ExecutablePlan
 from ..actions.program import Program, compile_program
 from ..config import PipelineConfig
 from ..errors import EngineError
@@ -67,6 +68,12 @@ class PipelineTrainer:
         self._batch_cross_comm = batch_cross_comm
         self.schedule: Schedule = build_schedule(config)
         self.program: Program = self._compile(self.schedule)
+        #: the lowered form of :attr:`program`; the worker threads
+        #: execute its *decoded* action lists, so the order the engine
+        #: runs is — by round-trip — the order the simulator's lowered
+        #: plan executes (pinned by the program-parity suite)
+        self.plan: ExecutablePlan = ExecutablePlan.lower(self.program)
+        self._worker_actions: dict[int, list] = self.plan.decode()
         #: per-worker executed action order of the latest train_step —
         #: the engine half of the program-parity witness
         self.action_trace: dict[int, list] = {}
@@ -121,11 +128,19 @@ class PipelineTrainer:
             )
         self.schedule = schedule
         self.program = self._compile(schedule)
+        self.plan = ExecutablePlan.lower(self.program)
+        self._worker_actions = self.plan.decode()
 
     @property
     def actions(self) -> dict[int, list]:
-        """The program's per-worker action lists (the IR is the truth)."""
-        return self.program.actions
+        """The per-worker action lists the workers execute.
+
+        These are the *plan-decoded* lists — value-identical to
+        ``program.actions`` by the lowering round-trip — so the IR
+        remains the single truth while the engine consumes the lowered
+        order.
+        """
+        return self._worker_actions
 
     # -- assembly ---------------------------------------------------------
 
@@ -191,7 +206,10 @@ class PipelineTrainer:
 
         def worker(device: int) -> None:
             try:
-                interpreters[device].run(self.program.actions[device])
+                # the plan-decoded lists: value-identical to
+                # program.actions (round-trip pinned), so the engine
+                # consumes the same lowered order the simulator times
+                interpreters[device].run(self._worker_actions[device])
             except BaseException as exc:  # propagated to the caller
                 errors[device] = exc
 

@@ -1,0 +1,116 @@
+"""Lightweight phase timing for the measurement pipeline.
+
+The CLI's ``--profile`` flag (``repro sweep --profile``, ``repro trace
+--profile``) answers "where does a cell's wall time go?" with a
+build / lower / simulate breakdown:
+
+* **build** — schedule generation + cost-model lowering
+  (``build_schedule`` / ``stage_costs``);
+* **lower** — Program compilation + :class:`ExecutablePlan` lowering or
+  re-timing (cache hits spend almost nothing here);
+* **simulate** — the event loop itself.
+
+Profiling is strictly opt-in and process-local: when disabled (the
+default) the instrumentation points cost one attribute check.  The
+harness functions report phases via :func:`phase`; drivers group them
+into named cells via :func:`cell`; :func:`profiled` scopes a collection
+run and returns the records.
+
+>>> with profiled() as prof:
+...     with cell("demo"):
+...         with phase("build"):
+...             pass
+>>> [name for name, _ in prof.cells]
+['demo']
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: phase display order in reports
+PHASES = ("build", "lower", "simulate")
+
+_active: "PhaseProfile | None" = None
+
+
+@dataclass
+class PhaseProfile:
+    """Collected cells: ``(label, {phase: seconds})`` in finish order."""
+
+    cells: list[tuple[str, dict[str, float]]] = field(default_factory=list)
+    _open: dict[str, float] | None = None
+
+    def total(self, name: str) -> float:
+        return sum(c.get(name, 0.0) for _, c in self.cells)
+
+    def format(self, top: int | None = None) -> str:
+        """Render the per-cell phase table (milliseconds)."""
+        from .analysis.report import format_table
+
+        cells = self.cells if top is None else self.cells[:top]
+        rows = []
+        for label, phases in cells:
+            total = sum(phases.values())
+            rows.append([label]
+                        + [f"{phases.get(p, 0.0) * 1e3:8.2f}" for p in PHASES]
+                        + [f"{total * 1e3:8.2f}"])
+        rows.append(["TOTAL"]
+                    + [f"{self.total(p) * 1e3:8.2f}" for p in PHASES]
+                    + [f"{sum(sum(c.values()) for _, c in self.cells) * 1e3:8.2f}"])
+        return format_table(
+            ["cell"] + [f"{p} ms" for p in PHASES] + ["total ms"], rows,
+            title="phase timing (build / lower / simulate per cell)",
+        )
+
+
+@contextmanager
+def profiled():
+    """Collect phases for the duration of the block.
+
+    Yields the :class:`PhaseProfile`; nested use keeps the outermost
+    collector (profiling is a driver concern, not a library one).
+    """
+    global _active
+    if _active is not None:
+        yield _active
+        return
+    prof = PhaseProfile()
+    _active = prof
+    try:
+        yield prof
+    finally:
+        _active = None
+
+
+@contextmanager
+def cell(label: str):
+    """Group subsequent :func:`phase` reports under one named cell."""
+    prof = _active
+    if prof is None or prof._open is not None:
+        yield
+        return
+    phases: dict[str, float] = {}
+    prof._open = phases
+    try:
+        yield
+    finally:
+        prof._open = None
+        prof.cells.append((label, phases))
+
+
+@contextmanager
+def phase(name: str):
+    """Attribute the block's wall time to ``name`` in the open cell."""
+    prof = _active
+    if prof is None or prof._open is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        acc = prof._open
+        acc[name] = acc.get(name, 0.0) + (time.perf_counter() - t0)

@@ -15,7 +15,15 @@ from .metrics import (
     steady_state_bubble_ratio,
     throughput_seq_per_s,
 )
-from .events import CollectiveEvent, CommEvent, EventResult, MemoryEvent, execute_program
+from .events import (
+    CollectiveEvent,
+    CommEvent,
+    EventResult,
+    MemoryEvent,
+    execute_plan,
+    execute_program,
+)
+from .events_ref import execute_program_reference
 from .simulator import (
     SimResult,
     TrainingSimResult,
@@ -38,7 +46,9 @@ __all__ = [
     "TrainingSimResult",
     "bubble_stats",
     "compute_time_lower_bound",
+    "execute_plan",
     "execute_program",
+    "execute_program_reference",
     "kind_time",
     "memory_stats",
     "memory_stats_from_result",

@@ -1,12 +1,20 @@
-"""Event-driven execution of a compiled :class:`~repro.actions.Program`.
+"""Event-driven execution of a compiled program, on its lowered form.
 
-This is the cluster-level event core both modeled executions share: it
-walks every worker's action list — the *same* list the NumPy engine's
-interpreter executes — and assigns times from a
-:class:`~repro.runtime.costs.CostOracle`.  Nothing here re-derives
-communication from the schedule; sends, receives and batched groups are
-taken verbatim from the program, so what gets timed is exactly what the
-engine runs.
+This is the cluster-level event core both modeled executions share.
+Since the lowered-plan refactor it no longer interprets the rich
+Program IR directly: :func:`execute_program` first lowers the program
+to an :class:`~repro.actions.lowering.ExecutablePlan` — flat integer
+arrays with precomputed costs, interned wires and CSR dependency edges
+— and :func:`execute_plan` runs the event loop over those indices.
+Array ready-state (``comp_done`` / ``posted`` byte arrays, per-slot
+transfer times) replaces the old ``produced: dict[tuple, float]`` and
+``(device, tag)`` transfer dicts; wires and batched exchanges are
+pre-interned ints instead of ``frozenset`` keys; per-device cursors are
+preallocated lists.  The result is bit-identical to the retained
+reference interpreter (:mod:`repro.runtime.events_ref`) — pinned by the
+parity suite over the full schedule-family × prefetch × batching
+matrix — at a multiple of its speed (see ``benchmarks/bench_perf_core``
+and the committed ``BENCH_core.json``).
 
 Timing model
 ------------
@@ -53,8 +61,9 @@ Memory model
 ------------
 
 When the program carries :class:`~repro.actions.StageResources`, the
-core maintains **live per-device watermarks**: every device starts at
-its static residency bytes, each forward start allocates its stage's
+core maintains **live per-device watermarks** from the plan's
+precomputed per-compute resource deltas: every device starts at its
+static residency bytes, each forward start allocates its stage's
 activation bytes, each backward end frees them.  Per device the deltas
 are applied in execution (= program) order, which makes the resulting
 peaks bit-identical to the offline timeline replay
@@ -74,19 +83,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..actions.collectives import ring_pairs, ring_step_count
-from ..actions.ops import (
-    Action,
-    BatchedP2P,
-    CollectiveKind,
-    CollectiveOp,
-    Flush,
-    OptimizerStep,
-    Recv,
-    Send,
-    Tag,
+from ..actions.lowering import (
+    OP_BATCH,
+    OP_COLL,
+    OP_COMPUTE,
+    OP_RECV,
+    OP_SEND,
+    ExecutablePlan,
 )
-from ..actions.program import Program, compute_key
+from ..actions.ops import Action, CollectiveKind, CollectiveOp, Tag
+from ..actions.program import Program
 from ..config import RunConfig
 from ..errors import OutOfMemoryError, SchedulingError
 from ..types import TimedOp, Timeline
@@ -185,25 +191,18 @@ class EventResult:
         return max(ends) if ends else 0.0
 
 
-class _Wire:
-    """Per-pair link state for the contention model."""
-
-    __slots__ = ("free", "last_exchange")
-
-    def __init__(self) -> None:
-        self.free = 0.0
-        #: tag set of the batched exchange whose transfer last held the
-        #: wire — the latency waiver applies only within one exchange
-        self.last_exchange: frozenset | None = None
-
-
 def execute_program(
     program: Program,
     costs: CostOracle,
     run: RunConfig | None = None,
     capacity_bytes: int | None = None,
 ) -> EventResult:
-    """Time ``program`` against ``costs`` and return its event log.
+    """Lower ``program`` against ``costs`` and execute the plan.
+
+    The one-shot convenience entry: callers that execute the same
+    structure repeatedly (sweeps, benches) lower once with
+    :meth:`ExecutablePlan.lower` / :meth:`ExecutablePlan.retime` and
+    call :func:`execute_plan` directly.
 
     Raises :class:`SchedulingError` if the worker programs deadlock —
     an action waits for a transfer whose sender is queued behind it.
@@ -214,7 +213,40 @@ def execute_program(
     allocation encountered in replay order — statically-infeasible
     programs are rejected in O(P) before the event loop starts.
     """
+    if capacity_bytes is not None:
+        # Reject statically-infeasible programs before lowering binds
+        # the oracle: an OOM verdict on static bytes alone must not
+        # pay (or depend on) a single cost lookup.
+        if not program.tracks_memory:
+            raise SchedulingError(
+                f"{program.name}: capacity enforcement needs a "
+                "resource-annotated program (compile with resources=...)"
+            )
+        program.check_static_memory(capacity_bytes)
+    return execute_plan(ExecutablePlan.lower(program, costs), run,
+                        capacity_bytes=capacity_bytes)
+
+
+def execute_plan(
+    plan: ExecutablePlan,
+    run: RunConfig | None = None,
+    capacity_bytes: int | None = None,
+) -> EventResult:
+    """Run the event loop over a lowered (and cost-bound) plan.
+
+    Blocking-vs-overlapped receives are a property of the *compiled*
+    program (the prefetch hoisting pass and asynchronous recv semantics
+    belong together), so execution follows the plan's flag — a
+    RunConfig compiled-elsewhere mismatch cannot silently mis-time the
+    run.  RunConfig contributes the fidelity knobs (``contention``).
+    """
     run = run or RunConfig()
+    if not plan.bound:
+        raise SchedulingError(
+            f"{plan.name}: plan is not cost-bound; lower with an oracle "
+            "or call plan.retime(costs) first"
+        )
+    program = plan.program
     tracked = program.tracks_memory
     if capacity_bytes is not None:
         if not tracked:
@@ -223,349 +255,437 @@ def execute_program(
                 "resource-annotated program (compile with resources=...)"
             )
         program.check_static_memory(capacity_bytes)
-    # Blocking-vs-overlapped receives are a property of the *compiled*
-    # program (the prefetch hoisting pass and asynchronous recv
-    # semantics belong together), so execution follows the program's
-    # flag — a RunConfig compiled-elsewhere mismatch cannot silently
-    # mis-time the run.  RunConfig contributes the fidelity knobs.
-    prefetch = program.prefetch
+    prefetch = plan.prefetch
     contention = run.contention
 
-    cursors = {d: 0 for d in program.actions}
-    clock = {d: 0.0 for d in program.actions}
-    recv_wait = {d: 0.0 for d in program.actions}
-    order: dict[int, list[Action]] = {d: [] for d in program.actions}
-    produced: dict[tuple, float] = {}
-    transfers: dict[tuple[int, Tag], CommEvent] = {}
-    #: batched groups whose sends are already posted (posts must not be
-    #: re-issued while the group blocks on its inbound transfers)
-    posted_groups: set[tuple[int, int]] = set()
-    # Wires are keyed by *global* rank pairs so pipeline P2P and
-    # cross-pipeline collective rings arbitrate the same physical links
-    # (for identity-mapped oracles the keys are unchanged).
-    wires: dict[frozenset, _Wire] = {}
-    timeline = Timeline()
-    comm: list[CommEvent] = []
-    collectives: list[CollectiveEvent] = []
-    #: per-device NIC cursor: a device's collectives run back-to-back
-    coll_free = {d: 0.0 for d in program.actions}
-    mem_level = dict(program.static_bytes)
-    mem_peak = dict(mem_level)
-    mem_events: list[MemoryEvent] = []
+    devices = plan.devices
+    num_devices = len(devices)
+    codes, args = plan.codes, plan.args
+    dep_ptr, dep_remote, dep_idx = plan.dep_ptr, plan.dep_remote, plan.dep_idx
+    comp_cost = plan.comp_cost
+    comp_ops = plan.comp_ops
+    oracle = plan.costs
+    comp_alloc, comp_free_b = plan.comp_alloc, plan.comp_free
+    send_time, send_lat = plan.send_time, plan.send_lat
+    send_wire, send_slot = plan.send_wire, plan.send_slot
+    batch_send_ids, batch_recv_ids = plan.batch_send_ids, plan.batch_recv_ids
+    batch_exch = plan.batch_exch
+    recv_slot = plan.recv_slot
+    coll_active, coll_step_time = plan.coll_active, plan.coll_step_time
+    coll_wires, coll_nsteps = plan.coll_wires, plan.coll_nsteps
+    coll_count, coll_blocking = plan.coll_count, plan.coll_blocking
 
-    def account_memory(device: int, key: tuple, start: float,
-                       end: float) -> None:
-        """Fold one compute's alloc/free effect into the watermarks.
+    n_comp = plan.n_computes
+    n_send = len(plan.send_src)
+    n_slot = plan.n_slots
 
-        The deltas come from the program's own effect methods — the
-        single encoding of what each compute pins and releases.
-        """
-        alloc = program.alloc_bytes(key)
-        if alloc:
-            level = mem_level[device] + alloc
-            mem_level[device] = level
-            mem_events.append(MemoryEvent(
-                device=device, time=start, delta=+alloc, level=level,
-                key=key,
-            ))
-            if level > mem_peak[device]:
-                mem_peak[device] = level
-                if capacity_bytes is not None and level > capacity_bytes:
-                    raise OutOfMemoryError(device, int(level),
-                                           capacity_bytes)
-        free = program.free_bytes(key)
-        if free:
-            level = mem_level[device] - free
-            mem_level[device] = level
-            mem_events.append(MemoryEvent(
-                device=device, time=end, delta=-free, level=level,
-                key=key,
-            ))
+    # preallocated per-device cursors and clocks
+    cursors = [0] * num_devices
+    clock = [0.0] * num_devices
+    recv_wait = [0.0] * num_devices
+    coll_free = [0.0] * num_devices
+    # array ready-state: replaces produced:dict and transfers:dict
+    comp_done = bytearray(n_comp)
+    comp_start_a = [0.0] * n_comp
+    comp_end_a = [0.0] * n_comp
+    exec_seq: list[int] = []
+    posted = bytearray(n_slot)
+    tr_start = [0.0] * n_slot
+    tr_end = [0.0] * n_slot
+    send_post_a = [0.0] * n_send
+    send_start_a = [0.0] * n_send
+    send_end_a = [0.0] * n_send
+    send_batched = bytearray(n_send)
+    post_seq: list[int] = []
+    batch_posted = bytearray(len(batch_send_ids))
+    wire_free = [0.0] * plan.n_wires
+    wire_exch = [-1] * plan.n_wires
+    #: (lid, di, post, start, end, steps) in execution order
+    coll_log: list[tuple] = []
+    static = [program.static_bytes.get(d, 0.0) for d in devices]
+    mem_level = list(static)
+    mem_peak = list(static)
+    #: (di, time, delta, level, cid) in execution order
+    mem_log: list[tuple] = []
 
-    def post_send(device: int, send: Send,
-                  exchange: frozenset | None) -> None:
-        tag, dst = send.tag, send.peer
-        t_comm = costs.transfer_time(device, dst, tag.stage)
-        post = start = clock[device]
-        duration = t_comm
-        if contention and t_comm > 0.0:
-            wire = wires.setdefault(
-                frozenset((costs.global_rank(device),
-                           costs.global_rank(dst))), _Wire())
-            if post < wire.free:
-                start = wire.free
-                if exchange is not None and wire.last_exchange == exchange:
-                    # The opposing transfer of the *same* batched
-                    # exchange holds the wire; the follower pays bytes
-                    # only, not a second launch latency.  A different
-                    # batched group is a separate launch and pays full.
-                    duration = max(0.0, t_comm
-                                   - costs.link_latency(device, dst))
-            wire.free = start + duration
-            wire.last_exchange = exchange
-        event = CommEvent(
-            tag=tag, src=device, dst=dst, post=post, start=start,
-            end=start + duration,
-            nbytes=program.tensor_bytes.get(tag, 0.0),
-            batched=exchange is not None,
-        )
-        transfers[(dst, tag)] = event
-        comm.append(event)
-
-    def run_collective(device: int, coll: CollectiveOp) -> None:
-        """Execute one ring all-reduce through the wire machinery.
-
-        The ring advances in synchronised steps: every participant
-        forwards one ``nbytes / D`` chunk to its successor, so a step
-        lasts as long as the slowest ring link — the same model the
-        closed form :func:`repro.cluster.topology.ring_transfer_chain`
-        expresses, which the parity tests pin to 1e-9.
-        """
-        post = clock[device]
-        start = max(post, coll_free[device])
-        pairs = ring_pairs(coll.group)
-        steps: list[tuple[float, float]] = []
-        t = start
-        if pairs and coll.nbytes > 0 and coll.count > 0:
-            chunk = coll.nbytes / len(coll.group)
-            step_time = max(
-                costs.collective_link_time(a, b, chunk) for a, b in pairs
-            )
-            round_time = 0.0
-            for _ in range(ring_step_count(len(coll.group))):
-                step_start = t
-                if contention:
-                    ws = [wires.setdefault(frozenset(pair), _Wire())
-                          for pair in pairs]
-                    step_start = max([t] + [w.free for w in ws])
-                step_end = step_start + step_time
-                steps.append((step_start, step_end))
-                round_time += step_time
-                if contention:
-                    for w in ws:
-                        w.free = step_end
-                        w.last_exchange = None
-                t = step_end
-            if coll.count != 1.0:
-                # Remaining rounds repeat the first back-to-back; the
-                # wires stay held for the whole run.
-                t += (coll.count - 1.0) * round_time
-                if contention:
-                    for pair in pairs:
-                        wires[frozenset(pair)].free = t
-        end = t
-        coll_free[device] = end
-        collectives.append(CollectiveEvent(
-            op=coll, device=device, post=post, start=start, end=end,
-            steps=tuple(steps),
-        ))
-        if coll.blocking:
-            clock[device] = end
-
-    def blocking_recv(device: int, recv: Recv) -> bool:
-        """Execute one blocking receive; False if the send isn't posted."""
-        event = transfers.get((device, recv.tag))
-        if event is None:
-            return False
-        start = max(clock[device], event.start)
-        clock[device] = start + event.duration
-        recv_wait[device] += event.duration
-        return True
-
-    def try_compute(device: int, act: Action) -> bool:
-        key = compute_key(act)
-        deps = program.deps[key]
-        ready = clock[device]
-        arrival = None
-        in_flight = 0.0
-        for dep in deps:
-            if dep.tag is None:
-                # Local hand-off: the producer must have retired earlier
-                # on this device; if it hasn't, the program order is
-                # inverted and the device blocks (deadlock detection
-                # reports it).
-                done_at = produced.get(dep.producer)
-                if done_at is None:
-                    return False
-                ready = max(ready, done_at)
-            elif prefetch:
-                event = transfers.get((device, dep.tag))
-                if event is None:
-                    return False  # sender hasn't posted yet
-                arrival = event.end if arrival is None else max(arrival,
-                                                                event.end)
-                in_flight += event.duration
-            # Without prefetch the blocking Recv already advanced the
-            # clock past the arrival; nothing more to wait on.
-        start = ready
-        if arrival is not None and arrival > ready:
-            # Only the transfer-attributable share of the stall counts
-            # as recv wait; waiting on the *producer* is a bubble, not
-            # communication.
-            recv_wait[device] += min(arrival - ready, in_flight)
-            start = arrival
-        op = program.ops[key]
-        end = start + costs.duration(op)
-        timeline.add(TimedOp(op=op, start=start, end=end))
-        clock[device] = end
-        produced[key] = end
-        if tracked:
-            account_memory(device, key, start, end)
-        return True
-
-    def step(device: int, index: int, act: Action) -> bool:
+    def step(di: int, i: int) -> bool:
         """Execute one action; False if the device must block."""
-        if compute_key(act) is not None:
-            return try_compute(device, act)
-        if isinstance(act, Send):
-            post_send(device, act, exchange=None)
+        code = codes[di][i]
+        a = args[di][i]
+        if code == OP_COMPUTE:
+            ready = clock[di]
+            arrival = 0.0
+            have_arrival = False
+            in_flight = 0.0
+            for e in range(dep_ptr[a], dep_ptr[a + 1]):
+                x = dep_idx[e]
+                if dep_remote[e]:
+                    # Without prefetch the blocking Recv already
+                    # advanced the clock past the arrival.
+                    if prefetch:
+                        if not posted[x]:
+                            return False  # sender hasn't posted yet
+                        te = tr_end[x]
+                        if not have_arrival or te > arrival:
+                            arrival = te
+                        have_arrival = True
+                        in_flight += te - tr_start[x]
+                else:
+                    # Local hand-off: the producer must have retired
+                    # earlier on this device; if it hasn't, the program
+                    # order is inverted and the device blocks (deadlock
+                    # detection reports it).
+                    if not comp_done[x]:
+                        return False
+                    de = comp_end_a[x]
+                    if de > ready:
+                        ready = de
+            start = ready
+            if have_arrival and arrival > ready:
+                # Only the transfer-attributable share of the stall
+                # counts as recv wait; waiting on the *producer* is a
+                # bubble, not communication.
+                stall = arrival - ready
+                recv_wait[di] += stall if stall < in_flight else in_flight
+                start = arrival
+            cost = comp_cost[a]
+            if cost is None:  # lazy duration fill (see retime)
+                cost = oracle.duration(comp_ops[a])
+                comp_cost[a] = cost
+            end = start + cost
+            comp_start_a[a] = start
+            comp_end_a[a] = end
+            comp_done[a] = 1
+            exec_seq.append(a)
+            clock[di] = end
+            if tracked:
+                alloc = comp_alloc[a]
+                if alloc:
+                    level = mem_level[di] + alloc
+                    mem_level[di] = level
+                    mem_log.append((di, start, alloc, level, a))
+                    if level > mem_peak[di]:
+                        mem_peak[di] = level
+                        if (capacity_bytes is not None
+                                and level > capacity_bytes):
+                            raise OutOfMemoryError(devices[di], int(level),
+                                                   capacity_bytes)
+                freed = comp_free_b[a]
+                if freed:
+                    level = mem_level[di] - freed
+                    mem_level[di] = level
+                    mem_log.append((di, end, -freed, level, a))
             return True
-        if isinstance(act, CollectiveOp):
-            run_collective(device, act)
+        if code == OP_SEND:
+            t = send_time[a]
+            post = clock[di]
+            start = post
+            duration = t
+            if contention and t > 0.0:
+                w = send_wire[a]
+                if post < wire_free[w]:
+                    start = wire_free[w]
+                wire_free[w] = start + duration
+                wire_exch[w] = -1
+            slot = send_slot[a]
+            tr_start[slot] = start
+            tr_end[slot] = start + duration
+            posted[slot] = 1
+            send_post_a[a] = post
+            send_start_a[a] = start
+            send_end_a[a] = start + duration
+            post_seq.append(a)
             return True
-        if isinstance(act, Recv):
+        if code == OP_COLL:
+            post = clock[di]
+            cf = coll_free[di]
+            start = post if post >= cf else cf
+            t = start
+            steps: tuple = ()
+            if coll_active[a]:
+                step_time = coll_step_time[a]
+                wids = coll_wires[a]
+                step_log = []
+                round_time = 0.0
+                for _ in range(coll_nsteps[a]):
+                    step_start = t
+                    if contention:
+                        for w in wids:
+                            wf = wire_free[w]
+                            if wf > step_start:
+                                step_start = wf
+                    step_end = step_start + step_time
+                    step_log.append((step_start, step_end))
+                    round_time += step_time
+                    if contention:
+                        for w in wids:
+                            wire_free[w] = step_end
+                            wire_exch[w] = -1
+                    t = step_end
+                count = coll_count[a]
+                if count != 1.0:
+                    # Remaining rounds repeat the first back-to-back;
+                    # the wires stay held for the whole run.
+                    t += (count - 1.0) * round_time
+                    if contention:
+                        for w in wids:
+                            wire_free[w] = t
+                steps = tuple(step_log)
+            coll_free[di] = t
+            coll_log.append((a, di, post, start, t, steps))
+            if coll_blocking[a]:
+                clock[di] = t
+            return True
+        if code == OP_RECV:
             if prefetch:
                 return True  # free post; arrival is awaited by computes
-            return blocking_recv(device, act)
-        if isinstance(act, BatchedP2P):
+            slot = recv_slot[a]
+            if not posted[slot]:
+                return False
+            s = tr_start[slot]
+            duration = tr_end[slot] - s
+            cl = clock[di]
+            start = cl if cl >= s else s
+            clock[di] = start + duration
+            recv_wait[di] += duration
+            return True
+        if code == OP_BATCH:
             # Group semantics: all posts are issued the moment the
             # cursor reaches the group — even while its own waits
             # block — or opposing groups would deadlock each other.
-            if (device, index) not in posted_groups:
-                # The logical exchange is identified by its full tag
-                # set — identical on both peers (sends/recvs swapped).
-                exchange = frozenset(
-                    [s.tag for s in act.sends] + [r.tag for r in act.recvs]
-                )
-                for send in act.sends:
-                    post_send(device, send, exchange=exchange)
-                posted_groups.add((device, index))
+            if not batch_posted[a]:
+                exch = batch_exch[a]
+                for sid in batch_send_ids[a]:
+                    t = send_time[sid]
+                    post = clock[di]
+                    start = post
+                    duration = t
+                    if contention and t > 0.0:
+                        w = send_wire[sid]
+                        if post < wire_free[w]:
+                            start = wire_free[w]
+                            if wire_exch[w] == exch:
+                                # The opposing transfer of the *same*
+                                # batched exchange holds the wire; the
+                                # follower pays bytes only, not a
+                                # second launch latency.
+                                duration = t - send_lat[sid]
+                                if duration < 0.0:
+                                    duration = 0.0
+                        wire_free[w] = start + duration
+                        wire_exch[w] = exch
+                    slot = send_slot[sid]
+                    tr_start[slot] = start
+                    tr_end[slot] = start + duration
+                    posted[slot] = 1
+                    send_post_a[sid] = post
+                    send_start_a[sid] = start
+                    send_end_a[sid] = start + duration
+                    send_batched[sid] = 1
+                    post_seq.append(sid)
+                batch_posted[a] = 1
             if not prefetch:
-                if any((device, r.tag) not in transfers for r in act.recvs):
-                    return False
-                for recv in act.recvs:
-                    blocking_recv(device, recv)
+                recvs = batch_recv_ids[a]
+                for rid in recvs:
+                    if not posted[recv_slot[rid]]:
+                        return False
+                for rid in recvs:
+                    slot = recv_slot[rid]
+                    s = tr_start[slot]
+                    duration = tr_end[slot] - s
+                    cl = clock[di]
+                    start = cl if cl >= s else s
+                    clock[di] = start + duration
+                    recv_wait[di] += duration
             return True
-        if isinstance(act, (Flush, OptimizerStep)):
-            return True  # zero-cost here; simulate_training charges it
-        raise SchedulingError(f"unknown action {act!r} in program")
+        return True  # OP_NOOP: flush/step; simulate_training charges it
 
-    def peek(device: int) -> float | None:
+    def peek(di: int) -> float | None:
         """Earliest execution time of the device's head, None if blocked."""
-        actions = program.actions[device]
-        if cursors[device] >= len(actions):
+        i = cursors[di]
+        dev_codes = codes[di]
+        if i >= len(dev_codes):
             return None
-        act = actions[cursors[device]]
-        key = compute_key(act)
-        if key is not None:
-            at = clock[device]
-            for dep in program.deps[key]:
-                if dep.tag is None:
-                    done_at = produced.get(dep.producer)
-                    if done_at is None:
+        code = dev_codes[i]
+        a = args[di][i]
+        if code == OP_COMPUTE:
+            at = clock[di]
+            for e in range(dep_ptr[a], dep_ptr[a + 1]):
+                x = dep_idx[e]
+                if dep_remote[e]:
+                    if prefetch:
+                        if not posted[x]:
+                            return None
+                        te = tr_end[x]
+                        if te > at:
+                            at = te
+                else:
+                    if not comp_done[x]:
                         return None
-                    at = max(at, done_at)
-                elif prefetch:
-                    event = transfers.get((device, dep.tag))
-                    if event is None:
-                        return None
-                    at = max(at, event.end)
+                    de = comp_end_a[x]
+                    if de > at:
+                        at = de
             return at
-        if isinstance(act, Recv) and not prefetch:
-            event = transfers.get((device, act.tag))
-            if event is None:
+        if code == OP_RECV and not prefetch:
+            slot = recv_slot[a]
+            if not posted[slot]:
                 return None
-            return max(clock[device], event.start)
-        if isinstance(act, BatchedP2P) and not prefetch:
-            if (device, cursors[device]) not in posted_groups:
-                return clock[device]  # the posts themselves are due
-            events = [transfers.get((device, r.tag)) for r in act.recvs]
-            if any(e is None for e in events):
-                return None
-            return max(clock[device], min(e.start for e in events))
-        return clock[device]  # sends, free posts, flush, step
-
-    def run_greedy() -> None:
-        """Fast driver: advance each device as far as it can.
-
-        Correct whenever timing is independent of replay order — i.e.
-        without contention, where every formula depends only on already
-        -fixed quantities (producer ends, post times).
-        """
-        done = 0
-        while done < total:
-            progressed = False
-            for device, actions in program.actions.items():
-                while cursors[device] < len(actions):
-                    act = actions[cursors[device]]
-                    if not step(device, cursors[device], act):
-                        break
-                    order[device].append(act)
-                    cursors[device] += 1
-                    done += 1
-                    progressed = True
-            if not progressed and done < total:
-                _deadlock()
-
-    def run_time_ordered() -> None:
-        """Contention driver: execute heads in global time order.
-
-        Wire arbitration happens at send-post time, so posts must be
-        issued in nondecreasing simulated time or an earlier-posted
-        transfer could queue behind a later one (a replay-order
-        artifact).  Executing the globally earliest eligible head is
-        sufficient: any action enabled by an execution at time ``t``
-        becomes eligible no earlier than ``t``, so execution times are
-        monotone and wire grants follow post order deterministically
-        (ties broken by device rank).
-        """
-        done = 0
-        while done < total:
-            best_at = best_device = None
-            for device in program.actions:
-                at = peek(device)
-                if at is not None and (best_at is None or at < best_at):
-                    best_at, best_device = at, device
-            if best_device is None:
-                _deadlock()
-            act = program.actions[best_device][cursors[best_device]]
-            if step(best_device, cursors[best_device], act):
-                order[best_device].append(act)
-                cursors[best_device] += 1
-                done += 1
-            # else: a batched group posted its sends but still blocks
-            # on inbound transfers — posting was the progress.
+            s = tr_start[slot]
+            cl = clock[di]
+            return cl if cl >= s else s
+        if code == OP_BATCH and not prefetch:
+            if not batch_posted[a]:
+                return clock[di]  # the posts themselves are due
+            earliest = None
+            for rid in batch_recv_ids[a]:
+                slot = recv_slot[rid]
+                if not posted[slot]:
+                    return None
+                s = tr_start[slot]
+                if earliest is None or s < earliest:
+                    earliest = s
+            cl = clock[di]
+            return cl if cl >= earliest else earliest
+        return clock[di]  # sends, free posts, collectives, flush, step
 
     def _deadlock() -> None:
         heads = {
-            d: str(acts[cursors[d]])
-            for d, acts in program.actions.items()
-            if cursors[d] < len(acts)
+            d: str(acts[cursors[di]])
+            for di, (d, acts) in enumerate(program.actions.items())
+            if cursors[di] < len(acts)
         }
         raise SchedulingError(
             f"{program.name}: simulation deadlock; heads = {heads}"
         )
 
-    total = program.action_count()
+    total = plan.n_actions
+    done = 0
     if contention:
-        run_time_ordered()
+        # Contention driver: execute heads in global time order.  Wire
+        # arbitration happens at send-post time, so posts must be
+        # issued in nondecreasing simulated time or an earlier-posted
+        # transfer could queue behind a later one (a replay-order
+        # artifact).  Executing the globally earliest eligible head is
+        # sufficient: any action enabled by an execution at time ``t``
+        # becomes eligible no earlier than ``t``, so execution times
+        # are monotone and wire grants follow post order
+        # deterministically (ties broken by device rank).
+        while done < total:
+            best_at = None
+            best_di = -1
+            for di in range(num_devices):
+                at = peek(di)
+                if at is not None and (best_at is None or at < best_at):
+                    best_at, best_di = at, di
+            if best_di < 0:
+                _deadlock()
+            if step(best_di, cursors[best_di]):
+                cursors[best_di] += 1
+                done += 1
+            # else: a batched group posted its sends but still blocks
+            # on inbound transfers — posting was the progress.
     else:
-        run_greedy()
+        # Fast driver: advance each device as far as it can.  Correct
+        # whenever timing is independent of replay order — i.e. without
+        # contention, where every formula depends only on already-fixed
+        # quantities (producer ends, post times).
+        while done < total:
+            progressed = False
+            for di in range(num_devices):
+                n = len(codes[di])
+                i = cursors[di]
+                while i < n and step(di, i):
+                    i += 1
+                    done += 1
+                    progressed = True
+                cursors[di] = i
+            if not progressed and done < total:
+                _deadlock()
 
     if tracked:
-        for device, level in mem_level.items():
-            drift = level - program.static_bytes[device]
+        for di in range(num_devices):
+            drift = mem_level[di] - static[di]
             # tolerance: float accumulation over many alloc/free pairs
             # of non-representable byte counts (e.g. TP-sharded sizes)
-            if abs(drift) > max(64.0, 1e-9 * mem_peak[device]):
+            if abs(drift) > max(64.0, 1e-9 * mem_peak[di]):
                 raise AssertionError(
-                    f"activation leak on device {device}: {drift} bytes"
+                    f"activation leak on device {devices[di]}: "
+                    f"{drift} bytes"
                 )
 
+    return _materialize(plan, exec_seq, comp_start_a, comp_end_a,
+                        post_seq, send_post_a, send_start_a, send_end_a,
+                        send_batched, coll_log, mem_log, clock, recv_wait,
+                        mem_peak if tracked else None)
+
+
+def _materialize(plan, exec_seq, comp_start_a, comp_end_a, post_seq,
+                 send_post_a, send_start_a, send_end_a, send_batched,
+                 coll_log, mem_log, clock, recv_wait, mem_peak):
+    """Rebuild the rich event objects from the run's flat arrays.
+
+    Object construction is deferred out of the hot loop: timeline
+    spans, comm/collective/memory events and the executed order are
+    assembled once, in the exact order (and with the exact sort keys)
+    the reference core produces them, so results stay bit-identical.
+    """
+    program = plan.program
+    devices = plan.devices
+    timeline = Timeline()
+    comp_ops = plan.comp_ops
+    for cid in exec_seq:
+        timeline.add(TimedOp(op=comp_ops[cid], start=comp_start_a[cid],
+                             end=comp_end_a[cid]))
     for spans in timeline.spans.values():
         spans.sort(key=lambda t: t.start)
+
+    tags, send_tag = plan.tags, plan.send_tag
+    send_src, send_dst = plan.send_src, plan.send_dst
+    send_nbytes = plan.send_nbytes
+    comm = [
+        CommEvent(
+            tag=tags[send_tag[sid]],
+            src=devices[send_src[sid]],
+            dst=devices[send_dst[sid]],
+            post=send_post_a[sid],
+            start=send_start_a[sid],
+            end=send_end_a[sid],
+            nbytes=send_nbytes[sid],
+            batched=bool(send_batched[sid]),
+        )
+        for sid in post_seq
+    ]
     comm.sort(key=lambda e: (e.post, e.start))
+
+    coll_ops = plan.coll_ops
+    collectives = [
+        CollectiveEvent(op=coll_ops[lid], device=devices[di], post=post,
+                        start=start, end=end, steps=steps)
+        for lid, di, post, start, end, steps in coll_log
+    ]
     collectives.sort(key=lambda e: (e.post, e.start, e.device))
-    return EventResult(timeline=timeline, recv_wait=recv_wait, comm=comm,
-                       order=order, mem_peak=mem_peak, mem_events=mem_events,
-                       collectives=collectives, device_end=dict(clock))
+
+    comp_keys = plan.comp_keys
+    mem_events = [
+        MemoryEvent(device=devices[di], time=time, delta=delta,
+                    level=level, key=comp_keys[cid])
+        for di, time, delta, level, cid in mem_log
+    ]
+
+    # A completed run replays every device list prefix-complete, so the
+    # executed order IS the program's lists.
+    order = {d: list(program.actions[d]) for d in devices}
+    return EventResult(
+        timeline=timeline,
+        recv_wait={devices[di]: recv_wait[di]
+                   for di in range(len(devices))},
+        comm=comm,
+        order=order,
+        mem_peak=({devices[di]: mem_peak[di]
+                   for di in range(len(devices))}
+                  if mem_peak is not None else {}),
+        mem_events=mem_events,
+        collectives=collectives,
+        device_end={devices[di]: clock[di]
+                    for di in range(len(devices))},
+    )

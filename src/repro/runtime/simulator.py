@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..actions.lowering import ExecutablePlan
 from ..actions.ops import Action
 from ..actions.program import Program, compile_program
 from ..actions.resources import StageResources
@@ -33,8 +34,15 @@ from ..config import RunConfig
 from ..errors import SchedulingError
 from ..schedules.base import Schedule
 from ..types import Timeline
+from .. import profiling
 from .costs import CostOracle
-from .events import CollectiveEvent, CommEvent, MemoryEvent, execute_program
+from .events import (
+    CollectiveEvent,
+    CommEvent,
+    MemoryEvent,
+    execute_plan,
+    execute_program,
+)
 from .memory import MemoryStats
 
 
@@ -153,14 +161,15 @@ def simulate(
     static pre-check.
     """
     run = run or RunConfig()
-    program = compile_program(
-        schedule,
-        prefetch=run.prefetch,
-        batch_cross_comm=run.batch_cross_comm,
-        add_step=False,
-        boundary_bytes=lambda tag: costs.tensor_nbytes(tag.stage),
-        resources=resources,
-    )
+    with profiling.phase("lower"):
+        program = compile_program(
+            schedule,
+            prefetch=run.prefetch,
+            batch_cross_comm=run.batch_cross_comm,
+            add_step=False,
+            boundary_bytes=lambda tag: costs.tensor_nbytes(tag.stage),
+            resources=resources,
+        )
     return simulate_program(program, costs, run, schedule=schedule,
                             capacity_bytes=capacity_bytes)
 
@@ -171,6 +180,7 @@ def simulate_program(
     run: RunConfig | None = None,
     schedule: Schedule | None = None,
     *,
+    plan: ExecutablePlan | None = None,
     capacity_bytes: int | None = None,
 ) -> SimResult:
     """Execute an already-compiled program — sim side of the parity pair.
@@ -182,9 +192,22 @@ def simulate_program(
     overlapped) follow ``program.prefetch`` — the flag the program was
     compiled with — while ``run`` contributes fidelity knobs such as
     ``contention``.
+
+    ``plan`` short-circuits the lowering pass: callers that already
+    hold a cost-bound :class:`~repro.actions.lowering.ExecutablePlan`
+    of this program (the sweep plan cache) execute it directly instead
+    of re-lowering per call.
     """
-    result = execute_program(program, costs, run,
-                             capacity_bytes=capacity_bytes)
+    if plan is not None and plan.program is not program:
+        raise SchedulingError(
+            f"{program.name}: plan was lowered from a different program"
+        )
+    with profiling.phase("simulate"):
+        if plan is not None:
+            result = execute_plan(plan, run, capacity_bytes=capacity_bytes)
+        else:
+            result = execute_program(program, costs, run,
+                                     capacity_bytes=capacity_bytes)
     memory = None
     if program.tracks_memory:
         memory = MemoryStats(static_bytes=dict(program.static_bytes),

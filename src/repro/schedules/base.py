@@ -33,6 +33,15 @@ class Schedule:
     #: micro-batch → replica assignment (Chimera routes half of the
     #: micro-batches through each direction; others use replica 0).
     microbatch_replica: dict[int, int] = field(default_factory=dict)
+    #: memoized op views — hot-path consumers (the program compiler,
+    #: validation, memory replay) call ``all_ops``/``ops_for`` freely
+    #: and must not pay a fresh list copy each time.  Invalidated by
+    #: :meth:`append`; builders that grow ``device_ops`` directly do so
+    #: before any reader runs (generators construct, then hand off).
+    _all_ops: tuple[ScheduleOp, ...] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _ops_for: dict[int, tuple[ScheduleOp, ...]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     # -- shape -----------------------------------------------------------
 
@@ -53,11 +62,22 @@ class Schedule:
 
     # -- op access -------------------------------------------------------
 
-    def all_ops(self) -> list[ScheduleOp]:
-        return [op for d in sorted(self.device_ops) for op in self.device_ops[d]]
+    def all_ops(self) -> tuple[ScheduleOp, ...]:
+        """Every op, grouped by device in rank order (memoized view)."""
+        if self._all_ops is None:
+            self._all_ops = tuple(
+                op for d in sorted(self.device_ops)
+                for op in self.device_ops[d]
+            )
+        return self._all_ops
 
-    def ops_for(self, device: int) -> list[ScheduleOp]:
-        return list(self.device_ops.get(device, ()))
+    def ops_for(self, device: int) -> tuple[ScheduleOp, ...]:
+        """Device ``device``'s op order (memoized read-only view)."""
+        ops = self._ops_for.get(device)
+        if ops is None:
+            ops = tuple(self.device_ops.get(device, ()))
+            self._ops_for[device] = ops
+        return ops
 
     def op_count(self) -> int:
         return sum(len(ops) for ops in self.device_ops.values())
@@ -118,6 +138,8 @@ class Schedule:
                 f"{self.name}: op {op} appended to device {device}"
             )
         self.device_ops.setdefault(device, []).append(op)
+        self._all_ops = None
+        self._ops_for.clear()
 
     @classmethod
     def empty(cls, name: str, config: PipelineConfig,

@@ -35,17 +35,22 @@ from ..analysis.throughput import ThroughputResult
 #: carry ``capacity_bytes``, OOM peaks are abort-time watermarks;
 #: 3: collectives-in-the-IR — keys carry ``tp`` and the ``overlap``
 #: mode instead of the retired ``dp_overlap`` constant, records carry
-#: the measured sync/overlap columns)
-CACHE_VERSION = 3
+#: the measured sync/overlap columns;
+#: 4: lowered-plan era — measurements execute ``ExecutablePlan``\ s
+#: through the plan cache and the fingerprint set grew the hybrid
+#: harness + plan-cache sources, so pre-lowering entries are retired
+#: wholesale)
+CACHE_VERSION = 4
 
 #: package-relative sources whose behaviour determines a measurement;
 #: their content is hashed into every cache key so editing the cost
 #: model, a schedule generator, or the *execution semantics* — the
-#: action compiler / program IR under ``actions/`` and the event-driven
-#: core under ``runtime/`` (``events.py``, ``simulator.py``) —
-#: invalidates old entries automatically instead of serving stale
-#: numbers.  Directories are hashed recursively, so new execution
-#: modules are covered the day they land.
+#: action compiler / program IR / **plan lowering** under ``actions/``
+#: and the event-driven core under ``runtime/`` (``events.py``,
+#: ``events_ref.py``, ``simulator.py``) — invalidates old entries
+#: automatically instead of serving stale numbers.  Directories are
+#: hashed recursively, so new execution modules (e.g.
+#: ``actions/lowering.py``) are covered the day they land.
 _MEASUREMENT_SOURCES = (
     "config.py",
     "models",
@@ -54,6 +59,8 @@ _MEASUREMENT_SOURCES = (
     "actions",
     "runtime",
     "analysis/throughput.py",
+    "analysis/hybrid.py",
+    "analysis/plans.py",
 )
 
 

@@ -13,12 +13,22 @@ and produces a :class:`~repro.sweep.table.SweepTable`:
 Every actual measurement goes through this module's
 ``measure_throughput`` global, so tests can wrap it with a call counter
 to prove that a warm cache performs **zero** simulator work.
+
+Below the result cache sits a second, in-process reuse layer: the
+measurement harnesses share compiled programs + lowered
+:class:`~repro.actions.ExecutablePlan` objects through
+:func:`repro.analysis.plan_cache`, so cache-missing cells that differ
+only in cost axes (the cluster) re-time one plan per structure instead
+of recompiling — per worker process, since the cache is process-global.
+``repro sweep --profile`` surfaces the per-cell build/lower/simulate
+split this produces.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 
+from .. import profiling
 from ..analysis.hybrid import HybridLayout, measure_hybrid_throughput
 from ..analysis.throughput import measure_throughput
 from ..errors import ConfigError
@@ -47,27 +57,31 @@ def _evaluate(job: tuple) -> tuple[int, dict]:
     """
     (index, point, cluster, model, overlap, enforce_memory,
      capacity_bytes) = job
+    label = (f"{point.scheme}/{cluster.name}/{model.name} "
+             f"P{point.p} D{point.d} TP{point.tp} W{point.w} "
+             f"B{point.num_microbatches}x{point.microbatch_size}")
     try:
-        if point.tp > 1:
-            result = measure_hybrid_throughput(
-                point.scheme, cluster, model,
-                HybridLayout(tp=point.tp, p=point.p, d=point.d),
-                num_microbatches=point.num_microbatches, w=point.w,
-                microbatch_size=point.microbatch_size,
-                overlap=overlap,
-                enforce_memory=enforce_memory,
-                capacity_bytes=capacity_bytes,
-            )
-        else:
-            result = measure_throughput(
-                point.scheme, cluster, model,
-                p=point.p, d=point.d, w=point.w,
-                num_microbatches=point.num_microbatches,
-                microbatch_size=point.microbatch_size,
-                overlap=overlap,
-                enforce_memory=enforce_memory,
-                capacity_bytes=capacity_bytes,
-            )
+        with profiling.cell(label):
+            if point.tp > 1:
+                result = measure_hybrid_throughput(
+                    point.scheme, cluster, model,
+                    HybridLayout(tp=point.tp, p=point.p, d=point.d),
+                    num_microbatches=point.num_microbatches, w=point.w,
+                    microbatch_size=point.microbatch_size,
+                    overlap=overlap,
+                    enforce_memory=enforce_memory,
+                    capacity_bytes=capacity_bytes,
+                )
+            else:
+                result = measure_throughput(
+                    point.scheme, cluster, model,
+                    p=point.p, d=point.d, w=point.w,
+                    num_microbatches=point.num_microbatches,
+                    microbatch_size=point.microbatch_size,
+                    overlap=overlap,
+                    enforce_memory=enforce_memory,
+                    capacity_bytes=capacity_bytes,
+                )
     except ConfigError as exc:
         return index, infeasible_record(str(exc))
     return index, result_to_record(result)

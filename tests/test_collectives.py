@@ -369,8 +369,9 @@ class TestTensorParallelCollectives:
     def test_tp_sync_blocking_and_counted(self):
         cluster = make_fc(8)
         layout = HybridLayout(tp=2, p=4, d=1)
-        _cfg, _sched, _costs, program, _oracle = build_hybrid_simulation(
-            "dapple", cluster, bert_64(), layout, num_microbatches=4)
+        program = build_hybrid_simulation(
+            "dapple", cluster, bert_64(), layout, num_microbatches=4,
+        ).program
         colls = [c for _d, c in collectives_in(program)
                  if c.kind is CollectiveKind.TP_BOUNDARY]
         assert colls

@@ -1,0 +1,212 @@
+"""Lowering round-trip and plan semantics (actions/lowering.py).
+
+The ExecutablePlan is only allowed to change *representation*, never
+meaning: it must decode back to the source Program action-for-action
+across every schedule family and compile mode, carry the program's
+resource deltas verbatim, key structurally identical programs equally,
+and re-time against new oracles without touching structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.actions import (
+    CollectiveOp,
+    ExecutablePlan,
+    compile_program,
+)
+from repro.analysis import compile_cluster_program
+from repro.cluster import make_fc
+from repro.config import CostConfig, PipelineConfig, RunConfig
+from repro.errors import SchedulingError
+from repro.models import tiny_model
+from repro.models.costs import stage_costs
+from repro.runtime import (
+    AbstractCosts,
+    ConcreteCosts,
+    execute_plan,
+    execute_program,
+)
+from repro.runtime.costs import CostOracle
+from repro.types import OpKind
+
+from conftest import ALL_SCHEMES, make_config, scheme_id
+
+P = B = 4
+
+
+@pytest.mark.parametrize("prefetch", [True, False], ids=["pf", "nopf"])
+@pytest.mark.parametrize("batching", [True, False], ids=["batch", "nobatch"])
+@pytest.mark.parametrize("param", ALL_SCHEMES, ids=scheme_id)
+class TestRoundTrip:
+    def test_decode_matches_program_action_for_action(
+        self, param, prefetch, batching
+    ):
+        """The satellite acceptance: every family × prefetch mode
+        decodes from the flat arrays back to the exact source lists."""
+        from repro.schedules import build_schedule
+
+        scheme, kw = param
+        cfg = make_config(scheme, P, B, **kw)
+        program = compile_program(build_schedule(cfg), prefetch=prefetch,
+                                  batch_cross_comm=batching)
+        plan = ExecutablePlan.lower(program)
+        assert plan.decode() == program.actions
+        assert plan.n_actions == program.action_count()
+        assert plan.n_computes == program.compute_count()
+
+    def test_plan_key_stable_and_structural(self, param, prefetch, batching):
+        """Two independent lowerings of the same program share a key;
+        the key is a hex digest (content hash, seed-independent)."""
+        from repro.schedules import build_schedule
+
+        scheme, kw = param
+        cfg = make_config(scheme, P, B, **kw)
+        sched = build_schedule(cfg)
+        k1 = ExecutablePlan.lower(
+            compile_program(sched, prefetch=prefetch,
+                            batch_cross_comm=batching)).plan_key
+        k2 = ExecutablePlan.lower(
+            compile_program(sched, prefetch=prefetch,
+                            batch_cross_comm=batching)).plan_key
+        assert k1 == k2
+        assert len(k1) == 64 and int(k1, 16) >= 0
+
+
+class TestPlanKey:
+    def _key(self, scheme="gpipe", b=B, prefetch=True):
+        from repro.schedules import build_schedule
+
+        cfg = make_config(scheme, P, b)
+        return ExecutablePlan.lower(
+            compile_program(build_schedule(cfg), prefetch=prefetch)
+        ).plan_key
+
+    def test_key_separates_structures(self):
+        base = self._key()
+        assert base != self._key(scheme="dapple")
+        assert base != self._key(b=B * 2)
+        assert base != self._key(prefetch=False)
+
+    def test_key_process_stable(self):
+        """sha256 over canonical content — re-lowered keys are equal in
+        this process and, by construction, across PYTHONHASHSEEDs."""
+        assert self._key() == self._key()
+
+
+class TestCollectivesRoundTrip:
+    def _dp_program(self):
+        from repro.schedules import build_schedule
+
+        cluster = make_fc(8)
+        model = tiny_model(num_layers=16)
+        cfg = PipelineConfig(scheme="hanayo", num_devices=4,
+                             num_microbatches=4, data_parallel=2)
+        sched = build_schedule(cfg)
+        costs = stage_costs(model, sched.num_stages, cluster.device, 1)
+        return compile_cluster_program(sched, cluster, costs, d=2), costs
+
+    def test_collective_program_round_trips(self):
+        program, _ = self._dp_program()
+        assert any(isinstance(a, CollectiveOp)
+                   for acts in program.actions.values() for a in acts)
+        plan = ExecutablePlan.lower(program)
+        assert plan.decode() == program.actions
+        assert len(plan.coll_ops) > 0
+
+    def test_resource_deltas_match_program(self):
+        program, _ = self._dp_program()
+        plan = ExecutablePlan.lower(program)
+        for cid, key in enumerate(plan.comp_keys):
+            assert plan.comp_alloc[cid] == program.alloc_bytes(key)
+            assert plan.comp_free[cid] == program.free_bytes(key)
+            if key[0] is OpKind.FORWARD:
+                assert plan.comp_alloc[cid] > 0.0
+
+
+class TestBindingAndRetime:
+    def _plan_and_oracles(self):
+        from repro.schedules import build_schedule
+
+        cfg = make_config("chimera", P, B)
+        sched = build_schedule(cfg)
+        program = compile_program(sched)
+        slow = AbstractCosts(CostConfig(t_c=0.5), P, sched.num_stages)
+        fast = AbstractCosts(CostConfig(t_f=0.5, t_b=1.0, t_c=0.1), P,
+                             sched.num_stages)
+        return program, slow, fast
+
+    def test_unbound_plan_refuses_execution(self):
+        program, _, _ = self._plan_and_oracles()
+        plan = ExecutablePlan.lower(program)
+        assert not plan.bound
+        with pytest.raises(SchedulingError, match="not cost-bound"):
+            execute_plan(plan)
+
+    def test_retime_shares_structure(self):
+        program, slow, fast = self._plan_and_oracles()
+        plan = ExecutablePlan.lower(program, slow)
+        again = plan.retime(fast)
+        assert again.comp_ops is plan.comp_ops
+        assert again.dep_ptr is plan.dep_ptr
+        assert again.codes is plan.codes
+        assert again.plan_key == plan.plan_key
+        assert again.costs is fast
+
+    def test_retimed_plan_matches_fresh_execution(self):
+        """Cost-only re-binding must equal lowering from scratch —
+        the contract the sweep plan cache rests on."""
+        program, slow, fast = self._plan_and_oracles()
+        run = RunConfig(contention=True)
+        cached = ExecutablePlan.lower(program, slow)
+        via_retime = execute_plan(cached.retime(fast), run)
+        fresh = execute_program(program, fast, run)
+        assert via_retime.timeline.spans == fresh.timeline.spans
+        assert via_retime.recv_wait == fresh.recv_wait
+        assert via_retime.comm == fresh.comm
+        assert via_retime.device_end == fresh.device_end
+
+    def test_wire_interning_follows_global_ranks(self):
+        """Wires live in global-rank space: a spaced rank map must not
+        alias distinct physical links onto one wire id."""
+        program, slow, _ = self._plan_and_oracles()
+
+        class Spaced(AbstractCosts):
+            def global_rank(self, device: int) -> int:
+                return device * 2
+
+        spaced = Spaced(CostConfig(t_c=0.5), P, program.num_stages)
+        plan = ExecutablePlan.lower(program, slow)
+        respaced = plan.retime(spaced)
+        assert respaced.global_ranks == (0, 2, 4, 6)
+        assert respaced.n_wires == plan.n_wires  # same pair structure
+
+    def test_unknown_device_decode_raises(self):
+        program, slow, _ = self._plan_and_oracles()
+        plan = ExecutablePlan.lower(program, slow)
+        with pytest.raises(SchedulingError, match="no device 99"):
+            plan.decode_actions(99)
+
+
+class TestLazyDurations:
+    def test_completed_run_resolves_each_compute_once(self):
+        from repro.schedules import build_schedule
+
+        calls = []
+
+        class Counting(AbstractCosts):
+            def duration(self, op):
+                calls.append(op)
+                return super().duration(op)
+
+        cfg = make_config("dapple", P, B)
+        sched = build_schedule(cfg)
+        program = compile_program(sched)
+        oracle = Counting(CostConfig(), P, sched.num_stages)
+        plan = ExecutablePlan.lower(program, oracle)
+        execute_plan(plan)
+        assert len(calls) == program.compute_count()
+        # a second execution of the same bound plan reuses the column
+        execute_plan(plan)
+        assert len(calls) == program.compute_count()

@@ -20,7 +20,12 @@ import pytest
 from repro.config import CostConfig, RunConfig
 from repro.engine import PipelineTrainer, make_batch, sequential_step
 from repro.models import tiny_model
-from repro.runtime import AbstractCosts, simulate_program
+from repro.runtime import (
+    AbstractCosts,
+    execute_program,
+    execute_program_reference,
+    simulate_program,
+)
 from repro.schedules import build_schedule
 
 from conftest import ALL_SCHEMES, make_config, scheme_id
@@ -86,6 +91,81 @@ class TestProgramParity:
                                       batch_cross_comm=batching))
         assert len(res.comm) == program.message_count()
         assert {e.tag for e in res.comm} == set(program.tensor_bytes)
+
+
+@pytest.mark.parametrize("contention", [False, True],
+                         ids=["greedy", "timeord"])
+@pytest.mark.parametrize("prefetch", [True, False], ids=["pf", "nopf"])
+@pytest.mark.parametrize("batching", [True, False], ids=["batch", "nobatch"])
+@pytest.mark.parametrize("param", ALL_SCHEMES, ids=scheme_id)
+class TestLoweredCoreParity:
+    """The lowered event core is *bit-identical* to the pre-refactor
+    interpreter (runtime/events_ref.py) — every span, wait, transfer,
+    watermark and collective, across both drivers."""
+
+    def test_bit_identical_to_reference_core(self, param, prefetch,
+                                             batching, contention):
+        from repro.actions import compile_program
+        from repro.actions.resources import StageResources
+
+        scheme, kw = param
+        cfg = make_config(scheme, P, B, **kw)
+        sched = build_schedule(cfg)
+        resources = StageResources(
+            weight_bytes=(100.0,) * sched.num_stages,
+            activation_bytes=(10.0,) * sched.num_stages,
+        )
+        program = compile_program(sched, prefetch=prefetch,
+                                  batch_cross_comm=batching,
+                                  resources=resources)
+        costs = AbstractCosts(CostConfig(t_f=1.0, t_b=2.0, t_c=0.25), P,
+                              sched.num_stages)
+        run = RunConfig(prefetch=prefetch, batch_cross_comm=batching,
+                        contention=contention)
+        new = execute_program(program, costs, run)
+        ref = execute_program_reference(program, costs, run)
+        assert new.timeline.spans == ref.timeline.spans
+        assert new.recv_wait == ref.recv_wait
+        assert new.comm == ref.comm
+        assert new.order == ref.order
+        assert new.mem_peak == ref.mem_peak
+        assert new.mem_events == ref.mem_events
+        assert new.collectives == ref.collectives
+        assert new.device_end == ref.device_end
+
+
+class TestLoweredCoreParityWithCollectives:
+    """Cluster programs with DP gradient rings + TP boundary
+    all-reduces: the lowered core must reproduce the reference core's
+    collective schedules exactly, contention included."""
+
+    @pytest.mark.parametrize("contention", [False, True],
+                             ids=["greedy", "timeord"])
+    @pytest.mark.parametrize("scheme", ["gpipe", "hanayo", "chimera-wave"])
+    def test_dp_tp_program_bit_identical(self, scheme, contention):
+        from repro.analysis import (
+            HybridLayout,
+            build_hybrid_simulation,
+            plan_cache,
+        )
+        from repro.cluster import make_fc
+        from repro.models import tiny_model as tm
+
+        plan_cache().clear()
+        cell = build_hybrid_simulation(
+            scheme, make_fc(8), tm(num_layers=16),
+            HybridLayout(tp=2, p=2, d=2), num_microbatches=4,
+        )
+        run = RunConfig(contention=contention)
+        new = execute_program(cell.program, cell.oracle, run)
+        ref = execute_program_reference(cell.program, cell.oracle, run)
+        assert new.timeline.spans == ref.timeline.spans
+        assert new.recv_wait == ref.recv_wait
+        assert new.comm == ref.comm
+        assert new.mem_peak == ref.mem_peak
+        assert new.mem_events == ref.mem_events
+        assert new.collectives == ref.collectives
+        assert new.device_end == ref.device_end
 
 
 class TestEngineConsumesProgramOnly:

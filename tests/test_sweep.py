@@ -169,11 +169,19 @@ class TestCache:
             # alloc/free model or the watermark tracker must turn a
             # durable cache into misses
             "actions/resources.py",
+            # the lowering pass IS the execution representation now —
+            # an edited ExecutablePlan encoding must invalidate caches
+            "actions/lowering.py",
             "runtime/events.py",
+            "runtime/events_ref.py",
             "runtime/memory.py",
             "runtime/simulator.py",
             "runtime/costs.py",
             "cluster/comm_model.py",
+            # both measurement harnesses and the plan-sharing layer
+            "analysis/throughput.py",
+            "analysis/hybrid.py",
+            "analysis/plans.py",
         ):
             assert required in covered, required
 
@@ -228,6 +236,127 @@ class TestCache:
                                  **shape, overlap="model")
         assert base != cache_key("gpipe", make_fc(4), tiny_model(),
                                  **shape, tp=2)
+
+
+class TestPlanCache:
+    """The in-process plan cache: structurally identical cells share one
+    lowered plan; cost-only axes (the cluster) re-time it."""
+
+    def setup_method(self):
+        from repro.analysis import plan_cache
+        plan_cache().clear()
+
+    def _measure(self, cluster, **kw):
+        args = dict(p=4, d=1, w=1, num_microbatches=4, microbatch_size=2)
+        args.update(kw)
+        return measure_throughput("hanayo", cluster,
+                                  tiny_model(num_layers=16), **args)
+
+    def test_cost_only_axis_hits_the_plan_cache(self):
+        from repro.analysis import plan_cache
+        cache = plan_cache()
+        self._measure(make_fc(4))
+        assert (cache.hits, cache.misses) == (0, 1)
+        # same structure, different cluster: cost-only change -> hit
+        self._measure(make_tacc(4))
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_structural_axis_misses(self):
+        from repro.analysis import plan_cache
+        cache = plan_cache()
+        self._measure(make_fc(4))
+        self._measure(make_fc(4), num_microbatches=8, microbatch_size=1)
+        self._measure(make_fc(4), d=2, p=2)
+        assert cache.hits == 0 and cache.misses == 3
+        assert len(cache) == 3
+
+    def test_repeat_same_cell_hits(self):
+        from repro.analysis import plan_cache
+        cache = plan_cache()
+        first = self._measure(make_fc(4))
+        second = self._measure(make_fc(4))
+        assert cache.hits == 1 and cache.misses == 1
+        assert second.seq_per_s == first.seq_per_s
+        assert second.peak_mem_bytes == first.peak_mem_bytes
+
+    def test_retimed_hit_equals_cold_measurement(self):
+        """A plan-cache hit must change nothing about the numbers: the
+        re-timed cached plan and a from-scratch compile agree exactly."""
+        from repro.analysis import plan_cache
+        self._measure(make_fc(4))               # warm the plan cache
+        warm = self._measure(make_tacc(4))      # hit, re-timed
+        plan_cache().clear()
+        cold = self._measure(make_tacc(4))      # cold recompile
+        assert warm.seq_per_s == cold.seq_per_s
+        assert warm.iteration_s == cold.iteration_s
+        assert warm.bubble_ratio == cold.bubble_ratio
+        assert warm.peak_mem_bytes == cold.peak_mem_bytes
+        assert warm.sync_s == cold.sync_s
+
+    def test_hybrid_cells_share_plans_across_clusters(self):
+        from repro.analysis import (
+            HybridLayout,
+            measure_hybrid_throughput,
+            plan_cache,
+        )
+        cache = plan_cache()
+        layout = HybridLayout(tp=2, p=2, d=1)
+        kw = dict(num_microbatches=4, microbatch_size=1)
+        a = measure_hybrid_throughput("gpipe", make_fc(4),
+                                      tiny_model(num_layers=16), layout,
+                                      **kw)
+        b = measure_hybrid_throughput("gpipe", make_tacc(4),
+                                      tiny_model(num_layers=16), layout,
+                                      **kw)
+        assert cache.hits == 1 and cache.misses == 1
+        assert a.seq_per_s != b.seq_per_s  # the clusters do differ
+
+    def test_plan_key_proves_cross_cluster_sharing_is_safe(self):
+        """The cache's core assumption, verified through the content
+        hash: one cell shape compiled *independently* against different
+        clusters (and capacities) lowers to byte-identical structure —
+        equal ``plan_key`` — so re-timing a shared plan is exact.  A
+        structural axis must flip the key."""
+        from repro.actions import ExecutablePlan
+        from repro.analysis import compile_cluster_program
+        from repro.models.costs import stage_costs
+        from repro.schedules import build_schedule
+        from repro.config import PipelineConfig
+
+        def key_for(cluster, b=4):
+            cfg = PipelineConfig(scheme="hanayo", num_devices=4,
+                                 num_microbatches=b, data_parallel=2)
+            sched = build_schedule(cfg)
+            costs = stage_costs(tiny_model(num_layers=16),
+                                sched.num_stages, cluster.device, 2)
+            program = compile_cluster_program(sched, cluster, costs, d=2)
+            return ExecutablePlan.lower(program).plan_key
+
+        assert key_for(make_fc(8)) == key_for(make_tacc(8))
+        assert key_for(make_fc(8)) != key_for(make_fc(8), b=8)
+
+    def test_capacity_is_not_a_structural_axis(self):
+        """Capacity what-ifs re-time the cached plan (enforcement is an
+        execute-time argument, never compiled into the structure)."""
+        from repro.analysis import plan_cache
+        cache = plan_cache()
+        self._measure(make_fc(4))
+        self._measure(make_fc(4), capacity_bytes=64 * 2**30)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_bound(self):
+        from repro.analysis import plan_cache
+        cache = plan_cache()
+        old_max, cache.maxsize = cache.maxsize, 2
+        try:
+            self._measure(make_fc(4))
+            self._measure(make_fc(4), num_microbatches=8,
+                          microbatch_size=1)
+            self._measure(make_fc(4), d=2, p=2)
+            assert len(cache) == 2
+        finally:
+            cache.maxsize = old_max
 
 
 class TestEngine:
