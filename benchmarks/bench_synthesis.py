@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""Search-quality harness for the schedule synthesizer (``BENCH_synth.json``).
+
+Runs the two headline synthesis demos with pinned seeds and compares the
+*best found makespan* against the committed baseline:
+
+* ``rediscovery_hanayo`` — Hanayo-2 placement at ``P=4, B=4`` started
+  from the deliberately bad all-forwards-first (GPipe-style) ordering.
+  The searcher must rediscover wave-style interleaving: the pinned best
+  is at least as fast as the hand-designed compiled hanayo-w2 schedule.
+* ``beat_families`` — the ROADMAP item-3 question at ``P=4, B=6,
+  t_c=0.25``: searching over Chimera's bidirectional placement finds an
+  ordering faster than *every* compiled family schedule at that shape.
+
+Usage::
+
+    python benchmarks/bench_synthesis.py            # run + print
+    python benchmarks/bench_synthesis.py --write    # refresh baseline
+    python benchmarks/bench_synthesis.py --check    # CI gate
+
+The search is deterministic (one seeded RNG, value-deduplicated
+candidates, discovery-order tie breaks), so the best makespan is
+machine-portable and gated *exactly*: ``--check`` fails when a scenario's
+best makespan regresses above the committed value, or when
+``beat_families`` stops beating the best compiled family.  Throughput
+(candidates evaluated per second) tracks host hardware and only warns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+if __package__ is None or __package__ == "":  # direct script invocation
+    _src = pathlib.Path(__file__).resolve().parents[1] / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_synth.json"
+
+#: --check warns when candidates/s fall below (1 - this) x baseline
+THROUGHPUT_TOLERANCE = 0.50
+
+#: tie-tolerance when comparing the deterministic makespans
+EPS = 1e-9
+
+#: every compiled family the beat_families scenario must outrun
+FAMILIES = (
+    ("gpipe", 1), ("dapple", 1), ("interleaved", 2), ("gems", 1),
+    ("chimera", 1), ("chimera-wave", 2), ("hanayo", 1), ("hanayo", 2),
+    ("async-1f1b", 1),
+)
+
+
+def _build(scheme, p, b, w, costs):
+    from repro.config import PipelineConfig
+    from repro.schedules import build_schedule
+
+    cfg = PipelineConfig(scheme=scheme, num_devices=p,
+                         num_microbatches=b, num_waves=w)
+    return build_schedule(cfg, costs)
+
+
+def _timed_synthesize(sched, oracle, config, **kw):
+    from repro.synthesis import synthesize
+
+    t0 = time.perf_counter()
+    result = synthesize(sched, oracle, config, **kw)
+    wall = time.perf_counter() - t0
+    return result, wall
+
+
+def _summary(result, wall) -> dict:
+    return {
+        "start_makespan": round(result.start.makespan, 6),
+        "best_makespan": round(result.best.makespan, 6),
+        "best_bubble_ratio": round(result.best.bubble_ratio, 6),
+        "plan_key": result.plan_key,
+        "rounds_run": result.rounds_run,
+        "evaluated": result.evaluated,
+        "wall_s": round(wall, 6),
+        "candidates_per_s": round(result.evaluated / wall, 1),
+    }
+
+
+def bench_rediscovery() -> dict:
+    from repro.config import CostConfig
+    from repro.runtime import AbstractCosts, simulate
+    from repro.synthesis import SearchConfig
+
+    costs = CostConfig(t_f=1.0, t_b=2.0, t_c=0.25)
+    sched = _build("hanayo", 4, 4, 2, costs)
+    oracle = AbstractCosts(costs, 4, sched.num_stages)
+    compiled = simulate(sched, oracle).makespan
+    config = SearchConfig(seed=0, rounds=60, samples_per_round=32,
+                          beam_width=6, patience=16, max_shift=6)
+    result, wall = _timed_synthesize(sched, oracle, config, start="gpipe")
+    out = _summary(result, wall)
+    out["compiled_makespan"] = round(compiled, 6)
+    return out
+
+
+def bench_beat_families() -> dict:
+    from repro.config import CostConfig
+    from repro.runtime import AbstractCosts, simulate
+    from repro.synthesis import SearchConfig
+
+    costs = CostConfig(t_f=1.0, t_b=2.0, t_c=0.25)
+    compiled = {}
+    for scheme, w in FAMILIES:
+        sched = _build(scheme, 4, 6, w, costs)
+        oracle = AbstractCosts(costs, 4, sched.num_stages)
+        label = f"{scheme}-w{w}" if scheme in ("hanayo", "interleaved") \
+            else scheme
+        compiled[label] = round(simulate(sched, oracle).makespan, 6)
+    best_family, family_makespan = min(compiled.items(),
+                                       key=lambda kv: kv[1])
+    sched = _build("chimera", 4, 6, 1, costs)
+    oracle = AbstractCosts(costs, 4, sched.num_stages)
+    config = SearchConfig(seed=0, rounds=150, samples_per_round=64,
+                          beam_width=8, patience=30, max_shift=8)
+    result, wall = _timed_synthesize(sched, oracle, config)
+    out = _summary(result, wall)
+    out["compiled_families"] = compiled
+    out["best_compiled_family"] = best_family
+    out["best_compiled_makespan"] = family_makespan
+    return out
+
+
+SCENARIOS = {
+    "rediscovery_hanayo": bench_rediscovery,
+    "beat_families": bench_beat_families,
+}
+
+
+def run_all() -> dict:
+    return {"version": 1,
+            "scenarios": {name: fn() for name, fn in SCENARIOS.items()}}
+
+
+def report(payload: dict) -> str:
+    lines = ["synthesis benchmark (legality-checked mutation search)"]
+    for name, s in payload["scenarios"].items():
+        lines.append(
+            f"  {name:20s} start {s['start_makespan']:7.2f} -> best "
+            f"{s['best_makespan']:7.2f}  bubble "
+            f"{s['best_bubble_ratio']:.4f}  {s['evaluated']:6d} cand in "
+            f"{s['wall_s']:6.2f}s  ({s['candidates_per_s']:,.0f}/s)"
+        )
+        if "best_compiled_makespan" in s:
+            lines.append(
+                f"  {'':20s} best compiled family "
+                f"{s['best_compiled_family']} at "
+                f"{s['best_compiled_makespan']:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def check(payload: dict, baseline: dict) -> tuple[list[str], list[str]]:
+    """``(failures, warnings)`` vs the committed baseline.
+
+    Search quality gates CI: the deterministic best makespan must not
+    regress above the committed value, the rediscovery demo must stay
+    at-or-under the compiled hanayo-w2 schedule, and beat_families must
+    keep beating every compiled family.  Candidates/s only warns — it
+    tracks the baseline host's hardware, not the search.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    for name, s in payload["scenarios"].items():
+        base = baseline.get("scenarios", {}).get(name)
+        if base is None:
+            problems.append(f"{name}: no committed baseline entry")
+            continue
+        if s["best_makespan"] > base["best_makespan"] + EPS:
+            problems.append(
+                f"{name}: best makespan regressed "
+                f"{s['best_makespan']} > committed {base['best_makespan']}"
+            )
+        elif s["best_makespan"] < base["best_makespan"] - EPS:
+            warnings.append(
+                f"{name}: search improved to {s['best_makespan']} "
+                f"(< committed {base['best_makespan']}); refresh the "
+                "baseline with --write"
+            )
+        floor = 1.0 - THROUGHPUT_TOLERANCE
+        if s["candidates_per_s"] < floor * base["candidates_per_s"]:
+            warnings.append(
+                f"{name}: {s['candidates_per_s']:,.0f} candidates/s is "
+                f"below {floor:.0%} of the baseline host's "
+                f"{base['candidates_per_s']:,.0f} (machine-dependent)"
+            )
+    redis = payload["scenarios"]["rediscovery_hanayo"]
+    if redis["best_makespan"] > redis["compiled_makespan"] + EPS:
+        problems.append(
+            "rediscovery_hanayo: searched ordering "
+            f"{redis['best_makespan']} no longer matches the compiled "
+            f"hanayo-w2 schedule at {redis['compiled_makespan']}"
+        )
+    beat = payload["scenarios"]["beat_families"]
+    if beat["best_makespan"] >= beat["best_compiled_makespan"] - EPS:
+        problems.append(
+            "beat_families: searched chimera ordering "
+            f"{beat['best_makespan']} no longer beats the best compiled "
+            f"family {beat['best_compiled_family']} at "
+            f"{beat['best_compiled_makespan']}"
+        )
+    return problems, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--write", action="store_true",
+                      help=f"refresh {BASELINE_PATH.name}")
+    mode.add_argument("--check", action="store_true",
+                      help="fail when a pinned best makespan regresses")
+    args = parser.parse_args(argv)
+
+    payload = run_all()
+    print(report(payload))
+    if args.write:
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+    if args.check:
+        try:
+            baseline = json.loads(BASELINE_PATH.read_text())
+        except FileNotFoundError:
+            print(f"error: no committed baseline at {BASELINE_PATH}",
+                  file=sys.stderr)
+            return 1
+        problems, warnings = check(payload, baseline)
+        for warning in warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("pinned makespans reproduced; beat_families still beats "
+              f"{payload['scenarios']['beat_families']['best_compiled_family']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ from .collectives import (
 from .interpreter import Executor, Interpreter
 from .lowering import ExecutablePlan
 from .program import Dependency, Program, compile_program, compute_key
+from .reorder import OrderEntry, Reorderer, ordering_entries, reorder_program
 from .resources import StageResources
 from .ops import (
     Action,
@@ -48,8 +49,10 @@ __all__ = [
     "Flush",
     "Interpreter",
     "OptimizerStep",
+    "OrderEntry",
     "Program",
     "Recv",
+    "Reorderer",
     "Send",
     "StageResources",
     "Tag",
@@ -63,6 +66,8 @@ __all__ = [
     "compute_key",
     "count_messages",
     "hoist_recvs",
+    "ordering_entries",
+    "reorder_program",
     "ring_pairs",
     "ring_step_count",
     "validate_actions",

@@ -87,3 +87,28 @@ class StageResources:
             self,
             activation_bytes=(self.boundary_bytes,) * self.num_stages,
         )
+
+    def with_recompute_from(self, frontier: int) -> "StageResources":
+        """Partial recomputation: checkpoint stages ``>= frontier`` only.
+
+        The schedule-synthesis search moves this boundary as a mutation
+        operator: stages before ``frontier`` keep full activations,
+        stages at and past it retain only their boundary tensor and
+        re-run the forward during the backward (their backward *cost*
+        grows by one forward — the synthesis cost wrapper's side of the
+        trade).  ``frontier == 0`` recomputes everything
+        (:meth:`with_recompute`); ``frontier == num_stages`` recomputes
+        nothing.
+        """
+        if not 0 <= frontier <= self.num_stages:
+            raise ConfigError(
+                f"recompute frontier {frontier} outside "
+                f"[0, {self.num_stages}]"
+            )
+        return replace(
+            self,
+            activation_bytes=tuple(
+                self.boundary_bytes if stage >= frontier else bytes_
+                for stage, bytes_ in enumerate(self.activation_bytes)
+            ),
+        )

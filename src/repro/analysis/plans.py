@@ -36,9 +36,11 @@ counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 from ..actions.lowering import ExecutablePlan
 from ..actions.program import Program
+from ..actions.reorder import OrderEntry, reorder_program
 from ..schedules.base import Schedule
 
 #: default bound on retained plans (a full fig09-style grid is ~50)
@@ -90,6 +92,40 @@ class PlanCache:
     def describe(self) -> str:
         return (f"plan cache: {len(self._store)} plans, "
                 f"{self.hits} hits, {self.misses} misses")
+
+
+def candidate_plan(
+    entry: PlanEntry,
+    orders: Mapping[int, Sequence[OrderEntry]],
+    costs=None,
+) -> ExecutablePlan:
+    """A cost-bound plan for a *reordering* of a cached entry's program.
+
+    The schedule-synthesis searcher evaluates thousands of candidate
+    orderings against one structural cell; this is the cheap path it
+    rides.  The candidate program shares ``ops``/``deps``/byte facts
+    with the base (see :func:`repro.actions.reorder.reorder_program`),
+    so its lowered compute table — built from ``program.ops`` iteration
+    order — is identical index-for-index, and when the oracle is the
+    very one the base plan is bound to, the candidate can adopt the
+    base's lazily-filled ``comp_cost`` column outright: every duration
+    the oracle has ever resolved for this cell is reused by every
+    later candidate instead of being re-queried per plan.
+
+    ``costs`` defaults to the base plan's bound oracle; pass an oracle
+    explicitly to time candidates against a different cluster (no
+    column sharing then).  An unbound base with no ``costs`` yields an
+    unbound candidate (still useful for ``plan_key``).
+    """
+    program = reorder_program(entry.program, orders)
+    plan = ExecutablePlan.lower(program)
+    oracle = costs if costs is not None else entry.plan.costs
+    if oracle is None:
+        return plan
+    plan = plan.retime(oracle)
+    if entry.plan.bound and entry.plan.costs is oracle:
+        plan.comp_cost = entry.plan.comp_cost
+    return plan
 
 
 _CACHE = PlanCache()

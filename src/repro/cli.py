@@ -319,6 +319,103 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+#: (scheme, waves) candidates for ``synthesize --all-families``; shapes
+#: a family cannot take (odd P for chimera, odd B for gems, ...) are
+#: skipped at build time.
+_SYNTH_FAMILIES = (
+    ("gpipe", 1), ("dapple", 1), ("interleaved", 2), ("gems", 1),
+    ("chimera", 1), ("chimera-wave", 2), ("hanayo", 1), ("hanayo", 2),
+    ("async-1f1b", 1),
+)
+
+
+def cmd_synthesize(args) -> int:
+    from .schedules import build_schedule
+    from .synthesis import (
+        SearchConfig,
+        load_schedule,
+        payload_for,
+        replay_payload,
+        save_schedule,
+        synthesize,
+        synthesize_families,
+    )
+
+    if args.replay:
+        report = replay_payload(load_schedule(args.replay))
+        print(report.describe())
+        return 0 if report.consistent else 1
+
+    sconf = SearchConfig(
+        seed=args.seed, rounds=args.rounds,
+        samples_per_round=args.samples, beam_width=args.beam,
+        patience=args.patience, max_shift=args.max_shift,
+    )
+    cost = CostConfig(t_c=args.t_c)
+    start = None if args.start == "program" else args.start
+
+    def emit(result, config) -> None:
+        if args.provenance:
+            for step in result.best.provenance:
+                print(f"  round {step.round:3d}  "
+                      f"{step.mutation.describe():40s} "
+                      f"-> {step.makespan:.3f}")
+        if args.output:
+            payload = payload_for(result, config, cost)
+            save_schedule(args.output, payload)
+            print(f"wrote {args.output} "
+                  f"(plan {result.plan_key[:12]}…, seed {args.seed})")
+
+    if args.all_families:
+        built = {}
+        for scheme, waves in _SYNTH_FAMILIES:
+            try:
+                cfg = PipelineConfig(
+                    scheme=scheme, num_devices=args.devices,
+                    num_microbatches=args.microbatches, num_waves=waves,
+                )
+                label = scheme + (f"-w{waves}" if waves > 1 else "")
+                built[label] = (cfg, build_schedule(cfg, cost))
+            except ConfigError:
+                continue
+        results = synthesize_families(
+            {label: sched for label, (_, sched) in built.items()},
+            lambda sched: AbstractCosts(cost, args.devices,
+                                        sched.num_stages),
+            sconf, start=start,
+        )
+        rows = [
+            [label, f"{r.start.makespan:.2f}", f"{r.best.makespan:.2f}",
+             f"{r.best.bubble_ratio * 100:.1f}%",
+             len(r.best.provenance)]
+            for label, r in sorted(results.items(),
+                                   key=lambda kv: kv[1].best.makespan)
+        ]
+        print(format_table(
+            ["family", "start", "best", "bubble", "mutations"], rows,
+            title=(f"synthesize P={args.devices} B={args.microbatches} "
+                   f"t_c={args.t_c} seed={args.seed}"),
+        ))
+        winner = min(results, key=lambda k: results[k].best.makespan)
+        baseline = min(r.start.makespan for r in results.values())
+        best = results[winner]
+        print(f"winner: {winner} at {best.best.makespan:.2f} "
+              f"(best compiled family: {baseline:.2f})")
+        emit(best, built[winner][0])
+        return 0
+
+    cfg = PipelineConfig(
+        scheme=args.scheme, num_devices=args.devices,
+        num_microbatches=args.microbatches, num_waves=args.waves,
+    )
+    sched = build_schedule(cfg, cost)
+    oracle = AbstractCosts(cost, cfg.num_devices, sched.num_stages)
+    result = synthesize(sched, oracle, sconf, start=start)
+    print(result.describe())
+    emit(result, cfg)
+    return 0
+
+
 def cmd_train(args) -> int:
     import numpy as np
 
@@ -442,6 +539,36 @@ def make_parser() -> argparse.ArgumentParser:
                          "phase-timing breakdown plus plan-cache stats "
                          "(forces inline evaluation)")
     sw.set_defaults(fn=cmd_sweep)
+
+    sy = sub.add_parser(
+        "synthesize",
+        help="search for a faster legal ordering of a schedule")
+    _add_shape_args(sy)
+    sy.add_argument("--seed", type=int, default=0)
+    sy.add_argument("--rounds", type=int, default=150)
+    sy.add_argument("--samples", type=int, default=64,
+                    help="mutation samples per round")
+    sy.add_argument("--beam", type=int, default=8,
+                    help="beam width (survivors per round)")
+    sy.add_argument("--patience", type=int, default=30,
+                    help="stop after this many stale rounds")
+    sy.add_argument("--max-shift", type=int, default=8,
+                    help="largest single-entry / wave shift sampled")
+    sy.add_argument("--start", default="program",
+                    choices=["program", "gpipe"],
+                    help="initial ordering: the compiled program's own "
+                         "(default) or all-forwards-then-all-backwards")
+    sy.add_argument("--all-families", action="store_true",
+                    help="search every family at this shape and rank "
+                         "the results")
+    sy.add_argument("--provenance", action="store_true",
+                    help="print the winning mutation path")
+    sy.add_argument("-o", "--output", default=None,
+                    help="write the best schedule as replayable JSON")
+    sy.add_argument("--replay", default=None, metavar="PATH",
+                    help="re-simulate a saved schedule instead of "
+                         "searching (exit 1 if its scores drifted)")
+    sy.set_defaults(fn=cmd_synthesize)
 
     tr = sub.add_parser("train", help="real NumPy pipeline step + verify")
     _add_shape_args(tr)

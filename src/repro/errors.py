@@ -49,5 +49,14 @@ class OutOfMemoryError(ReproError):
         )
 
 
+class SynthesisError(ReproError):
+    """A schedule-synthesis operation failed.
+
+    Raised when a mutation operator is inapplicable to an ordering
+    (the search samples another), or when a serialized schedule cannot
+    be replayed against the program it claims to reorder.
+    """
+
+
 class EngineError(ReproError):
     """The NumPy execution engine hit an internal inconsistency."""

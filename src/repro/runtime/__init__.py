@@ -28,6 +28,7 @@ from .simulator import (
     SimResult,
     TrainingSimResult,
     simulate,
+    simulate_ordering,
     simulate_program,
     simulate_training,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "memory_stats",
     "memory_stats_from_result",
     "simulate",
+    "simulate_ordering",
     "simulate_program",
     "simulate_training",
     "static_memory",

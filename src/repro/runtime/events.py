@@ -554,8 +554,75 @@ def execute_plan(
             for di, (d, acts) in enumerate(program.actions.items())
             if cursors[di] < len(acts)
         }
+        # Explain the stall: every blocked device waits on exactly one
+        # other device (the sender of an unposted slot, or itself for a
+        # same-device dependency inversion); following those pointers
+        # from any blocked device must revisit a device — that
+        # repetition is the wait cycle.
+        slot_sender = {}
+        slot_tag = {}
+        for sid in range(n_send):
+            slot = send_slot[sid]
+            slot_sender[slot] = plan.send_src[sid]
+            slot_tag[slot] = plan.tags[plan.send_tag[sid]]
+
+        def blocker(di: int) -> tuple[int, str] | None:
+            """(blocking device index, reason) for ``di``'s head."""
+            i = cursors[di]
+            if i >= len(codes[di]):
+                return None
+            code = codes[di][i]
+            a = args[di][i]
+            if code == OP_COMPUTE:
+                for e in range(dep_ptr[a], dep_ptr[a + 1]):
+                    x = dep_idx[e]
+                    if dep_remote[e]:
+                        if prefetch and not posted[x]:
+                            return (slot_sender[x],
+                                    f"unposted {slot_tag[x]}")
+                    elif not comp_done[x]:
+                        kind, mb, st = plan.comp_keys[x]
+                        return (plan.comp_device[x],
+                                f"unretired {kind.value}(m{mb},s{st})")
+            elif code == OP_RECV and not prefetch:
+                slot = recv_slot[a]
+                if not posted[slot]:
+                    return (slot_sender[slot], f"unposted {slot_tag[slot]}")
+            elif code == OP_BATCH and not prefetch:
+                for rid in batch_recv_ids[a]:
+                    slot = recv_slot[rid]
+                    if not posted[slot]:
+                        return (slot_sender[slot],
+                                f"unposted {slot_tag[slot]}")
+            return None
+
+        cycle = ""
+        start_di = next(
+            (di for di in range(num_devices) if blocker(di) is not None),
+            None,
+        )
+        if start_di is not None:
+            hops: list[tuple[int, int, str]] = []
+            first = {start_di: 0}
+            cur = start_di
+            while True:
+                blk = blocker(cur)
+                if blk is None:  # pragma: no cover - defensive
+                    break
+                nxt, why = blk
+                hops.append((cur, nxt, why))
+                if nxt in first:
+                    # keep only the cyclic suffix of the walk
+                    hops = hops[first[nxt]:]
+                    cycle = "; wait cycle: " + " -> ".join(
+                        f"d{devices[a_]} waits on d{devices[b_]} ({w})"
+                        for a_, b_, w in hops
+                    )
+                    break
+                first[nxt] = len(hops)
+                cur = nxt
         raise SchedulingError(
-            f"{program.name}: simulation deadlock; heads = {heads}"
+            f"{program.name}: simulation deadlock; heads = {heads}{cycle}"
         )
 
     total = plan.n_actions

@@ -174,6 +174,32 @@ def simulate(
                             capacity_bytes=capacity_bytes)
 
 
+def simulate_ordering(
+    program: Program,
+    orders,
+    costs: CostOracle,
+    run: RunConfig | None = None,
+    *,
+    capacity_bytes: int | None = None,
+) -> SimResult:
+    """Execute ``program`` under an externally supplied action ordering.
+
+    ``orders`` maps each device to a permutation of that device's
+    ordering entries (see :func:`repro.actions.reorder.reorder_program`,
+    which performs the recompile).  This is the replay entry the
+    schedule-synthesis pipeline uses: a serialized or searched ordering
+    is recompiled against the base program and simulated exactly like
+    any compiled schedule — including deadlocking or OOMing when the
+    ordering is illegal, which the differential fuzz harness pins
+    against the legality checker's verdict.
+    """
+    from ..actions.reorder import reorder_program
+
+    reordered = reorder_program(program, orders)
+    return simulate_program(reordered, costs, run,
+                            capacity_bytes=capacity_bytes)
+
+
 def simulate_program(
     program: Program,
     costs: CostOracle,

@@ -57,6 +57,39 @@ def check_placement(schedule: Schedule) -> None:
                 )
 
 
+def residual_cycle(out: dict, indeg: dict) -> list:
+    """One concrete cycle among the nodes Kahn's algorithm left behind.
+
+    ``out`` is the adjacency map, ``indeg`` the post-Kahn in-degrees: a
+    node with ``indeg > 0`` is unreachable, and the subgraph induced by
+    those nodes always contains a cycle (every residual node keeps an
+    unsatisfied predecessor).  Used by both the schedule executability
+    check and the synthesis legality checker to turn "some ops are
+    stuck" into a reportable ``a -> b -> ... -> a`` witness.
+    """
+    residual = {k for k, n in indeg.items() if n > 0}
+    if not residual:
+        return []
+    rev: dict = {k: [] for k in residual}
+    for a, nxts in out.items():
+        if a in residual:
+            for b in nxts:
+                if b in residual:
+                    rev[b].append(a)
+    # Walk predecessors until a node repeats; the walk cannot dead-end
+    # because every residual node has a residual predecessor.
+    node = next(iter(sorted(residual, key=repr)))
+    seen: dict = {}
+    path = []
+    while node not in seen:
+        seen[node] = len(path)
+        path.append(node)
+        node = min(rev[node], key=repr)
+    cycle = path[seen[node]:]
+    cycle.reverse()  # predecessor walk found it backwards
+    return cycle
+
+
 def check_executable(schedule: Schedule) -> None:
     """Kahn's algorithm over program-order + dataflow edges."""
     ops = schedule.all_ops()
@@ -90,12 +123,14 @@ def check_executable(schedule: Schedule) -> None:
             if indeg[nxt] == 0:
                 queue.append(nxt)
     if visited != len(key_of):
-        stuck = sorted(
-            ((k[0].value, k[1], k[2]) for k, n in indeg.items() if n > 0)
-        )[:5]
+        cycle = " -> ".join(
+            f"{k[0].value}(m{k[1]},s{k[2]})"
+            for k in residual_cycle(out, indeg)
+        )
         raise ValidationError(
             f"{schedule.name}: cyclic order/dataflow constraints; "
-            f"{len(key_of) - visited} ops unreachable, e.g. {stuck}"
+            f"{len(key_of) - visited} ops unreachable; "
+            f"witness cycle: {cycle}"
         )
 
 

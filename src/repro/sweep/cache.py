@@ -39,8 +39,11 @@ from ..analysis.throughput import ThroughputResult
 #: 4: lowered-plan era — measurements execute ``ExecutablePlan``\ s
 #: through the plan cache and the fingerprint set grew the hybrid
 #: harness + plan-cache sources, so pre-lowering entries are retired
-#: wholesale)
-CACHE_VERSION = 4
+#: wholesale;
+#: 5: schedule synthesis — the reorder compile path joins ``actions/``
+#: and the fingerprint set grows ``synthesis/`` (searched orderings
+#: feed simulated measurements), retiring pre-synthesis entries)
+CACHE_VERSION = 5
 
 #: package-relative sources whose behaviour determines a measurement;
 #: their content is hashed into every cache key so editing the cost
@@ -61,6 +64,7 @@ _MEASUREMENT_SOURCES = (
     "analysis/throughput.py",
     "analysis/hybrid.py",
     "analysis/plans.py",
+    "synthesis",
 )
 
 

@@ -1,0 +1,127 @@
+"""The candidate representation of the synthesis search.
+
+A :class:`ScheduleOrdering` is an immutable, hashable snapshot of the
+one thing the search varies: per device, the order of that device's
+**ordering entries** — compute keys ``(kind, microbatch, stage)`` plus
+asynchronous :class:`~repro.actions.ops.CollectiveOp`\\ s — along with
+an optional activation-recompute frontier.  Everything else (the work
+set, dataflow edges, tensor sizes, placement) is fixed by the base
+:class:`~repro.actions.program.Program` the ordering was extracted
+from; :func:`repro.actions.reorder.reorder_program` turns any ordering
+back into an executable program.
+
+Hashability matters: the searcher deduplicates candidates by the
+ordering itself, and the property tests pin that mutation + inverse
+round-trips to an ``==``-identical object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping, Sequence
+
+from ..actions.ops import CollectiveOp
+from ..actions.program import Program
+from ..actions.reorder import OrderEntry, ordering_entries
+from ..errors import SynthesisError
+from ..types import OpKind
+
+
+@dataclass(frozen=True)
+class ScheduleOrdering:
+    """Per-device ordering entries, as an immutable value object.
+
+    ``device_entries`` is a tuple of ``(device, entries)`` pairs sorted
+    by device; ``recompute_frontier`` selects the partial-recompute
+    resource model (stages ``>= frontier`` checkpoint; ``None`` keeps
+    the base program's resources untouched).
+    """
+
+    device_entries: tuple[tuple[int, tuple[OrderEntry, ...]], ...]
+    recompute_frontier: int | None = None
+
+    @classmethod
+    def from_program(cls, program: Program,
+                     recompute_frontier: int | None = None,
+                     ) -> "ScheduleOrdering":
+        """The program's own ordering (the search's identity start)."""
+        return cls.from_orders(ordering_entries(program),
+                               recompute_frontier)
+
+    @classmethod
+    def from_orders(cls, orders: Mapping[int, Sequence[OrderEntry]],
+                    recompute_frontier: int | None = None,
+                    ) -> "ScheduleOrdering":
+        return cls(
+            device_entries=tuple(
+                (device, tuple(orders[device]))
+                for device in sorted(orders)
+            ),
+            recompute_frontier=recompute_frontier,
+        )
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def devices(self) -> tuple[int, ...]:
+        return tuple(d for d, _ in self.device_entries)
+
+    def entries(self, device: int) -> tuple[OrderEntry, ...]:
+        for d, entries in self.device_entries:
+            if d == device:
+                return entries
+        raise SynthesisError(f"no device {device} in ordering")
+
+    def to_orders(self) -> dict[int, list[OrderEntry]]:
+        """The mutable per-device mapping ``reorder_program`` consumes."""
+        return {d: list(entries) for d, entries in self.device_entries}
+
+    def entry_count(self) -> int:
+        return sum(len(entries) for _, entries in self.device_entries)
+
+    # -- derivation ------------------------------------------------------
+
+    def replace_entries(self, device: int,
+                        entries: Iterable[OrderEntry],
+                        ) -> "ScheduleOrdering":
+        new = tuple(
+            (d, tuple(entries) if d == device else old)
+            for d, old in self.device_entries
+        )
+        if not any(d == device for d, _ in self.device_entries):
+            raise SynthesisError(f"no device {device} in ordering")
+        return replace(self, device_entries=new)
+
+    def with_frontier(self, frontier: int | None) -> "ScheduleOrdering":
+        return replace(self, recompute_frontier=frontier)
+
+    def describe(self) -> str:
+        sizes = {d: len(e) for d, e in self.device_entries}
+        frontier = (f", recompute>={self.recompute_frontier}"
+                    if self.recompute_frontier is not None else "")
+        return f"ordering[{sizes}{frontier}]"
+
+
+def gpipe_like_ordering(program: Program) -> ScheduleOrdering:
+    """A GPipe-disciplined start: all forwards, then all backwards.
+
+    Per device, forwards keep their relative order, then backwards keep
+    theirs, with collective entries trailing.  This is always legal
+    (forward dataflow only references forwards, backward only backwards
+    + the own forward, and relative orders within each kind are
+    preserved), always memory-hungry (every activation is live at the
+    turnaround — the GPipe penalty), and — on a wave placement — the
+    canonical *bad* start the searcher is asked to improve into
+    Hanayo-like interleaving (see ``docs/synthesis.md``).
+    """
+    orders: dict[int, list[OrderEntry]] = {}
+    for device, entries in ordering_entries(program).items():
+        forwards = [e for e in entries
+                    if not isinstance(e, CollectiveOp)
+                    and e[0] is OpKind.FORWARD]
+        backwards = [e for e in entries
+                     if not isinstance(e, CollectiveOp)
+                     and e[0] is OpKind.BACKWARD]
+        colls = [e for e in entries if isinstance(e, CollectiveOp)]
+        orders[device] = forwards + backwards + colls
+    return ScheduleOrdering.from_orders(orders)

@@ -1,0 +1,434 @@
+"""Hill-climb/beam search over legality-checked orderings.
+
+The loop is deliberately plain: keep a small beam of the best scored
+orderings, draw seeded mutations from beam members, discard illegal or
+already-seen candidates, score the survivors by *simulated step time*,
+and stop after ``patience`` rounds without improvement.  What makes it
+fast enough to matter is the evaluation path, not the loop:
+
+* a candidate never goes back through a schedule — it is recompiled
+  from the base program by :func:`repro.actions.reorder.reorder_program`
+  (action surgery, no dependency re-derivation);
+* the lowered candidate adopts the base plan's lazily-filled compute
+  cost column (:func:`repro.analysis.plans.candidate_plan`), so the
+  cost oracle is consulted once per distinct compute across the *whole
+  search*, not once per candidate;
+* legality (:func:`~repro.synthesis.legality.check_ordering`) is a few
+  linear passes and rejects deadlocks/OOMs before any event is
+  simulated.
+
+``benchmarks/bench_synthesis.py`` pins the resulting candidate
+throughput; the determinism contract (same seed ⇒ same best ordering,
+same provenance) is pinned by the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from random import Random
+from typing import Iterable, Mapping
+
+from ..actions.lowering import ExecutablePlan
+from ..actions.program import compile_program
+from ..actions.reorder import Reorderer
+from ..actions.resources import StageResources
+from ..analysis.plans import PlanEntry
+from ..config import RunConfig
+from ..errors import OutOfMemoryError, SynthesisError
+from ..runtime.costs import CostOracle
+from ..runtime.events import execute_plan
+from ..runtime.metrics import bubble_stats
+from ..schedules.base import Schedule
+from ..types import OpKind, ScheduleOp
+from .legality import LegalityChecker
+from .mutations import Mutation, default_operators, propose_mutation
+from .ordering import ScheduleOrdering, gpipe_like_ordering
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs of one synthesis run (all deterministic given ``seed``)."""
+
+    seed: int = 0
+    rounds: int = 60
+    samples_per_round: int = 32
+    beam_width: int = 4
+    patience: int = 12
+    max_shift: int = 4
+    #: operator kinds to draw from; None = every applicable family
+    operators: tuple[str, ...] | None = None
+    #: give candidates a movable recompute frontier (needs resources)
+    recompute: bool = False
+
+
+@dataclass(frozen=True)
+class ProvenanceStep:
+    """One applied mutation on the path from the start to a candidate."""
+
+    round: int
+    mutation: Mutation
+    makespan: float
+    bubble_ratio: float
+
+
+@dataclass(frozen=True)
+class ScoredOrdering:
+    """A legality-checked, simulated candidate."""
+
+    ordering: ScheduleOrdering
+    makespan: float
+    bubble_ratio: float
+    provenance: tuple[ProvenanceStep, ...] = ()
+
+    @property
+    def feasible(self) -> bool:
+        return math.isfinite(self.makespan)
+
+
+@dataclass
+class SearchResult:
+    """Everything one :func:`synthesize` call produced."""
+
+    name: str
+    config: SearchConfig
+    start: ScoredOrdering
+    best: ScoredOrdering
+    #: structural content hash of the best candidate's lowered plan —
+    #: the replay pin serialized schedules carry
+    plan_key: str
+    rounds_run: int
+    evaluated: int
+    illegal: int
+    infeasible: int
+
+    @property
+    def improved(self) -> bool:
+        return self.best.makespan < self.start.makespan
+
+    def describe(self) -> str:
+        return (f"synthesize[{self.name}]: start {self.start.makespan:.3f}"
+                f" -> best {self.best.makespan:.3f} "
+                f"(bubble {self.best.bubble_ratio:.4f}) after "
+                f"{self.rounds_run} rounds, {self.evaluated} evaluated, "
+                f"{self.illegal} illegal, {self.infeasible} infeasible, "
+                f"{len(self.best.provenance)} mutations")
+
+
+class _RecomputeCosts:
+    """Charge re-run forwards to backwards of checkpointed stages.
+
+    Stages at or past the frontier keep only their boundary tensor, so
+    their backward re-executes the stage forward first.  Everything
+    except :meth:`duration` delegates to the wrapped oracle — transfer
+    times, ring steps and rank mapping are recompute-blind.
+    """
+
+    def __init__(self, inner: CostOracle, frontier: int) -> None:
+        self._inner = inner
+        self._frontier = frontier
+
+    def duration(self, op: ScheduleOp) -> float:
+        d = self._inner.duration(op)
+        if op.kind is OpKind.BACKWARD and op.stage >= self._frontier:
+            d += self._inner.duration(replace(op, kind=OpKind.FORWARD))
+        return d
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+class SynthesisContext:
+    """Shared state of one search: base program, per-frontier plans.
+
+    Compiles the schedule exactly like :func:`repro.runtime.simulate`
+    (byte-accurate boundary tensors from the oracle), then memoizes,
+    per recompute frontier, the resource-adjusted program, the wrapped
+    oracle and a cost-bound base plan whose compute-cost column every
+    candidate of that frontier shares.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        costs: CostOracle,
+        run: RunConfig | None = None,
+        *,
+        resources: StageResources | None = None,
+        capacity_bytes: int | None = None,
+    ) -> None:
+        self.schedule = schedule
+        self.costs = costs
+        self.run = run or RunConfig()
+        self.capacity_bytes = capacity_bytes
+        if capacity_bytes is not None and resources is None:
+            raise SynthesisError(
+                f"{schedule.name}: a capacity cap needs resources"
+            )
+        self.base_program = compile_program(
+            schedule,
+            prefetch=self.run.prefetch,
+            batch_cross_comm=self.run.batch_cross_comm,
+            add_step=False,
+            boundary_bytes=lambda tag: costs.tensor_nbytes(tag.stage),
+            resources=resources,
+        )
+        self.checker = LegalityChecker(self.base_program, capacity_bytes)
+        self._entries: dict[int | None, PlanEntry] = {}
+        self._oracles: dict[int | None, CostOracle] = {}
+        self._reorderers: dict[int | None, Reorderer] = {}
+        self.evaluated = 0
+        self.illegal = 0
+        self.infeasible = 0
+
+    # -- per-frontier memos ----------------------------------------------
+
+    def oracle_for(self, frontier: int | None) -> CostOracle:
+        if frontier is None or frontier >= self.base_program.num_stages:
+            return self.costs
+        found = self._oracles.get(frontier)
+        if found is None:
+            found = self._oracles.setdefault(
+                frontier, _RecomputeCosts(self.costs, frontier))
+        return found
+
+    def entry_for(self, frontier: int | None) -> PlanEntry:
+        found = self._entries.get(frontier)
+        if found is not None:
+            return found
+        if frontier is None:
+            program = self.base_program
+        else:
+            program = self.base_program.with_resources(
+                self.base_program.resources.with_recompute_from(frontier))
+        plan = ExecutablePlan.lower(program, self.oracle_for(frontier))
+        entry = PlanEntry(schedule=self.schedule, program=program,
+                          plan=plan)
+        return self._entries.setdefault(frontier, entry)
+
+    def reorderer_for(self, frontier: int | None) -> Reorderer:
+        found = self._reorderers.get(frontier)
+        if found is None:
+            found = self._reorderers.setdefault(
+                frontier, Reorderer(self.entry_for(frontier).program))
+        return found
+
+    def _candidate_plan(self, ordering: ScheduleOrdering,
+                        check: bool) -> ExecutablePlan:
+        """Lower a candidate, adopting the base's cost column."""
+        frontier = ordering.recompute_frontier
+        entry = self.entry_for(frontier)
+        oracle = self.oracle_for(frontier)
+        program = self.reorderer_for(frontier).reorder(
+            ordering.to_orders(), check=check)
+        plan = ExecutablePlan.lower(program).retime(oracle)
+        if entry.plan.bound and entry.plan.costs is oracle:
+            # Same ops dict => identical compute table index-for-index;
+            # sharing the lazily-filled column means the oracle resolves
+            # each duration once per *search*, not once per candidate.
+            plan.comp_cost = entry.plan.comp_cost
+        return plan
+
+    # -- candidate evaluation --------------------------------------------
+
+    def evaluate(
+        self,
+        ordering: ScheduleOrdering,
+        provenance: tuple[ProvenanceStep, ...] = (),
+        structural: bool = True,
+    ) -> ScoredOrdering | None:
+        """Score a candidate, or ``None`` if illegal/infeasible.
+
+        ``structural=False`` skips the permutation check — safe for
+        mutation-produced orderings, whose operators only move entries.
+        """
+        self.evaluated += 1
+        violations = self.checker.check(ordering, structural=structural)
+        if violations:
+            self.illegal += 1
+            return None
+        plan = self._candidate_plan(ordering, check=structural)
+        try:
+            result = execute_plan(plan, self.run,
+                                  capacity_bytes=self.capacity_bytes)
+        except OutOfMemoryError:  # pragma: no cover - legality is exact
+            self.infeasible += 1
+            return None
+        timeline = result.timeline
+        return ScoredOrdering(
+            ordering=ordering,
+            makespan=timeline.makespan,
+            bubble_ratio=bubble_stats(timeline).bubble_ratio,
+            provenance=provenance,
+        )
+
+    def plan_for(self, ordering: ScheduleOrdering) -> ExecutablePlan:
+        """A bound plan of a (legal) ordering — for keys and replays."""
+        return self._candidate_plan(ordering, check=True)
+
+
+def _start_ordering(
+    ctx: SynthesisContext,
+    config: SearchConfig,
+    start: ScheduleOrdering | str | None,
+) -> ScheduleOrdering:
+    program = ctx.base_program
+    if isinstance(start, ScheduleOrdering):
+        ordering = start
+    elif start in (None, "program"):
+        ordering = ScheduleOrdering.from_program(program)
+    elif start == "gpipe":
+        ordering = gpipe_like_ordering(program)
+    else:
+        raise SynthesisError(
+            f"unknown start {start!r}; expected an ordering, "
+            "'program' or 'gpipe'"
+        )
+    if (config.recompute and ordering.recompute_frontier is None
+            and program.resources is not None):
+        # Movable frontier, starting at "recompute nothing".
+        ordering = ordering.with_frontier(program.num_stages)
+    return ordering
+
+
+def synthesize(
+    schedule: Schedule,
+    costs: CostOracle,
+    config: SearchConfig | None = None,
+    *,
+    run: RunConfig | None = None,
+    resources: StageResources | None = None,
+    capacity_bytes: int | None = None,
+    start: ScheduleOrdering | str | None = None,
+    name: str | None = None,
+) -> SearchResult:
+    """Search for a faster legal ordering of ``schedule`` under ``costs``.
+
+    ``start`` picks the initial point: the compiled program's own order
+    (default), ``"gpipe"`` for the all-forwards-then-all-backwards
+    discipline (the canonical bad start of the rediscovery demo), or an
+    explicit :class:`ScheduleOrdering`.  A start that breaks dependency
+    legality raises; a start that merely busts the capacity cap is
+    admitted at infinite score so the search can mutate *into*
+    feasibility.
+
+    Deterministic: one ``random.Random(config.seed)`` drives every
+    draw, candidates are deduplicated by value, and ties break by
+    discovery order — the same call yields the same best ordering,
+    provenance and plan key, which the serialization round-trip tests
+    rely on.
+    """
+    config = config or SearchConfig()
+    ctx = SynthesisContext(schedule, costs, run, resources=resources,
+                           capacity_bytes=capacity_bytes)
+    rng = Random(config.seed)
+    start_ordering = _start_ordering(ctx, config, start)
+
+    violations = ctx.checker.check(start_ordering)
+    hard = [v for v in violations if v.kind not in ("capacity",)]
+    if hard:
+        raise SynthesisError(
+            f"{schedule.name}: start ordering is illegal: "
+            + "; ".join(str(v) for v in hard[:3])
+        )
+    if violations:  # capacity-only: admit at infinite score
+        ctx.evaluated += 1
+        ctx.illegal += 1
+        scored_start = ScoredOrdering(ordering=start_ordering,
+                                      makespan=math.inf,
+                                      bubble_ratio=math.inf)
+    else:
+        scored_start = ctx.evaluate(start_ordering)
+        assert scored_start is not None
+
+    operators = (tuple(config.operators) if config.operators is not None
+                 else tuple(default_operators(ctx.base_program,
+                                              start_ordering)))
+    beam: list[ScoredOrdering] = [scored_start]
+    seen: set[ScheduleOrdering] = {start_ordering}
+    best = scored_start
+    stall = 0
+    rounds_run = 0
+    for round_no in range(config.rounds):
+        rounds_run = round_no + 1
+        fresh: list[ScoredOrdering] = []
+        for _ in range(config.samples_per_round):
+            parent = beam[rng.randrange(len(beam))]
+            try:
+                mutation, mutated = propose_mutation(
+                    rng, ctx.base_program, parent.ordering,
+                    operators=operators, max_shift=config.max_shift)
+            except SynthesisError:
+                continue
+            if mutated in seen:
+                continue
+            seen.add(mutated)
+            scored = ctx.evaluate(mutated, structural=False)
+            if scored is None:
+                continue
+            step = ProvenanceStep(round=round_no, mutation=mutation,
+                                  makespan=scored.makespan,
+                                  bubble_ratio=scored.bubble_ratio)
+            fresh.append(replace(scored,
+                                 provenance=parent.provenance + (step,)))
+        # Stable sort: ties keep discovery order, so the beam (and
+        # hence the whole trajectory) is a pure function of the seed.
+        beam = sorted(beam + fresh,
+                      key=lambda s: s.makespan)[:config.beam_width]
+        if beam[0].makespan < best.makespan:
+            best = beam[0]
+            stall = 0
+        else:
+            stall += 1
+        if stall >= config.patience:
+            break
+
+    plan_key = (ctx.plan_for(best.ordering).plan_key
+                if best.feasible else "")
+    return SearchResult(
+        name=name or schedule.name,
+        config=config,
+        start=scored_start,
+        best=best,
+        plan_key=plan_key,
+        rounds_run=rounds_run,
+        evaluated=ctx.evaluated,
+        illegal=ctx.illegal,
+        infeasible=ctx.infeasible,
+    )
+
+
+def synthesize_families(
+    schedules: Iterable[Schedule] | Mapping[str, Schedule],
+    costs,
+    config: SearchConfig | None = None,
+    *,
+    run: RunConfig | None = None,
+    resources: StageResources | None = None,
+    capacity_bytes: int | None = None,
+    start: ScheduleOrdering | str | None = None,
+) -> dict[str, SearchResult]:
+    """Run one search per schedule family, from each family's own start.
+
+    ``costs`` is a single :class:`CostOracle` shared by every family,
+    or — because families of one shape can differ in stage count, and
+    e.g. :class:`~repro.runtime.costs.AbstractCosts` is per-stage — a
+    callable ``schedule -> CostOracle`` building each family's oracle.
+
+    Because every family's compiled ordering is an admissible start and
+    the search never accepts a worse best, the overall winner matches
+    or beats the best hand-designed family by construction (on the
+    searched metric; see ``docs/synthesis.md`` for the demo configs).
+    """
+    if isinstance(schedules, Mapping):
+        named = list(schedules.items())
+    else:
+        named = [(s.name, s) for s in schedules]
+    return {
+        label: synthesize(schedule,
+                          costs(schedule) if callable(costs) else costs,
+                          config, run=run, resources=resources,
+                          capacity_bytes=capacity_bytes, start=start,
+                          name=label)
+        for label, schedule in named
+    }

@@ -133,3 +133,65 @@ class TestPassLocalProperties:
             else:
                 flat.append(act)
         assert sorted(map(str, flat)) == sorted(map(str, actions))
+
+
+class TestMutationProperties:
+    """Invertibility of the synthesis operators: op + inverse round-
+    trips the ordering (and therefore the recompiled plan key) exactly,
+    and payload encoding round-trips the operator itself."""
+
+    @SLOW
+    @given(scheme=schemes, p=st.integers(2, 4), b=st.integers(2, 6),
+           w=st.integers(1, 2), seed=st.integers(0, 2**16))
+    def test_mutation_inverse_round_trips(self, scheme, p, b, w, seed):
+        from random import Random
+
+        from repro.actions import compile_program
+        from repro.errors import SynthesisError
+        from repro.synthesis import (
+            ScheduleOrdering,
+            mutation_from_payload,
+            propose_mutation,
+        )
+
+        sched = build_schedule(valid_config(scheme, p, b, w))
+        program = compile_program(sched)
+        ordering = ScheduleOrdering.from_program(program)
+        rng = Random(seed)
+        for _ in range(4):
+            try:
+                mutation, mutated = propose_mutation(rng, program,
+                                                     ordering)
+            except SynthesisError:
+                return  # no applicable operator at this point
+            assert mutated != ordering
+            inverse = mutation.inverse()
+            assert inverse.apply(mutated) == ordering
+            assert inverse.inverse().apply(ordering) == mutated
+            # payload codec round-trips the operator by value
+            assert mutation_from_payload(mutation.payload()) == mutation
+            ordering = mutated
+
+    @SLOW
+    @given(scheme=schemes, p=st.integers(2, 4), b=st.integers(2, 4),
+           seed=st.integers(0, 2**16))
+    def test_inverse_restores_plan_key(self, scheme, p, b, seed):
+        from random import Random
+
+        from repro.actions import compile_program, reorder_program
+        from repro.actions.lowering import ExecutablePlan
+        from repro.errors import SynthesisError
+        from repro.synthesis import ScheduleOrdering, propose_mutation
+
+        sched = build_schedule(valid_config(scheme, p, b, 1))
+        program = compile_program(sched)
+        ordering = ScheduleOrdering.from_program(program)
+        base_key = ExecutablePlan.lower(program).plan_key
+        rng = Random(seed)
+        try:
+            mutation, mutated = propose_mutation(rng, program, ordering)
+        except SynthesisError:
+            return
+        restored = mutation.inverse().apply(mutated)
+        rebuilt = reorder_program(program, restored.to_orders())
+        assert ExecutablePlan.lower(rebuilt).plan_key == base_key

@@ -182,6 +182,12 @@ class TestCache:
             "analysis/throughput.py",
             "analysis/hybrid.py",
             "analysis/plans.py",
+            # the ordering-recompile path is execution semantics too:
+            # a synthesized schedule simulates through it
+            "actions/reorder.py",
+            "synthesis/legality.py",
+            "synthesis/search.py",
+            "synthesis/serialize.py",
         ):
             assert required in covered, required
 

@@ -1,0 +1,232 @@
+"""Differential fuzz: legality verdicts pinned against real replays.
+
+For every schedule family, a seeded random walk applies mutation
+operators (plus adversarial random transpositions) to the program's own
+ordering and, for each candidate:
+
+* **legal** (no violations) — the rebuilt program must replay to
+  completion on BOTH event cores with bit-identical results across all
+  eight ``EventResult`` fields (spans, recv_wait, comm, order,
+  mem_peak, mem_events, collectives, device_end);
+* **deadlock-classified** (``dep-inversion`` / ``cross-device-cycle``)
+  — both cores must raise :class:`SchedulingError`, never hang;
+* **capacity-classified** (no deadlock kinds) — the capacity-armed
+  replay must raise :class:`OutOfMemoryError`;
+* **semantic-only** (``collective-order``) — the replay still completes
+  (collectives never block), which is exactly why those kinds are
+  excluded from :data:`repro.synthesis.DEADLOCK_KINDS`.
+
+Zero tolerance in both directions: a legal verdict that deadlocks or a
+deadlock verdict that replays is a checker bug, and either fails here.
+
+``REPRO_SYNTH_FUZZ_N`` scales the per-family walk length (default 30 →
+270 candidates across the 9 families; CI runs 120 → 1080).
+"""
+
+from __future__ import annotations
+
+import os
+from random import Random
+
+import pytest
+
+from repro.actions import compile_program
+from repro.actions.resources import StageResources
+from repro.config import CostConfig, RunConfig
+from repro.errors import OutOfMemoryError, SchedulingError, SynthesisError
+from repro.runtime import (
+    AbstractCosts,
+    execute_program,
+    execute_program_reference,
+)
+from repro.schedules import build_schedule
+from repro.synthesis import (
+    DEADLOCK_KINDS,
+    LegalityChecker,
+    OOM_KINDS,
+    ScheduleOrdering,
+    propose_mutation,
+)
+from repro.actions.reorder import Reorderer
+from repro.actions.ops import CollectiveOp
+
+from conftest import ALL_SCHEMES, make_config, scheme_id
+
+N = int(os.environ.get("REPRO_SYNTH_FUZZ_N", "30"))
+COMM = CostConfig(t_f=1.0, t_b=2.0, t_c=0.25)
+
+
+def assert_bit_identical(new, ref):
+    assert new.timeline.spans == ref.timeline.spans
+    assert new.recv_wait == ref.recv_wait
+    assert new.comm == ref.comm
+    assert new.order == ref.order
+    assert new.mem_peak == ref.mem_peak
+    assert new.mem_events == ref.mem_events
+    assert new.collectives == ref.collectives
+    assert new.device_end == ref.device_end
+
+
+def random_transposition(rng: Random,
+                         ordering: ScheduleOrdering) -> ScheduleOrdering:
+    """Swap two random slots of a random device — usually illegal."""
+    device = ordering.devices[rng.randrange(len(ordering.devices))]
+    entries = list(ordering.entries(device))
+    i = rng.randrange(len(entries))
+    j = rng.randrange(len(entries))
+    entries[i], entries[j] = entries[j], entries[i]
+    return ordering.replace_entries(device, entries)
+
+
+def run_walk(program, oracle, seed, steps, run=None, capacity_bytes=None,
+             contention_every=5):
+    """The shared fuzz loop; returns (legal, deadlocks, ooms, semantic)."""
+    run = run or RunConfig()
+    rng = Random(seed)
+    checker = LegalityChecker(program, capacity_bytes)
+    reorderer = Reorderer(program)
+    ordering = ScheduleOrdering.from_program(program)
+    counts = {"legal": 0, "deadlock": 0, "oom": 0, "semantic": 0}
+    for step in range(steps):
+        if step % 3 == 2:
+            candidate = random_transposition(rng, ordering)
+        else:
+            try:
+                _, candidate = propose_mutation(rng, program, ordering,
+                                                max_shift=4)
+            except SynthesisError:
+                continue
+        violations = checker.check(candidate)
+        kinds = {v.kind for v in violations}
+        # mutations and transpositions only move entries: never
+        # structural
+        assert not kinds & {"missing-op", "extra-op", "device-set"}
+        rebuilt = reorderer.reorder(candidate.to_orders())
+        if kinds & DEADLOCK_KINDS:
+            counts["deadlock"] += 1
+            # a candidate can be deadlocked AND over capacity; replay
+            # order decides which error fires first
+            expected = (SchedulingError, OutOfMemoryError) \
+                if kinds & OOM_KINDS else SchedulingError
+            with pytest.raises(expected):
+                execute_program(rebuilt, oracle, run,
+                                capacity_bytes=capacity_bytes)
+            with pytest.raises(expected):
+                execute_program_reference(rebuilt, oracle, run,
+                                          capacity_bytes=capacity_bytes)
+            continue
+        if kinds & OOM_KINDS:
+            counts["oom"] += 1
+            with pytest.raises(OutOfMemoryError):
+                execute_program(rebuilt, oracle, run,
+                                capacity_bytes=capacity_bytes)
+            with pytest.raises(OutOfMemoryError):
+                execute_program_reference(rebuilt, oracle, run,
+                                          capacity_bytes=capacity_bytes)
+            continue
+        # legal or semantic-only: must replay to completion on both
+        # cores, bit-identically
+        if contention_every and counts["legal"] % contention_every == 0:
+            active = RunConfig(prefetch=run.prefetch,
+                               batch_cross_comm=run.batch_cross_comm,
+                               contention=True)
+        else:
+            active = run
+        new = execute_program(rebuilt, oracle, active,
+                              capacity_bytes=capacity_bytes)
+        ref = execute_program_reference(rebuilt, oracle, active,
+                                        capacity_bytes=capacity_bytes)
+        assert_bit_identical(new, ref)
+        if kinds:
+            assert kinds <= {"collective-order"}
+            counts["semantic"] += 1
+            continue  # keep walking from a fully legal point only
+        counts["legal"] += 1
+        ordering = candidate
+    return counts
+
+
+@pytest.mark.parametrize("prefetch", [True, False], ids=["pf", "nopf"])
+@pytest.mark.parametrize("param", ALL_SCHEMES, ids=scheme_id)
+class TestFuzzFamilies:
+    def test_verdicts_match_replay(self, param, prefetch):
+        scheme, kw = param
+        cfg = make_config(scheme, 4, 4, **kw)
+        sched = build_schedule(cfg, COMM)
+        oracle = AbstractCosts(COMM, 4, sched.num_stages)
+        program = compile_program(sched, prefetch=prefetch,
+                                  batch_cross_comm=prefetch)
+        run = RunConfig(prefetch=prefetch, batch_cross_comm=prefetch)
+        # split the budget across the two prefetch modes so the default
+        # tier-1 run stays fast while CI (N=120) covers 9 * 2 * 60;
+        # NB: not hash() — that is per-process randomized
+        seed = (sum(map(ord, scheme)) * 8
+                + kw.get("num_waves", 1) * 2 + int(prefetch))
+        counts = run_walk(program, oracle, seed=seed,
+                          steps=max(N // 2, 5), run=run)
+        assert counts["legal"] > 0
+        assert counts["deadlock"] > 0  # transpositions do break deps
+
+
+class TestFuzzWithCapacity:
+    """Resource-annotated walks: the capacity verdict is exact."""
+
+    @pytest.mark.parametrize("param",
+                             [("dapple", {}), ("async-1f1b", {}),
+                              ("hanayo", {"num_waves": 1})],
+                             ids=scheme_id)
+    def test_capacity_verdict_matches_oom(self, param):
+        from repro.types import OpKind
+
+        scheme, kw = param
+        # B > P so the 1F1B-like start's warmup peak sits well under
+        # the all-forwards-live maximum: the start is legal under the
+        # cap, while walk stretches that hoist extra forwards overflow
+        cfg = make_config(scheme, 4, 8, **kw)
+        sched = build_schedule(cfg, COMM)
+        oracle = AbstractCosts(COMM, 4, sched.num_stages)
+        stages = sched.num_stages
+        res = StageResources(weight_bytes=(0.0,) * stages,
+                             activation_bytes=(100.0,) * stages)
+        program = compile_program(
+            sched, boundary_bytes=lambda tag: 0.0, resources=res)
+        ordering = ScheduleOrdering.from_program(program)
+        start_peak = 0.0
+        for d in ordering.devices:
+            level = 0.0
+            for e in ordering.entries(d):
+                if isinstance(e, CollectiveOp):
+                    continue
+                level += 100.0 if e[0] is OpKind.FORWARD else -100.0
+                start_peak = max(start_peak, level)
+        # headroom below one activation: hoisting any extra forward
+        # past the start's warmup peak overflows
+        capacity = int(start_peak + 50)
+        counts = run_walk(program, oracle, seed=7, steps=N,
+                          capacity_bytes=capacity)
+        assert counts["legal"] > 0
+        assert counts["oom"] > 0
+
+
+class TestFuzzWithCollectives:
+    def test_semantic_violations_still_replay(self):
+        from repro.actions import with_gradient_sync
+
+        cfg = make_config("dapple", 4, 4)
+        sched = build_schedule(cfg, COMM)
+        oracle = AbstractCosts(COMM, 4, sched.num_stages)
+        program = compile_program(sched)
+        annotated = with_gradient_sync(
+            program, {d: (d, d + 4) for d in range(4)},
+            {s: 64.0 for s in range(4)})
+        counts = run_walk(annotated, oracle, seed=11, steps=N)
+        assert counts["legal"] > 0
+        # moving grad-sync buckets around produces semantic-only cases
+        assert counts["semantic"] > 0
+
+
+def test_total_budget_note():
+    """The default budget keeps the issue's floor: ≥200 mutated
+    schedules across the family matrix (9 families x 2 prefetch modes
+    x N/2 plus the capacity and collective walks)."""
+    assert 9 * 2 * max(N // 2, 5) + 3 * N + N >= 200
