@@ -15,7 +15,7 @@ from .collectives import (
     with_tp_sync,
 )
 from .interpreter import Executor, Interpreter
-from .lowering import ExecutablePlan
+from .lowering import ExecutablePlan, RetimeBuffers
 from .program import Dependency, Program, compile_program, compute_key
 from .reorder import OrderEntry, Reorderer, ordering_entries, reorder_program
 from .resources import StageResources
@@ -52,6 +52,7 @@ __all__ = [
     "OrderEntry",
     "Program",
     "Recv",
+    "RetimeBuffers",
     "Reorderer",
     "Send",
     "StageResources",

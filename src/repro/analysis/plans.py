@@ -29,8 +29,9 @@ capacities) produce plans with equal keys — the oracle for every claim
 in this paragraph.
 
 The cache is process-global (each sweep worker process grows its own)
-and bounded FIFO; ``repro sweep --profile`` surfaces the hit/miss
-counters.
+and bounded LRU — an over-capacity sweep keeps the structures it is
+actively re-timing and evicts the stalest ones; ``repro sweep
+--profile`` surfaces the hit/miss/eviction counters.
 """
 
 from __future__ import annotations
@@ -54,31 +55,64 @@ class PlanEntry:
     schedule: Schedule
     program: Program
     plan: ExecutablePlan
+    #: cost bindings of ``plan`` already produced, keyed by the cost
+    #: inputs (cluster, stage costs, ring width); a repeated-pass sweep
+    #: re-times each (structure, cluster) pair once and thereafter
+    #: reuses the bound plan — including its lazily filled duration
+    #: column.  Evicted with the entry.
+    bindings: dict = field(default_factory=dict)
+
+    def bound_plan(self, key: tuple, oracle_factory) -> ExecutablePlan:
+        """The plan re-timed under the oracle ``key`` stands for.
+
+        ``oracle_factory`` builds the cost oracle only on a binding
+        miss; the key must capture every input the oracle's answers
+        depend on (the measurement layer uses ``(cluster, stage costs,
+        ring P)`` — see :func:`repro.analysis.throughput.measure_throughput`).
+        Deterministic oracles make the reuse exact: re-timing the same
+        structure under an equal oracle yields identical columns.
+        """
+        plan = self.bindings.get(key)
+        if plan is None:
+            plan = self.plan.retime(oracle_factory())
+            self.bindings[key] = plan
+        return plan
 
 
 @dataclass
 class PlanCache:
-    """Bounded FIFO map from structural cell keys to plan entries."""
+    """Bounded LRU map from structural cell keys to plan entries.
+
+    Insertion order of the backing dict doubles as recency order: a hit
+    re-inserts its entry at the back, so eviction (popping the front)
+    always discards the least recently used structure.  ``maxsize`` is
+    per-instance configurable; ``evictions`` counts entries dropped to
+    enforce it.
+    """
 
     maxsize: int = MAX_PLANS
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
     _store: dict = field(default_factory=dict)
 
     def get(self, key: tuple) -> PlanEntry | None:
-        """The cached entry for ``key`` (counts a hit/miss)."""
-        found = self._store.get(key)
+        """The cached entry for ``key`` (counts a hit/miss, bumps LRU)."""
+        found = self._store.pop(key, None)
         if found is not None:
+            self._store[key] = found      # re-insert: most recently used
             self.hits += 1
         else:
             self.misses += 1
         return found
 
     def put(self, key: tuple, entry: PlanEntry) -> PlanEntry:
-        """Retain ``entry`` under ``key`` (FIFO-evicting past maxsize)."""
+        """Retain ``entry`` under ``key``, evicting the LRU past maxsize."""
+        self._store.pop(key, None)
         self._store[key] = entry
         while len(self._store) > self.maxsize:
             self._store.pop(next(iter(self._store)))
+            self.evictions += 1
         return entry
 
     def __len__(self) -> int:
@@ -88,10 +122,12 @@ class PlanCache:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def describe(self) -> str:
-        return (f"plan cache: {len(self._store)} plans, "
-                f"{self.hits} hits, {self.misses} misses")
+        return (f"plan cache: {len(self._store)}/{self.maxsize} plans, "
+                f"{self.hits} hits, {self.misses} misses, "
+                f"{self.evictions} evictions")
 
 
 def candidate_plan(

@@ -34,10 +34,15 @@ from ..config import PipelineConfig, RunConfig
 from ..errors import ConfigError, OutOfMemoryError
 from ..models.costs import StageCosts, stage_costs
 from ..models.spec import ModelSpec
+from ..runtime.batched import execute_many
 from ..runtime.costs import ConcreteCosts
 from ..runtime.memory import static_memory
 from ..runtime.metrics import bubble_stats
-from ..runtime.simulator import SimResult, simulate_program
+from ..runtime.simulator import (
+    SimResult,
+    sim_result_from_events,
+    simulate_program,
+)
 from ..schedules.base import Schedule
 from ..schedules.factory import build_schedule
 from .plans import PlanEntry, plan_cache
@@ -287,8 +292,9 @@ def throughput_from_simulation(
     d = cfg.data_parallel
     stats = bubble_stats(result.timeline)
     mem = result.memory
+    per_stage = stage_grad_bytes(costs)
     grad_bytes = max(
-        sum(stage_grad_bytes(costs)[stage]
+        sum(per_stage[stage]
             for stage, _r in schedule.placement.stages_on(dev))
         for dev in range(schedule.num_devices)
     )
@@ -315,6 +321,21 @@ def throughput_from_simulation(
         sync_model_s=sync_model,
         overlap_mode=overlap,
     )
+
+
+def flat_plan_key(scheme: str, p: int, num_microbatches: int,
+                  microbatch_size: int, d: int, sync_d: int, w: int,
+                  run: RunConfig, model: ModelSpec) -> tuple:
+    """The structural plan-cache key of one flat measurement.
+
+    Everything the compiled program + lowered plan depend on; the
+    cluster and the capacity knob are deliberately absent — devices,
+    links and enforcement are per-call concerns resolved at re-time /
+    execute, never compiled into the plan (see :mod:`.plans`).  Cells
+    with equal keys are the lanes the batched measurement path stacks.
+    """
+    return ("flat", scheme, p, num_microbatches, microbatch_size, d,
+            sync_d, w, run.prefetch, run.batch_cross_comm, model)
 
 
 def measure_throughput(
@@ -369,13 +390,9 @@ def measure_throughput(
         microbatch_size=microbatch_size,
     )
     sync_d = d if overlap == "simulated" else 1
-    # Everything the compiled program + lowered plan depend on; the
-    # cluster and the capacity knob are deliberately absent — devices,
-    # links and enforcement are per-call concerns resolved at re-time /
-    # execute, never compiled into the plan (see analysis.plans).
     plans = plan_cache()
-    key = ("flat", scheme, p, num_microbatches, microbatch_size, d,
-           sync_d, w, run.prefetch, run.batch_cross_comm, model)
+    key = flat_plan_key(scheme, p, num_microbatches, microbatch_size,
+                        d, sync_d, w, run, model)
     entry = plans.get(key)
     with profiling.phase("build"):
         schedule = entry.schedule if entry is not None else \
@@ -387,17 +404,18 @@ def measure_throughput(
                                    capacity)
         if pruned is not None:
             return pruned
-    oracle = ConcreteCosts(costs, _pipeline_comm(cluster, 0, p))
     with profiling.phase("lower"):
         if entry is None:
             program = compile_cluster_program(schedule, cluster, costs,
                                               d=sync_d, run=run)
             entry = plans.put(key, PlanEntry(
                 schedule, program, ExecutablePlan.lower(program)))
-        plan = entry.plan.retime(oracle)
+        plan = entry.bound_plan(
+            (cluster, costs, p),
+            lambda: ConcreteCosts(costs, _pipeline_comm(cluster, 0, p)))
     try:
         result = simulate_program(
-            entry.program, oracle, run, schedule=schedule, plan=plan,
+            entry.program, plan.costs, run, schedule=schedule, plan=plan,
             capacity_bytes=capacity if enforce_memory else None,
         )
     except OutOfMemoryError as exc:
@@ -410,3 +428,171 @@ def measure_throughput(
     return throughput_from_simulation(cfg, cluster, model, schedule,
                                       costs, result, ring_p=p,
                                       overlap=overlap)
+
+
+@dataclass(frozen=True)
+class ThroughputRequest:
+    """One cell of a batched measurement (flat harness, TP = 1).
+
+    Field-for-field the keyword surface of :func:`measure_throughput`;
+    a list of these is what :func:`measure_throughput_batch` groups by
+    structural plan key and executes in lockstep.
+    """
+
+    scheme: str
+    cluster: Cluster
+    model: ModelSpec
+    p: int
+    num_microbatches: int
+    d: int = 1
+    w: int = 1
+    microbatch_size: int = 1
+    enforce_memory: bool = True
+    overlap: str = "simulated"
+    capacity_bytes: int | None = None
+
+    def config(self) -> PipelineConfig:
+        return PipelineConfig(
+            scheme=self.scheme,
+            num_devices=self.p,
+            num_microbatches=self.num_microbatches,
+            num_waves=self.w,
+            data_parallel=self.d,
+            microbatch_size=self.microbatch_size,
+        )
+
+
+def measure_throughput_batch(
+    requests: list[ThroughputRequest],
+    run: RunConfig | None = None,
+) -> list[ThroughputResult | ConfigError]:
+    """Measure many cells at once, batching structure-sharing lanes.
+
+    Outcomes are returned in request order; a cell
+    :func:`measure_throughput` would reject raises nothing here — its
+    :class:`~repro.errors.ConfigError` is returned *as the outcome* so
+    one infeasible cell cannot abort the batch (the sweep engine turns
+    it into the same infeasible record a raise would have).
+
+    Cells sharing a :func:`flat_plan_key` share one schedule build, one
+    compile/lower (through the plan cache) and one lockstep execution
+    (:func:`repro.runtime.batched.execute_many`): per group the only
+    per-lane work is the cost re-time, the lazy duration fill and the
+    lean result fold.  Every produced :class:`ThroughputResult` is
+    exactly what a scalar :func:`measure_throughput` of that cell
+    returns — pinned by the sweep parity tests and the
+    ``fig09_batched`` benchmark's cross-check.
+    """
+    run = run or RunConfig()
+    outcomes: list[ThroughputResult | ConfigError | None] = \
+        [None] * len(requests)
+    groups: dict[tuple, list[int]] = {}
+    for i, req in enumerate(requests):
+        if req.overlap not in OVERLAP_MODES:
+            outcomes[i] = ConfigError(
+                f"unknown overlap mode {req.overlap!r}; expected one of "
+                f"{OVERLAP_MODES}"
+            )
+            continue
+        if req.p * req.d > req.cluster.num_devices:
+            outcomes[i] = ConfigError(
+                f"layout P={req.p} x D={req.d} exceeds cluster of "
+                f"{req.cluster.num_devices}"
+            )
+            continue
+        sync_d = req.d if req.overlap == "simulated" else 1
+        key = flat_plan_key(req.scheme, req.p, req.num_microbatches,
+                            req.microbatch_size, req.d, sync_d, req.w,
+                            run, req.model)
+        groups.setdefault(key, []).append(i)
+
+    plans = plan_cache()
+    for key, lane_ids in groups.items():
+        head = requests[lane_ids[0]]
+        sync_d = head.d if head.overlap == "simulated" else 1
+        label = (f"{head.scheme}/{head.model.name} P{head.p} D{head.d} "
+                 f"W{head.w} B{head.num_microbatches}"
+                 f"x{head.microbatch_size} [{len(lane_ids)} lanes]")
+        # every structural field config() reads is part of the group key
+        group_cfg = head.config()
+        with profiling.cell(label):
+            entry = plans.get(key)
+            with profiling.phase("build"):
+                try:
+                    schedule = entry.schedule if entry is not None else \
+                        build_schedule(group_cfg)
+                except ConfigError as exc:
+                    # structural rejection: the verdict (and message)
+                    # is identical for every lane of the group
+                    for i in lane_ids:
+                        outcomes[i] = exc
+                    continue
+                lane_costs = [
+                    stage_costs(requests[i].model, schedule.num_stages,
+                                requests[i].cluster.device,
+                                requests[i].microbatch_size)
+                    for i in lane_ids
+                ]
+            live: list[int] = []     # positions into lane_ids
+            for pos, i in enumerate(lane_ids):
+                req = requests[i]
+                if not req.enforce_memory:
+                    live.append(pos)
+                    continue
+                capacity = (req.cluster.device.memory_bytes
+                            if req.capacity_bytes is None
+                            else req.capacity_bytes)
+                pruned = static_oom_result(group_cfg, req.cluster,
+                                           req.model, schedule,
+                                           lane_costs[pos], capacity)
+                if pruned is not None:
+                    outcomes[i] = pruned
+                else:
+                    live.append(pos)
+            if not live:
+                continue
+            with profiling.phase("lower"):
+                if entry is None:
+                    pos = live[0]
+                    program = compile_cluster_program(
+                        schedule, requests[lane_ids[pos]].cluster,
+                        lane_costs[pos], d=sync_d, run=run)
+                    entry = plans.put(key, PlanEntry(
+                        schedule, program, ExecutablePlan.lower(program)))
+                items = []
+                for pos in live:
+                    req = requests[lane_ids[pos]]
+                    costs = lane_costs[pos]
+                    plan = entry.bound_plan(
+                        (req.cluster, costs, req.p),
+                        lambda req=req, costs=costs: ConcreteCosts(
+                            costs, _pipeline_comm(req.cluster, 0, req.p)))
+                    capacity = None
+                    if req.enforce_memory:
+                        capacity = (req.cluster.device.memory_bytes
+                                    if req.capacity_bytes is None
+                                    else req.capacity_bytes)
+                    items.append((plan, capacity))
+            with profiling.phase("simulate"):
+                batch = execute_many(items, run, detail="lean")
+            for out_pos, pos in enumerate(live):
+                i = lane_ids[pos]
+                req = requests[i]
+                err = batch.errors[out_pos]
+                if err is not None:
+                    outcomes[i] = ThroughputResult(
+                        config=group_cfg, cluster_name=req.cluster.name,
+                        model_name=req.model.name, seq_per_s=None,
+                        bubble_ratio=None,
+                        peak_mem_bytes=float(err.peak_bytes),
+                        iteration_s=None, oom_device=err.device,
+                    )
+                    continue
+                sim = sim_result_from_events(entry.program,
+                                             batch.results[out_pos],
+                                             schedule=schedule)
+                outcomes[i] = throughput_from_simulation(
+                    group_cfg, req.cluster, req.model, schedule,
+                    lane_costs[pos], sim, ring_p=req.p,
+                    overlap=req.overlap)
+    return outcomes

@@ -79,10 +79,12 @@ def cmd_trace(args) -> int:
                     contention=args.contention)
     if args.profile:
         # collect the build / lower / simulate split of this one cell
+        profiling.batching_stats().reset()
         with profiling.profiled() as prof:
             with profiling.cell(_trace_label(args)):
                 rc = _trace_body(args, run)
         print(prof.format())
+        print(profiling.batching_stats().describe())
         return rc
     return _trace_body(args, run)
 
@@ -295,6 +297,7 @@ def cmd_sweep(args) -> int:
             print("note: --profile evaluates inline (phase timings are "
                   "collected in-process); ignoring -j", file=sys.stderr)
             workers = 1
+        profiling.batching_stats().reset()
         with profiling.profiled() as prof:
             table = run_sweep(spec, cache=cache, workers=workers)
     else:
@@ -308,9 +311,11 @@ def cmd_sweep(args) -> int:
     print(table.format(title=spec.describe(), top=args.top))
     print(table.stats.describe())
     if prof is not None:
+        from . import profiling
         from .analysis import plan_cache
         print(prof.format())
         print(plan_cache().describe())
+        print(profiling.batching_stats().describe())
     if not table.rows:
         print("no feasible cells: every combination was rejected at "
               "expansion or measurement (check --batch divisibility, "

@@ -8,6 +8,7 @@ lowering, including the stage partitioning of the layer stack.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from ..errors import ConfigError
@@ -115,6 +116,7 @@ class StageCosts:
 BYTES_PER_PARAM = 16.0
 
 
+@functools.lru_cache(maxsize=1024)
 def stage_costs(
     spec: ModelSpec,
     num_stages: int,
@@ -124,6 +126,11 @@ def stage_costs(
     recompute: bool = False,
 ) -> StageCosts:
     """Lower a model spec to per-stage costs on a device.
+
+    Memoized: every argument is a frozen (hashable) value and the
+    result is immutable, so a sweep that crosses one model with many
+    layouts and clusters lowers each distinct
+    ``(model, stages, device, ...)`` tuple once.
 
     ``balanced=True`` (default) spreads total compute, weights and
     activations uniformly across stages — the idealisation the paper's

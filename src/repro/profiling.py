@@ -114,3 +114,68 @@ def phase(name: str):
     finally:
         acc = prof._open
         acc[name] = acc.get(name, 0.0) + (time.perf_counter() - t0)
+
+
+@dataclass
+class BatchingStats:
+    """Process-lifetime counters for the batched execution layer.
+
+    Unlike phase timing these are always on (plain counter bumps) so
+    ``--profile`` runs can report how much work took the lockstep path
+    versus the scalar fallback without instrumenting every call site.
+    """
+
+    batches: int = 0
+    lanes: int = 0
+    scalar_cells: int = 0
+    batched_s: float = 0.0
+    scalar_s: float = 0.0
+    #: lane-count -> number of batches executed at that occupancy
+    occupancy: dict[int, int] = field(default_factory=dict)
+
+    def record_batch(self, lanes: int, seconds: float) -> None:
+        self.batches += 1
+        self.lanes += lanes
+        self.batched_s += seconds
+        self.occupancy[lanes] = self.occupancy.get(lanes, 0) + 1
+
+    def record_scalar(self, cells: int, seconds: float) -> None:
+        self.scalar_cells += cells
+        self.scalar_s += seconds
+
+    def reset(self) -> None:
+        self.batches = 0
+        self.lanes = 0
+        self.scalar_cells = 0
+        self.batched_s = 0.0
+        self.scalar_s = 0.0
+        self.occupancy.clear()
+
+    def describe(self) -> str:
+        """One-line summary plus the lane-occupancy histogram."""
+        hist = " ".join(f"{n}x{count}" for n, count in
+                        sorted(self.occupancy.items()))
+        return (f"batched execution: {self.batches} batches, "
+                f"{self.lanes} lanes "
+                f"({self.batched_s * 1e3:.1f} ms batched, "
+                f"{self.scalar_cells} cells / "
+                f"{self.scalar_s * 1e3:.1f} ms scalar); "
+                f"occupancy [{hist}]")
+
+
+_batching = BatchingStats()
+
+
+def batching_stats() -> BatchingStats:
+    """The process-global batched-vs-scalar execution counters."""
+    return _batching
+
+
+def record_batch(lanes: int, seconds: float) -> None:
+    """Count one lockstep batch of ``lanes`` lanes taking ``seconds``."""
+    _batching.record_batch(lanes, seconds)
+
+
+def record_scalar(cells: int, seconds: float) -> None:
+    """Count ``cells`` cells executed through the scalar fallback."""
+    _batching.record_scalar(cells, seconds)

@@ -24,9 +24,16 @@ from .events import (
     execute_program,
 )
 from .events_ref import execute_program_reference
+from .batched import (
+    BatchResult,
+    PlanBatch,
+    execute_batch,
+    execute_many,
+)
 from .simulator import (
     SimResult,
     TrainingSimResult,
+    sim_result_from_events,
     simulate,
     simulate_ordering,
     simulate_program,
@@ -35,6 +42,7 @@ from .simulator import (
 
 __all__ = [
     "AbstractCosts",
+    "BatchResult",
     "BubbleStats",
     "CollectiveEvent",
     "CommEvent",
@@ -43,13 +51,17 @@ __all__ = [
     "EventResult",
     "MemoryEvent",
     "MemoryStats",
+    "PlanBatch",
     "SimResult",
     "TrainingSimResult",
     "bubble_stats",
     "compute_time_lower_bound",
+    "execute_batch",
+    "execute_many",
     "execute_plan",
     "execute_program",
     "execute_program_reference",
+    "sim_result_from_events",
     "kind_time",
     "memory_stats",
     "memory_stats_from_result",

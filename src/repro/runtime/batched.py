@@ -1,0 +1,728 @@
+"""Batched multi-plan execution: a vectorized lockstep stepper.
+
+One :class:`~repro.actions.lowering.ExecutablePlan` structure often
+meets many cost bindings — the cost-only axes of a sweep (clusters,
+capacities), placement candidates, what-if queries.  The scalar event
+core (:func:`~repro.runtime.events.execute_plan`) replays the same
+control flow for every one of them, paying full interpreter overhead
+per lane.  This module amortizes that overhead: a :class:`PlanBatch`
+stacks N cost-bound plans sharing one structural ``plan_key`` and
+:func:`execute_batch` advances **all lanes at once**, one NumPy array
+op per event instead of one Python step per event per lane.
+
+The enabling invariant
+----------------------
+
+Under the fast (uncontended) driver, the event core's *control flow* is
+purely structural: whether an action blocks depends only on posted/done
+flags, never on simulated times (see the driver comment in
+``events.py`` — "timing is independent of replay order").  Two plans
+with equal structure therefore execute the *identical* event sequence,
+whatever their cost columns say.  Execution splits cleanly in two:
+
+1. a **structural pass** — a cost-blind twin of the greedy driver that
+   runs once per structure (cached on the program object) and records
+   the global event sequence, the executed compute order, the posting
+   order, and the per-device memory trace (watermark levels are
+   structural too: resource deltas apply in program order);
+2. a **timed pass** — replays that event sequence with every per-lane
+   quantity held as an ``[N]`` float64 array: clocks, collective/NIC
+   frontiers, recv-wait accumulators, per-slot transfer windows.  Each
+   event becomes a handful of NumPy elementwise ops over the lane axis.
+
+A second invariant makes the compute step branch-free: a *local*
+dependency edge always names a producer on the consumer's own device
+(compiler invariant, asserted by the structural pass), and per-device
+clocks are monotone — so a retired local producer can never push the
+consumer's start past the device clock.  Local deps gate *blocking*
+only; vectorized compute timing needs just the device clock and the
+remote arrival frontier.
+
+Bit-identity
+------------
+
+Every lane's :class:`~repro.runtime.events.EventResult` is **bit
+identical** to a scalar :func:`execute_plan` of that lane alone (pinned
+by ``tests/test_batched.py`` across the full schedule-family × prefetch
+× capacity × collectives matrix).  The array formulas are chosen for
+exact float equality, not just closeness: ``maximum``/``minimum``
+return the argument bitwise for equal doubles, additive identities
+(``x + 0.0``) only ever apply to non-negative accumulators, and every
+sequential accumulation (in-flight bytes, collective round times)
+folds in the same order as the scalar core.
+
+Lane masking
+------------
+
+Lanes are masked *logically*, not arithmetically.  A lane that fails
+the static capacity pre-check resolves zero costs and reports its
+:class:`~repro.errors.OutOfMemoryError`; a lane whose capacity is
+violated mid-run aborts at the first violating allocation **in replay
+order** (exactly the scalar abort point — watermark levels are
+structural, so the scan is a single array comparison) and resolves
+lazy compute costs only up to and including the aborting compute.
+Dead lanes ride the remaining lockstep arithmetic inertly — their
+columns are never observed again — which keeps the hot loop free of
+per-event mask branches; live lanes never stall on them.
+
+Scalar fallbacks (``contention=True``, singleton groups, structures
+the invariants do not cover) go through :func:`execute_plan` unchanged;
+:func:`repro.profiling.batching_stats` records time spent on each path.
+
+Known divergence: a *deadlocking* structure raises
+:class:`~repro.errors.SchedulingError` for the whole batch (replayed
+through the scalar core for the identical message) even if some lane's
+capacity would have aborted with an OOM first under scalar execution.
+Deadlock is a structural property — no measurement-layer batch can
+contain one lane that deadlocks and another that does not.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import profiling
+from ..actions.lowering import (
+    OP_BATCH,
+    OP_COLL,
+    OP_COMPUTE,
+    OP_RECV,
+    OP_SEND,
+    ExecutablePlan,
+)
+from ..config import RunConfig
+from ..errors import OutOfMemoryError, SchedulingError
+from ..types import TimedOp, Timeline
+from .events import EventResult, _materialize, execute_plan
+
+#: lockstep event kinds (first element of each event tuple)
+_COMP = 0      # (_, cid, di, remote_slots)
+_SEND = 1      # (_, sid, di)
+_RECV = 2      # (_, rid, di)         blocking receive (prefetch off)
+_POST = 3      # (_, bid, di)         batched group posts its sends
+_WAIT = 4      # (_, bid, di)         batched group's blocking waits
+_COLL = 5      # (_, lid, di)
+
+_LOCKSTEP_ATTR = "_lockstep_schedule"
+
+
+@dataclass
+class LockstepSchedule:
+    """The structural replay of one plan, shared by every lane.
+
+    Everything here is cost-independent: the global event sequence the
+    greedy driver produces, the executed compute order, the posting
+    order, and the full memory trace (deltas *and* watermark levels —
+    they depend only on per-device program order).
+    """
+
+    events: list[tuple]
+    exec_seq: list[int]
+    #: computes grouped per device id (execution order within a device,
+    #: devices in first-appearance order) — per-device starts are
+    #: monotone under the greedy driver, so these lists are exactly the
+    #: sorted timeline spans and lanes can build their
+    #: :class:`~repro.types.Timeline` without the generic sort pass
+    dev_cids: list[tuple[int, list[int]]]
+    post_seq: list[int]
+    send_batched: bytearray
+    #: (di, cid, signed delta, level-after, is_alloc) in replay order
+    mem_trace: list[tuple]
+    #: per-allocation watermark levels / positions, for the OOM scan
+    alloc_levels: np.ndarray
+    alloc_pos: list[int]       # index into ``exec_seq`` of the alloc
+    alloc_di: list[int]
+    mem_peak: list[float]
+    deadlock: bool
+    #: False when a compiler invariant the vector step relies on does
+    #: not hold (never for compiled programs; defensive)
+    vectorizable: bool
+    #: last stacked cost matrices ``(key, Cm, Tm, Sm)`` — reused when
+    #: the same fully-resolved lane set executes again (see
+    #: :func:`_execute_lockstep`)
+    cost_rows: tuple | None = None
+
+
+def _build_lockstep(plan: ExecutablePlan) -> LockstepSchedule:
+    """Run the cost-blind greedy driver once, recording every event.
+
+    Mirrors the fast driver in :func:`execute_plan` statement for
+    statement, with times stripped out: blocking predicates are pure
+    flag reads, so the produced order is the order every cost binding
+    replays.
+    """
+    program = plan.program
+    devices = plan.devices
+    num_devices = len(devices)
+    codes, args = plan.codes, plan.args
+    dep_ptr, dep_remote, dep_idx = plan.dep_ptr, plan.dep_remote, plan.dep_idx
+    comp_device = plan.comp_device
+    comp_alloc, comp_free_b = plan.comp_alloc, plan.comp_free
+    send_slot = plan.send_slot
+    batch_send_ids, batch_recv_ids = plan.batch_send_ids, plan.batch_recv_ids
+    recv_slot = plan.recv_slot
+    prefetch = plan.prefetch
+    tracked = program.tracks_memory
+
+    cursors = [0] * num_devices
+    comp_done = bytearray(plan.n_computes)
+    posted = bytearray(plan.n_slots)
+    batch_posted = bytearray(len(batch_send_ids))
+    send_batched = bytearray(len(plan.send_src))
+    events: list[tuple] = []
+    exec_seq: list[int] = []
+    post_seq: list[int] = []
+    static = [program.static_bytes.get(d, 0.0) for d in devices]
+    mem_level = list(static)
+    mem_peak = list(static)
+    mem_trace: list[tuple] = []
+    alloc_levels: list[float] = []
+    alloc_pos: list[int] = []
+    alloc_di: list[int] = []
+    vectorizable = True
+
+    def step(di: int, i: int) -> bool:
+        nonlocal vectorizable
+        code = codes[di][i]
+        a = args[di][i]
+        if code == OP_COMPUTE:
+            rslots: list[int] = []
+            for e in range(dep_ptr[a], dep_ptr[a + 1]):
+                x = dep_idx[e]
+                if dep_remote[e]:
+                    if prefetch:
+                        if not posted[x]:
+                            return False
+                        rslots.append(x)
+                else:
+                    if not comp_done[x]:
+                        return False
+                    if comp_device[x] != di:
+                        # a cross-device local edge would reintroduce a
+                        # timing dependency on another device's compute
+                        # ends; no compiler emits one, but refuse to
+                        # vectorize rather than trust it
+                        vectorizable = False
+            comp_done[a] = 1
+            events.append((_COMP, a, di, tuple(rslots)))
+            exec_seq.append(a)
+            if tracked:
+                alloc = comp_alloc[a]
+                if alloc:
+                    level = mem_level[di] + alloc
+                    mem_level[di] = level
+                    mem_trace.append((di, a, alloc, level, True))
+                    alloc_levels.append(level)
+                    alloc_pos.append(len(exec_seq) - 1)
+                    alloc_di.append(di)
+                    if level > mem_peak[di]:
+                        mem_peak[di] = level
+                freed = comp_free_b[a]
+                if freed:
+                    level = mem_level[di] - freed
+                    mem_level[di] = level
+                    mem_trace.append((di, a, -freed, level, False))
+            return True
+        if code == OP_SEND:
+            posted[send_slot[a]] = 1
+            events.append((_SEND, a, di))
+            post_seq.append(a)
+            return True
+        if code == OP_COLL:
+            events.append((_COLL, a, di))
+            return True
+        if code == OP_RECV:
+            if prefetch:
+                return True
+            if not posted[recv_slot[a]]:
+                return False
+            events.append((_RECV, a, di))
+            return True
+        if code == OP_BATCH:
+            if not batch_posted[a]:
+                for sid in batch_send_ids[a]:
+                    posted[send_slot[sid]] = 1
+                    send_batched[sid] = 1
+                    post_seq.append(sid)
+                batch_posted[a] = 1
+                events.append((_POST, a, di))
+            if not prefetch:
+                recvs = batch_recv_ids[a]
+                for rid in recvs:
+                    if not posted[recv_slot[rid]]:
+                        return False
+                events.append((_WAIT, a, di))
+            return True
+        return True  # OP_NOOP
+
+    total = plan.n_actions
+    done = 0
+    deadlock = False
+    while done < total:
+        progressed = False
+        for di in range(num_devices):
+            n = len(codes[di])
+            i = cursors[di]
+            while i < n and step(di, i):
+                i += 1
+                done += 1
+                progressed = True
+            cursors[di] = i
+        if not progressed and done < total:
+            deadlock = True
+            break
+
+    if tracked and not deadlock:
+        for di in range(num_devices):
+            drift = mem_level[di] - static[di]
+            if abs(drift) > max(64.0, 1e-9 * mem_peak[di]):
+                raise AssertionError(
+                    f"activation leak on device {devices[di]}: "
+                    f"{drift} bytes"
+                )
+
+    comp_ops = plan.comp_ops
+    by_device: dict[int, list[int]] = {}
+    for cid in exec_seq:
+        by_device.setdefault(comp_ops[cid].device, []).append(cid)
+
+    return LockstepSchedule(
+        events=events,
+        exec_seq=exec_seq,
+        dev_cids=list(by_device.items()),
+        post_seq=post_seq,
+        send_batched=send_batched,
+        mem_trace=mem_trace,
+        alloc_levels=np.array(alloc_levels, dtype=np.float64),
+        alloc_pos=alloc_pos,
+        alloc_di=alloc_di,
+        mem_peak=mem_peak,
+        deadlock=deadlock,
+        vectorizable=vectorizable,
+    )
+
+
+def lockstep_schedule(plan: ExecutablePlan) -> LockstepSchedule:
+    """The (cached) structural replay for ``plan``'s program.
+
+    Cached on the program object: every retime of one cached structure
+    shares the same program, so a sweep pays the structural pass once
+    per structure, not once per batch execution.
+    """
+    ls = getattr(plan.program, _LOCKSTEP_ATTR, None)
+    if ls is None:
+        ls = _build_lockstep(plan)
+        try:
+            setattr(plan.program, _LOCKSTEP_ATTR, ls)
+        except AttributeError:  # pragma: no cover - Program is mutable
+            pass
+    return ls
+
+
+@dataclass
+class PlanBatch:
+    """N cost-bound plans stacked over one shared structure."""
+
+    plans: list[ExecutablePlan]
+    #: per-lane capacity in bytes; ``None`` disarms enforcement
+    capacities: list[int | None]
+
+    @classmethod
+    def from_plans(cls, plans, capacities=None) -> "PlanBatch":
+        """Stack ``plans`` (all cost-bound, structurally identical).
+
+        Plans sharing a program object are accepted directly (retimes
+        of one cached structure — the sweep path); otherwise equality
+        of the content-hashed ``plan_key`` is required, the same oracle
+        the plan cache uses to prove interchangeability.
+        """
+        plans = list(plans)
+        if not plans:
+            raise SchedulingError("PlanBatch: empty batch")
+        head = plans[0]
+        for plan in plans:
+            if not plan.bound:
+                raise SchedulingError(
+                    f"{plan.name}: plan is not cost-bound; lower with "
+                    "an oracle or call plan.retime(costs) first"
+                )
+            if plan.program is not head.program \
+                    and plan.plan_key != head.plan_key:
+                raise SchedulingError(
+                    f"PlanBatch: {plan.name} does not share "
+                    f"{head.name}'s structure (plan_key mismatch)"
+                )
+        if capacities is None:
+            capacities = [None] * len(plans)
+        capacities = list(capacities)
+        if len(capacities) != len(plans):
+            raise SchedulingError(
+                "PlanBatch: one capacity per lane required "
+                f"({len(capacities)} != {len(plans)})"
+            )
+        return cls(plans=plans, capacities=capacities)
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+
+@dataclass
+class BatchResult:
+    """Per-lane outcomes of one batch execution, in lane order.
+
+    ``results[k]`` is lane k's :class:`EventResult` and ``errors[k]``
+    is ``None`` — or the lane OOM-aborted and the fields swap roles,
+    mirroring the raise/return split of the scalar core.
+    """
+
+    results: list[EventResult | None]
+    errors: list[OutOfMemoryError | None]
+
+
+def execute_batch(
+    batch: PlanBatch,
+    run: RunConfig | None = None,
+    *,
+    detail: str = "full",
+) -> BatchResult:
+    """Advance every lane of ``batch`` in lockstep.
+
+    ``detail="lean"`` skips materializing the comm log, executed order
+    and memory events of each :class:`EventResult` — the measurement
+    layer only folds timelines, collectives, peaks and device ends, and
+    object construction is the dominant per-lane cost once the stepping
+    is shared.  Parity with the scalar core is pinned field-for-field
+    in full detail; lean results are an exact subset.
+    """
+    run = run or RunConfig()
+    plans, caps_raw = batch.plans, batch.capacities
+    head = plans[0]
+    program = head.program
+    tracked = program.tracks_memory
+    if any(c is not None for c in caps_raw) and not tracked:
+        raise SchedulingError(
+            f"{program.name}: capacity enforcement needs a "
+            "resource-annotated program (compile with resources=...)"
+        )
+
+    if run.contention:
+        # Wire arbitration couples timing back into control flow; the
+        # lockstep invariant does not hold. Scalar per lane.
+        return _scalar_batch(batch, run, detail=detail)
+    ls = lockstep_schedule(head)
+    if ls.deadlock:
+        # Replay one lane through the scalar core for the identical
+        # SchedulingError (heads + wait cycle); deadlock is structural,
+        # so capacity is irrelevant to the verdict (see module doc).
+        execute_plan(plans[0], run)
+        raise SchedulingError(  # pragma: no cover - scalar core raised
+            f"{program.name}: simulation deadlock"
+        )
+    if not ls.vectorizable:  # pragma: no cover - defensive
+        return _scalar_batch(batch, run, detail=detail)
+
+    t0 = time.perf_counter()
+    result = _execute_lockstep(ls, plans, caps_raw, detail=detail)
+    profiling.record_batch(len(plans), time.perf_counter() - t0)
+    return result
+
+
+def _scalar_batch(batch: PlanBatch, run: RunConfig, *,
+                  detail: str) -> BatchResult:
+    results: list = []
+    errors: list = []
+    for plan, cap in zip(batch.plans, batch.capacities):
+        res, err = _scalar_lane(plan, run, cap, detail=detail)
+        results.append(res)
+        errors.append(err)
+    return BatchResult(results=results, errors=errors)
+
+
+def _scalar_lane(plan, run, capacity_bytes, *, detail):
+    """One lane through the scalar core, OOM captured, stats recorded."""
+    t0 = time.perf_counter()
+    try:
+        res = execute_plan(plan, run, capacity_bytes=capacity_bytes,
+                           detail=detail)
+        return res, None
+    except OutOfMemoryError as exc:
+        return None, exc
+    finally:
+        profiling.record_scalar(1, time.perf_counter() - t0)
+
+
+def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
+                      detail: str) -> BatchResult:
+    head = plans[0]
+    program = head.program
+    devices = head.devices
+    num_devices = len(devices)
+    n_lanes = len(plans)
+    full = detail != "lean"
+    n_comp = head.n_computes
+    n_send = len(head.send_src)
+    exec_seq = ls.exec_seq
+    comp_ops = head.comp_ops
+    send_slot = head.send_slot
+    batch_send_ids, batch_recv_ids = head.batch_send_ids, head.batch_recv_ids
+    recv_slot = head.recv_slot
+    coll_active, coll_nsteps = head.coll_active, head.coll_nsteps
+    coll_count, coll_blocking = head.coll_count, head.coll_blocking
+
+    # -- per-lane gating: static pre-check, then the OOM scan ------------
+    errors: list[OutOfMemoryError | None] = [None] * n_lanes
+    #: computes (as exec_seq positions) each lane actually reaches;
+    #: the lazy-cost contract: an aborted lane resolves nothing beyond
+    #: its aborting compute, a statically-rejected lane resolves nothing
+    resolve_upto = [len(exec_seq)] * n_lanes
+    for k, cap in enumerate(caps_raw):
+        if cap is None:
+            continue
+        try:
+            program.check_static_memory(cap)
+        except OutOfMemoryError as exc:
+            errors[k] = exc
+            resolve_upto[k] = 0
+    if len(ls.alloc_levels):
+        for k, cap in enumerate(caps_raw):
+            if cap is None or errors[k] is not None:
+                continue
+            viol = ls.alloc_levels > cap
+            if viol.any():
+                j = int(np.argmax(viol))
+                errors[k] = OutOfMemoryError(
+                    devices[ls.alloc_di[j]],
+                    int(ls.alloc_levels[j]), cap)
+                resolve_upto[k] = ls.alloc_pos[j] + 1
+
+    # -- per-lane cost columns -> [n, N] matrices ------------------------
+    # A repeated pass over the same bound plans (the cached-binding
+    # sweep steady state) produces the same matrices: once every lane's
+    # column is fully resolved the stacked rows are cached on the
+    # schedule, keyed by the exact lane set and replay extents.
+    mat_key = (tuple(id(p) for p in plans), tuple(resolve_upto))
+    cached = ls.cost_rows
+    if (cached is not None and cached[0] == mat_key
+            and all(getattr(p, "_fully_resolved", False) for p in plans)):
+        _, Cm, Tm, Sm = cached
+    else:
+        cols = []
+        for k, plan in enumerate(plans):
+            comp_cost = plan.comp_cost
+            oracle = plan.costs
+            for a in exec_seq[:resolve_upto[k]]:
+                if comp_cost[a] is None:
+                    comp_cost[a] = oracle.duration(comp_ops[a])
+            if resolve_upto[k] == len(exec_seq):
+                plan._fully_resolved = True
+            cols.append([0.0 if c is None else c for c in comp_cost])
+        # row lists: plain list indexing per event beats ndarray row
+        # slicing at sweep-typical lane counts
+        Cm = list(np.ascontiguousarray(np.array(cols, dtype=np.float64).T))
+        Tm = list(np.ascontiguousarray(
+            np.array([p.send_time for p in plans], dtype=np.float64).T))
+        Sm = list(np.ascontiguousarray(
+            np.array([p.coll_step_time for p in plans], dtype=np.float64).T))
+        if all(getattr(p, "_fully_resolved", False) for p in plans):
+            ls.cost_rows = (mat_key, Cm, Tm, Sm)
+
+    # -- lane-axis state -------------------------------------------------
+    zero = np.zeros(n_lanes)
+    clock = [zero] * num_devices
+    coll_free = [zero] * num_devices
+    recv_wait = [zero] * num_devices
+    # every record below is reference-assigned (each slot posts once,
+    # each compute/send executes once, and the lane vectors are never
+    # mutated in place); the compute/send rows are stacked to matrices
+    # after the loop so per-lane materialization is a single strided
+    # column extraction
+    ts_l: list = [None] * head.n_slots
+    te_l: list = [None] * head.n_slots
+    cs_l: list = [None] * n_comp
+    ce_l: list = [None] * n_comp
+    sp_l: list = [None] * n_send if full else None
+    se_l: list = [None] * n_send if full else None
+    coll_log: list[tuple] = []
+
+    maximum, minimum = np.maximum, np.minimum
+    for ev in ls.events:
+        kind = ev[0]
+        if kind == _COMP:
+            _, a, di, rslots = ev
+            ready = clock[di]
+            if rslots:
+                r = rslots[0]
+                arrival = te_l[r]
+                in_flight = te_l[r] - ts_l[r]
+                for r in rslots[1:]:
+                    arrival = maximum(arrival, te_l[r])
+                    in_flight = in_flight + (te_l[r] - ts_l[r])
+                # scalar: only when arrival > ready, add
+                # min(stall, in_flight); adding an exact 0.0 elsewhere
+                # is bitwise neutral (the accumulator is never -0.0).
+                # max(min(stall, in_flight), 0) is that select in one
+                # ufunc: in_flight >= 0, so the min is the stall-capped
+                # wait when stall > 0 and clamps to +0.0 otherwise
+                recv_wait[di] = recv_wait[di] + maximum(
+                    minimum(arrival - ready, in_flight), 0.0)
+                start = maximum(ready, arrival)
+            else:
+                start = ready
+            end = start + Cm[a]
+            cs_l[a] = start
+            ce_l[a] = end
+            clock[di] = end
+        elif kind == _SEND:
+            _, sid, di = ev
+            post = clock[di]
+            end = post + Tm[sid]
+            slot = send_slot[sid]
+            ts_l[slot] = post
+            te_l[slot] = end
+            if full:
+                sp_l[sid] = post
+                se_l[sid] = end
+        elif kind == _POST:
+            _, bid, di = ev
+            post = clock[di]
+            for sid in batch_send_ids[bid]:
+                end = post + Tm[sid]
+                slot = send_slot[sid]
+                ts_l[slot] = post
+                te_l[slot] = end
+                if full:
+                    sp_l[sid] = post
+                    se_l[sid] = end
+        elif kind == _RECV:
+            _, rid, di = ev
+            slot = recv_slot[rid]
+            s = ts_l[slot]
+            duration = te_l[slot] - s
+            clock[di] = maximum(clock[di], s) + duration
+            recv_wait[di] = recv_wait[di] + duration
+        elif kind == _WAIT:
+            _, bid, di = ev
+            for rid in batch_recv_ids[bid]:
+                slot = recv_slot[rid]
+                s = ts_l[slot]
+                duration = te_l[slot] - s
+                clock[di] = maximum(clock[di], s) + duration
+                recv_wait[di] = recv_wait[di] + duration
+        else:  # _COLL
+            _, lid, di = ev
+            post = clock[di]
+            start = maximum(post, coll_free[di])
+            t = start
+            steps: tuple = ()
+            if coll_active[lid]:
+                step_time = Sm[lid]
+                step_log = []
+                round_time = None
+                for _ in range(coll_nsteps[lid]):
+                    e = t + step_time
+                    step_log.append((t, e))
+                    round_time = (step_time if round_time is None
+                                  else round_time + step_time)
+                    t = e
+                count = coll_count[lid]
+                if count != 1.0:
+                    t = t + (count - 1.0) * round_time
+                steps = tuple(step_log)
+            coll_free[di] = t
+            coll_log.append((lid, di, post, start, t, steps))
+            if coll_blocking[lid]:
+                clock[di] = t
+
+    # -- materialize live lanes ------------------------------------------
+    empty = np.empty((0, n_lanes))
+    CS = np.array(cs_l) if cs_l else empty
+    CE = np.array(ce_l) if ce_l else empty
+    if full:
+        SP = np.array(sp_l) if sp_l else empty
+        SE = np.array(se_l) if se_l else empty
+    mem_peak = ls.mem_peak if program.tracks_memory else None
+    results: list[EventResult | None] = [None] * n_lanes
+    tl_new = TimedOp.__new__
+    for k, plan in enumerate(plans):
+        if errors[k] is not None:
+            continue
+        cs = CS[:, k].tolist()
+        ce = CE[:, k].tolist()
+        spans: dict = {}
+        for dev, cids in ls.dev_cids:
+            row = []
+            push = row.append
+            for cid in cids:
+                # frozen-dataclass __init__ dominates lane fold time at
+                # this op count; filling the field dict directly keeps
+                # eq/hash semantics while skipping the guarded setattrs
+                top = tl_new(TimedOp)
+                d = top.__dict__
+                d["op"] = comp_ops[cid]
+                d["start"] = cs[cid]
+                d["end"] = ce[cid]
+                push(top)
+            spans[dev] = row
+        lane_tl = Timeline(spans=spans)
+        clock_k = [float(clock[di][k]) for di in range(num_devices)]
+        recv_k = [float(recv_wait[di][k]) for di in range(num_devices)]
+        coll_k = [
+            (lid, di, float(post[k]), float(start[k]), float(end[k]),
+             tuple((float(s[k]), float(e[k])) for s, e in steps))
+            for lid, di, post, start, end, steps in coll_log
+        ]
+        if full:
+            sp = SP[:, k].tolist()
+            se = SE[:, k].tolist()
+            mem_k = [(di, cs[cid] if is_alloc else ce[cid], delta, level,
+                      cid)
+                     for di, cid, delta, level, is_alloc in ls.mem_trace]
+        else:
+            sp = se = []
+            mem_k = []
+        results[k] = _materialize(
+            plan, exec_seq, cs, ce, ls.post_seq, sp, sp, se,
+            ls.send_batched, coll_k, mem_k, clock_k, recv_k, mem_peak,
+            detail=detail, timeline=lane_tl)
+    return BatchResult(results=results, errors=errors)
+
+
+def execute_many(
+    items,
+    run: RunConfig | None = None,
+    *,
+    detail: str = "full",
+) -> BatchResult:
+    """Execute ``(plan, capacity_bytes)`` pairs, batching where legal.
+
+    Groups lanes that share a program object (retimes of one cached
+    structure — how the measurement layer produces them), executes each
+    multi-lane group through :func:`execute_batch` and everything else
+    through the scalar core, and returns outcomes in item order.
+    """
+    run = run or RunConfig()
+    items = list(items)
+    groups: dict[int, list[int]] = {}
+    for idx, (plan, _) in enumerate(items):
+        groups.setdefault(id(plan.program), []).append(idx)
+
+    results: list[EventResult | None] = [None] * len(items)
+    errors: list[OutOfMemoryError | None] = [None] * len(items)
+    for lane_ids in groups.values():
+        if len(lane_ids) == 1 or run.contention:
+            for idx in lane_ids:
+                plan, cap = items[idx]
+                results[idx], errors[idx] = _scalar_lane(
+                    plan, run, cap, detail=detail)
+            continue
+        sub = execute_batch(
+            PlanBatch.from_plans([items[i][0] for i in lane_ids],
+                                 [items[i][1] for i in lane_ids]),
+            run, detail=detail)
+        for pos, idx in enumerate(lane_ids):
+            results[idx] = sub.results[pos]
+            errors[idx] = sub.errors[pos]
+    return BatchResult(results=results, errors=errors)

@@ -231,6 +231,8 @@ def execute_plan(
     plan: ExecutablePlan,
     run: RunConfig | None = None,
     capacity_bytes: int | None = None,
+    *,
+    detail: str = "full",
 ) -> EventResult:
     """Run the event loop over a lowered (and cost-bound) plan.
 
@@ -239,6 +241,12 @@ def execute_plan(
     belong together), so execution follows the plan's flag — a
     RunConfig compiled-elsewhere mismatch cannot silently mis-time the
     run.  RunConfig contributes the fidelity knobs (``contention``).
+
+    ``detail="lean"`` elides the comm log, executed order and memory
+    events from the result (see :func:`_materialize`); every field it
+    does produce is unchanged.  Scoring paths (sweeps, synthesis) that
+    fold only timelines, collectives and peaks use it to skip object
+    construction they would throw away.
     """
     run = run or RunConfig()
     if not plan.bound:
@@ -683,46 +691,60 @@ def execute_plan(
     return _materialize(plan, exec_seq, comp_start_a, comp_end_a,
                         post_seq, send_post_a, send_start_a, send_end_a,
                         send_batched, coll_log, mem_log, clock, recv_wait,
-                        mem_peak if tracked else None)
+                        mem_peak if tracked else None, detail=detail)
 
 
 def _materialize(plan, exec_seq, comp_start_a, comp_end_a, post_seq,
                  send_post_a, send_start_a, send_end_a, send_batched,
-                 coll_log, mem_log, clock, recv_wait, mem_peak):
+                 coll_log, mem_log, clock, recv_wait, mem_peak,
+                 detail="full", timeline=None):
     """Rebuild the rich event objects from the run's flat arrays.
 
     Object construction is deferred out of the hot loop: timeline
     spans, comm/collective/memory events and the executed order are
     assembled once, in the exact order (and with the exact sort keys)
     the reference core produces them, so results stay bit-identical.
+
+    ``detail="lean"`` leaves ``comm``, ``order`` and ``mem_events``
+    empty — the fields scoring paths never read — and is otherwise an
+    exact subset of the full result.
+
+    ``timeline`` accepts a prebuilt (already start-ordered) timeline:
+    the lockstep executor groups spans per device from the structural
+    replay, where per-device monotonicity makes the generic build +
+    sort below a no-op reordering, so it skips both.
     """
     program = plan.program
     devices = plan.devices
-    timeline = Timeline()
-    comp_ops = plan.comp_ops
-    for cid in exec_seq:
-        timeline.add(TimedOp(op=comp_ops[cid], start=comp_start_a[cid],
-                             end=comp_end_a[cid]))
-    for spans in timeline.spans.values():
-        spans.sort(key=lambda t: t.start)
+    if timeline is None:
+        timeline = Timeline()
+        comp_ops = plan.comp_ops
+        for cid in exec_seq:
+            timeline.add(TimedOp(op=comp_ops[cid], start=comp_start_a[cid],
+                                 end=comp_end_a[cid]))
+        for spans in timeline.spans.values():
+            spans.sort(key=lambda t: t.start)
 
-    tags, send_tag = plan.tags, plan.send_tag
-    send_src, send_dst = plan.send_src, plan.send_dst
-    send_nbytes = plan.send_nbytes
-    comm = [
-        CommEvent(
-            tag=tags[send_tag[sid]],
-            src=devices[send_src[sid]],
-            dst=devices[send_dst[sid]],
-            post=send_post_a[sid],
-            start=send_start_a[sid],
-            end=send_end_a[sid],
-            nbytes=send_nbytes[sid],
-            batched=bool(send_batched[sid]),
-        )
-        for sid in post_seq
-    ]
-    comm.sort(key=lambda e: (e.post, e.start))
+    full = detail != "lean"
+    comm: list[CommEvent] = []
+    if full:
+        tags, send_tag = plan.tags, plan.send_tag
+        send_src, send_dst = plan.send_src, plan.send_dst
+        send_nbytes = plan.send_nbytes
+        comm = [
+            CommEvent(
+                tag=tags[send_tag[sid]],
+                src=devices[send_src[sid]],
+                dst=devices[send_dst[sid]],
+                post=send_post_a[sid],
+                start=send_start_a[sid],
+                end=send_end_a[sid],
+                nbytes=send_nbytes[sid],
+                batched=bool(send_batched[sid]),
+            )
+            for sid in post_seq
+        ]
+        comm.sort(key=lambda e: (e.post, e.start))
 
     coll_ops = plan.coll_ops
     collectives = [
@@ -732,16 +754,18 @@ def _materialize(plan, exec_seq, comp_start_a, comp_end_a, post_seq,
     ]
     collectives.sort(key=lambda e: (e.post, e.start, e.device))
 
-    comp_keys = plan.comp_keys
-    mem_events = [
-        MemoryEvent(device=devices[di], time=time, delta=delta,
-                    level=level, key=comp_keys[cid])
-        for di, time, delta, level, cid in mem_log
-    ]
-
-    # A completed run replays every device list prefix-complete, so the
-    # executed order IS the program's lists.
-    order = {d: list(program.actions[d]) for d in devices}
+    mem_events: list[MemoryEvent] = []
+    order: dict[int, list[Action]] = {}
+    if full:
+        comp_keys = plan.comp_keys
+        mem_events = [
+            MemoryEvent(device=devices[di], time=time, delta=delta,
+                        level=level, key=comp_keys[cid])
+            for di, time, delta, level, cid in mem_log
+        ]
+        # A completed run replays every device list prefix-complete, so
+        # the executed order IS the program's lists.
+        order = {d: list(program.actions[d]) for d in devices}
     return EventResult(
         timeline=timeline,
         recv_wait={devices[di]: recv_wait[di]

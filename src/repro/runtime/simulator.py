@@ -234,6 +234,19 @@ def simulate_program(
         else:
             result = execute_program(program, costs, run,
                                      capacity_bytes=capacity_bytes)
+    return sim_result_from_events(program, result, schedule=schedule)
+
+
+def sim_result_from_events(program: Program, result,
+                           schedule: Schedule | None = None) -> SimResult:
+    """Fold one :class:`~repro.runtime.events.EventResult` into a
+    :class:`SimResult`.
+
+    The single folding path :func:`simulate_program` and the batched
+    measurement layer (:mod:`repro.runtime.batched` consumers) share,
+    so the per-lane results of a lockstep run assemble exactly like a
+    scalar simulation's.
+    """
     memory = None
     if program.tracks_memory:
         memory = MemoryStats(static_bytes=dict(program.static_bytes),

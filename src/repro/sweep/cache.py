@@ -43,7 +43,10 @@ from ..analysis.throughput import ThroughputResult
 #: 5: schedule synthesis — the reorder compile path joins ``actions/``
 #: and the fingerprint set grows ``synthesis/`` (searched orderings
 #: feed simulated measurements), retiring pre-synthesis entries)
-CACHE_VERSION = 5
+#: 6: batched execution — sweep cells sharing a structure are measured
+#: through the lockstep stepper (``runtime/batched.py``), a new code
+#: path between cached records and the event core
+CACHE_VERSION = 6
 
 #: package-relative sources whose behaviour determines a measurement;
 #: their content is hashed into every cache key so editing the cost

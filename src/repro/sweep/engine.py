@@ -5,14 +5,21 @@ and produces a :class:`~repro.sweep.table.SweepTable`:
 
 1. expand the spec to concrete grid cells,
 2. resolve each cell against the on-disk cache (when one is given),
-3. fan the misses out over a ``multiprocessing`` pool (``workers > 1``)
-   or evaluate them inline,
-4. persist fresh results — including *infeasible* verdicts, so re-runs
+3. group the misses into work units — cells that share every
+   *structural* axis (scheme, P, B, micro-batch size, D, W, model) and
+   differ only in cluster become one **batch unit** measured in
+   lockstep (:func:`repro.analysis.measure_throughput_batch` over the
+   batched runtime), while lone cells and TP > 1 cells stay scalar,
+4. fan the units out over a ``multiprocessing`` pool (``workers > 1``)
+   or evaluate them inline — process sharding keeps structural variety
+   across workers, lockstep batching amortizes within one,
+5. persist fresh results — including *infeasible* verdicts, so re-runs
    skip the whole grid — and assemble rows in spec order.
 
 Every actual measurement goes through this module's
-``measure_throughput`` global, so tests can wrap it with a call counter
-to prove that a warm cache performs **zero** simulator work.
+``measure_throughput`` / ``measure_throughput_batch`` globals, so tests
+can wrap them with call counters to prove that a warm cache performs
+**zero** simulator work (and that batch units really batch).
 
 Below the result cache sits a second, in-process reuse layer: the
 measurement harnesses share compiled programs + lowered
@@ -30,7 +37,11 @@ import multiprocessing
 
 from .. import profiling
 from ..analysis.hybrid import HybridLayout, measure_hybrid_throughput
-from ..analysis.throughput import measure_throughput
+from ..analysis.throughput import (
+    ThroughputRequest,
+    measure_throughput,
+    measure_throughput_batch,
+)
 from ..errors import ConfigError
 from .cache import (
     ResultCache,
@@ -85,6 +96,63 @@ def _evaluate(job: tuple) -> tuple[int, dict]:
     except ConfigError as exc:
         return index, infeasible_record(str(exc))
     return index, result_to_record(result)
+
+
+def _evaluate_unit(unit: list[tuple]) -> list[tuple[int, dict]]:
+    """Measure one work unit; must stay module-level (pool pickling).
+
+    A unit is either a single cell (scalar path, exactly the records
+    :func:`_evaluate` produces) or a list of structure-sharing TP = 1
+    cells measured as one lockstep batch.  Infeasible verdicts come
+    back as outcomes from the batch harness, so one rejected cell
+    never aborts its unit.
+    """
+    if len(unit) == 1:
+        return [_evaluate(unit[0])]
+    requests = []
+    for (_index, point, cluster, model, overlap, enforce_memory,
+         capacity_bytes) in unit:
+        requests.append(ThroughputRequest(
+            scheme=point.scheme, cluster=cluster, model=model,
+            p=point.p, num_microbatches=point.num_microbatches,
+            d=point.d, w=point.w,
+            microbatch_size=point.microbatch_size,
+            enforce_memory=enforce_memory, overlap=overlap,
+            capacity_bytes=capacity_bytes,
+        ))
+    outcomes = measure_throughput_batch(requests)
+    return [
+        (job[0], infeasible_record(str(out))
+         if isinstance(out, ConfigError) else result_to_record(out))
+        for job, out in zip(unit, outcomes)
+    ]
+
+
+def _batch_units(misses: list[tuple]) -> list[list[tuple]]:
+    """Group miss jobs into work units, preserving first-seen order.
+
+    TP = 1 cells agreeing on every structural axis (and so on the
+    batched harness's :func:`~repro.analysis.flat_plan_key`, which adds
+    only run-config constants) form one unit; hybrid (TP > 1) cells
+    stay scalar — their harness composes TP contraction with the flat
+    path and is not lockstep-batchable today.
+    """
+    units: list[list[tuple]] = []
+    by_structure: dict[tuple, list[tuple]] = {}
+    for job in misses:
+        point = job[1]
+        if point.tp > 1:
+            units.append([job])
+            continue
+        gkey = (point.scheme, point.p, point.num_microbatches,
+                point.microbatch_size, point.d, point.w,
+                point.model_index)
+        group = by_structure.get(gkey)
+        if group is None:
+            group = by_structure[gkey] = []
+            units.append(group)
+        group.append(job)
+    return units
 
 
 def point_key(spec: SweepSpec, point: SweepPoint,
@@ -151,14 +219,18 @@ def run_sweep(
             if cache is not None:
                 cache.put(keys[index], record)
 
+        units = _batch_units(misses)
         if workers is not None and workers > 1:
-            pool_size = min(workers, MAX_WORKERS, len(misses))
+            pool_size = min(workers, MAX_WORKERS, len(units))
             with multiprocessing.Pool(pool_size) as pool:
-                for index, record in pool.imap_unordered(_evaluate, misses):
-                    finish(index, record)
+                for unit_records in pool.imap_unordered(_evaluate_unit,
+                                                        units):
+                    for index, record in unit_records:
+                        finish(index, record)
         else:
-            for job in misses:
-                finish(*_evaluate(job))
+            for unit in units:
+                for index, record in _evaluate_unit(unit):
+                    finish(index, record)
         stats.computed += len(misses)
 
     rows: list[SweepRow] = []

@@ -29,7 +29,7 @@ from dataclasses import dataclass, replace
 from random import Random
 from typing import Iterable, Mapping
 
-from ..actions.lowering import ExecutablePlan
+from ..actions.lowering import ExecutablePlan, RetimeBuffers
 from ..actions.program import compile_program
 from ..actions.reorder import Reorderer
 from ..actions.resources import StageResources
@@ -177,6 +177,10 @@ class SynthesisContext:
         self._entries: dict[int | None, PlanEntry] = {}
         self._oracles: dict[int | None, CostOracle] = {}
         self._reorderers: dict[int | None, Reorderer] = {}
+        #: scoring scratch: every candidate re-times into these columns
+        #: (a scored plan is dropped before the next one binds, so the
+        #: aliasing contract of RetimeBuffers holds by construction)
+        self._score_buffers = RetimeBuffers()
         self.evaluated = 0
         self.illegal = 0
         self.infeasible = 0
@@ -214,14 +218,21 @@ class SynthesisContext:
         return found
 
     def _candidate_plan(self, ordering: ScheduleOrdering,
-                        check: bool) -> ExecutablePlan:
-        """Lower a candidate, adopting the base's cost column."""
+                        check: bool,
+                        scratch: bool = False) -> ExecutablePlan:
+        """Lower a candidate, adopting the base's cost column.
+
+        ``scratch=True`` re-times into the context's shared
+        :class:`RetimeBuffers` — the returned plan is only valid until
+        the next scratch candidate binds (the score-then-drop loop).
+        """
         frontier = ordering.recompute_frontier
         entry = self.entry_for(frontier)
         oracle = self.oracle_for(frontier)
         program = self.reorderer_for(frontier).reorder(
             ordering.to_orders(), check=check)
-        plan = ExecutablePlan.lower(program).retime(oracle)
+        plan = ExecutablePlan.lower(program).retime(
+            oracle, buffers=self._score_buffers if scratch else None)
         if entry.plan.bound and entry.plan.costs is oracle:
             # Same ops dict => identical compute table index-for-index;
             # sharing the lazily-filled column means the oracle resolves
@@ -247,10 +258,12 @@ class SynthesisContext:
         if violations:
             self.illegal += 1
             return None
-        plan = self._candidate_plan(ordering, check=structural)
+        plan = self._candidate_plan(ordering, check=structural,
+                                    scratch=True)
         try:
             result = execute_plan(plan, self.run,
-                                  capacity_bytes=self.capacity_bytes)
+                                  capacity_bytes=self.capacity_bytes,
+                                  detail="lean")
         except OutOfMemoryError:  # pragma: no cover - legality is exact
             self.infeasible += 1
             return None
@@ -261,6 +274,25 @@ class SynthesisContext:
             bubble_ratio=bubble_stats(timeline).bubble_ratio,
             provenance=provenance,
         )
+
+    def evaluate_round(
+        self,
+        orderings: list[ScheduleOrdering],
+    ) -> list[ScoredOrdering | None]:
+        """Score one round's deduplicated candidates back-to-back.
+
+        Candidates of a round are *reorderings* — each compiles to its
+        own program with its own ``plan_key`` — so unlike sweep cells
+        they cannot share a lockstep batch (the batched runtime groups
+        by structural key; see docs/performance.md).  What a round does
+        share is the scoring machinery: every candidate re-times into
+        the context's single :class:`RetimeBuffers` and executes at
+        ``detail="lean"``, so the per-candidate cost is one event pass
+        with no column allocations and no event-object fold beyond the
+        timeline.  Verdicts come back aligned with ``orderings``
+        (``None`` = illegal or infeasible).
+        """
+        return [self.evaluate(o, structural=False) for o in orderings]
 
     def plan_for(self, ordering: ScheduleOrdering) -> ExecutablePlan:
         """A bound plan of a (legal) ordering — for keys and replays."""
@@ -351,7 +383,10 @@ def synthesize(
     rounds_run = 0
     for round_no in range(config.rounds):
         rounds_run = round_no + 1
-        fresh: list[ScoredOrdering] = []
+        # propose-then-score: all of a round's rng draws happen before
+        # any simulation (the trajectory stays a pure function of the
+        # seed), and the scorer runs the survivors as one round batch
+        proposals: list[tuple] = []
         for _ in range(config.samples_per_round):
             parent = beam[rng.randrange(len(beam))]
             try:
@@ -363,7 +398,11 @@ def synthesize(
             if mutated in seen:
                 continue
             seen.add(mutated)
-            scored = ctx.evaluate(mutated, structural=False)
+            proposals.append((mutation, mutated, parent))
+        fresh: list[ScoredOrdering] = []
+        verdicts = ctx.evaluate_round([m for _, m, _ in proposals])
+        for (mutation, _mutated, parent), scored in zip(proposals,
+                                                        verdicts):
             if scored is None:
                 continue
             step = ProvenanceStep(round=round_no, mutation=mutation,

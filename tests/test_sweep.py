@@ -177,6 +177,9 @@ class TestCache:
             "runtime/memory.py",
             "runtime/simulator.py",
             "runtime/costs.py",
+            # the lockstep stepper measures real sweep cells — its
+            # arithmetic is execution semantics like the scalar core
+            "runtime/batched.py",
             "cluster/comm_model.py",
             # both measurement harnesses and the plan-sharing layer
             "analysis/throughput.py",
@@ -363,6 +366,82 @@ class TestPlanCache:
             assert len(cache) == 2
         finally:
             cache.maxsize = old_max
+
+    def test_lru_order_and_evictions_counter(self):
+        """A hit refreshes recency, so eviction discards the *least*
+        recently used structure — and the counter records it."""
+        from repro.analysis import plan_cache
+        cache = plan_cache()
+        old_max, cache.maxsize = cache.maxsize, 2
+        try:
+            self._measure(make_fc(4))                        # A: miss
+            self._measure(make_fc(4), num_microbatches=8,
+                          microbatch_size=1)                 # B: miss
+            self._measure(make_fc(4))                        # A: hit -> MRU
+            self._measure(make_fc(4), d=2, p=2)              # C evicts B
+            assert cache.evictions == 1
+            assert (cache.hits, cache.misses) == (1, 3)
+            self._measure(make_fc(4))                        # A survived
+            assert cache.hits == 2
+            assert "1 evictions" in cache.describe()
+        finally:
+            cache.maxsize = old_max
+
+
+class TestBatchUnits:
+    """Structure-sharing misses ride the lockstep batch path."""
+
+    def _misses(self, spec):
+        return [(i, p, spec.clusters[p.cluster_index],
+                 spec.models[p.model_index], spec.overlap,
+                 spec.enforce_memory, spec.capacity_bytes)
+                for i, p in enumerate(spec.expand())]
+
+    def test_cluster_lanes_form_one_unit(self):
+        spec = tiny_spec(clusters=(make_fc(4), make_tacc(4)))
+        units = engine_mod._batch_units(self._misses(spec))
+        assert units and all(len(u) == 2 for u in units)
+        # a unit's cells agree on every structural axis
+        for unit in units:
+            points = [job[1] for job in unit]
+            assert len({(pt.scheme, pt.p, pt.num_microbatches,
+                         pt.microbatch_size, pt.d, pt.w)
+                        for pt in points}) == 1
+        # and no cell is dropped or duplicated
+        assert sorted(job[0] for u in units for job in u) == \
+               list(range(len(spec.expand())))
+
+    def test_single_cluster_units_are_singletons(self):
+        units = engine_mod._batch_units(self._misses(tiny_spec()))
+        assert units and all(len(u) == 1 for u in units)
+
+    def test_batched_rows_match_scalar(self, monkeypatch):
+        """A two-cluster sweep (batch units) reproduces the per-cluster
+        scalar sweeps cell for cell, and really took the batch path."""
+        batch_calls = []
+        real = engine_mod.measure_throughput_batch
+
+        def counted(requests):
+            batch_calls.append(len(requests))
+            return real(requests)
+
+        monkeypatch.setattr(engine_mod, "measure_throughput_batch",
+                            counted)
+        spec = tiny_spec(clusters=(make_fc(4), make_tacc(4)))
+        batched = run_sweep(spec)
+        assert batch_calls and all(n == 2 for n in batch_calls)
+
+        reference = {}
+        for cl in spec.clusters:
+            for row in run_sweep(tiny_spec(clusters=(cl,))).rows:
+                key = (row.scheme, row.cluster, row.p, row.d, row.w,
+                       row.num_microbatches, row.microbatch_size)
+                reference[key] = row.to_dict()
+        assert len(batched.rows) == len(reference)
+        for row in batched.rows:
+            key = (row.scheme, row.cluster, row.p, row.d, row.w,
+                   row.num_microbatches, row.microbatch_size)
+            assert row.to_dict() == reference[key]
 
 
 class TestEngine:
