@@ -19,6 +19,18 @@ interpreter (:func:`repro.runtime.execute_program_reference`):
   of one lockstep batch (``runtime/batched.py``), vs the reference
   per-cell pipeline.  Every lane is asserted bit-identical to the
   scalar harness before timing starts.
+* ``fig11_hybrid_batched`` — a hybrid DP x TP grid (2 schemes x 4
+  (TP, PP, DP) layouts x 16 clusters) through
+  ``measure_hybrid_throughput_batch``, vs the pre-batching per-cell
+  hybrid pipeline (schedule build + TP sharding + program compilation
+  + ``with_tp_sync`` + reference core).  Lanes are parity-probed
+  against scalar ``measure_hybrid_throughput`` first.
+* ``contention_batched`` — ``contention=True`` lean lanes through the
+  vectorized lockstep stepper vs a scalar ``execute_plan`` loop over
+  the same plans.  The grid is restricted to shapes the stepper keeps
+  vectorized (wire grant order = structural order); the probe asserts
+  **zero** scalar fallbacks before timing, so a regression that
+  silently de-batches contention lanes fails loudly here.
 
 Usage::
 
@@ -63,6 +75,13 @@ SPEEDUP_FLOOR = 3.0
 #: the batched-execution acceptance floor: the lockstep fig09 pass must
 #: stay >= this much faster than the pre-refactor per-cell pipeline
 BATCHED_SPEEDUP_FLOOR = 20.0
+
+#: cross-structure batching floors: the hybrid DP x TP grid must stay
+#: >= 8x faster than the pre-batching per-cell hybrid pipeline, and the
+#: vectorized-contention grid >= 5x faster than the scalar contention
+#: core looped over the same lanes
+HYBRID_BATCHED_FLOOR = 8.0
+CONTENTION_BATCHED_FLOOR = 5.0
 
 #: timing repeats (best-of is reported, to shed scheduler noise)
 REPEATS = 3
@@ -232,6 +251,225 @@ def bench_fig09_batched() -> dict:
     }
 
 
+# -- scenario: hybrid DP x TP grid through the lockstep batch path ------------
+
+
+def _fig11_cells():
+    """A fig11-style hybrid grid: every (scheme, layout) crosses 16
+    clusters, so each structural group carries 16 cost-only lanes."""
+    from repro.cluster import make_fc, make_pc
+
+    clusters = [factory(size)
+                for size in (16, 24, 32, 48, 64, 96, 128, 192)
+                for factory in (make_fc, make_pc)]
+    cells = []
+    for scheme, w in (("dapple", 1), ("hanayo", 2)):
+        for tp, p, d in ((2, 4, 2), (4, 2, 2), (2, 2, 4), (4, 4, 1)):
+            for cluster in clusters:
+                cells.append((scheme, cluster, tp, p, d, 32, w))
+    return cells
+
+
+def _run_fig11_reference_pass(model, cells) -> None:
+    """The pre-batching per-cell hybrid pipeline, cell for cell.
+
+    Rebuilds the schedule, shards costs over the TP group, compiles the
+    cluster program (+ TP boundary collectives) and interprets it with
+    the reference core — what ``measure_hybrid_throughput`` amounted to
+    before the lowering + batching refactors."""
+    from repro.actions.collectives import with_tp_sync
+    from repro.analysis.hybrid import (
+        HybridLayout,
+        _SpacedCosts,
+        apply_tensor_parallel,
+        tp_rank_groups,
+    )
+    from repro.analysis.throughput import (
+        compile_cluster_program,
+        throughput_from_simulation,
+    )
+    from repro.config import PipelineConfig, RunConfig
+    from repro.models.costs import stage_costs
+    from repro.runtime import execute_program_reference
+    from repro.runtime.memory import MemoryStats
+    from repro.runtime.simulator import SimResult
+    from repro.schedules import build_schedule
+
+    run = RunConfig()
+    for scheme, cluster, tp, p, d, b, w in cells:
+        layout = HybridLayout(tp=tp, p=p, d=d)
+        cfg = PipelineConfig(scheme=scheme, num_devices=p,
+                             num_microbatches=b, num_waves=w,
+                             data_parallel=d, microbatch_size=1)
+        schedule = build_schedule(cfg)
+        base = stage_costs(model, schedule.num_stages, cluster.device, 1)
+        layers_per_stage = (model.num_layers + 2) / schedule.num_stages
+        costs = apply_tensor_parallel(base, cluster, model, tp, 1,
+                                      layers_per_stage,
+                                      include_comm=False)
+        program = compile_cluster_program(schedule, cluster, costs, d=d,
+                                          run=run, spacing=tp)
+        program = with_tp_sync(program, tp_rank_groups(cluster, layout),
+                               nbytes=model.boundary_bytes(1),
+                               count_per_pass=2.0 * layers_per_stage)
+        oracle = _SpacedCosts(costs, cluster, tp)
+        ev = execute_program_reference(program, oracle, run)
+        result = SimResult(
+            schedule=schedule, timeline=ev.timeline,
+            recv_busy=ev.recv_wait, program=program, comm=ev.comm,
+            action_order=ev.order,
+            memory=MemoryStats(static_bytes=dict(program.static_bytes),
+                               peak_bytes=ev.mem_peak),
+            mem_events=ev.mem_events, collectives=ev.collectives,
+            device_end=ev.device_end,
+        )
+        throughput_from_simulation(cfg, cluster, model, schedule, costs,
+                                   result, ring_p=p * tp,
+                                   overlap="simulated")
+
+
+def bench_fig11_hybrid_batched() -> dict:
+    from repro.analysis import measure_hybrid_throughput, plan_cache
+    from repro.analysis.hybrid import (
+        HybridLayout,
+        HybridRequest,
+        measure_hybrid_throughput_batch,
+    )
+    from repro.models import bert_64
+
+    model = bert_64()
+    cells = _fig11_cells()
+    requests = [
+        HybridRequest(scheme=scheme, cluster=cluster, model=model,
+                      layout=HybridLayout(tp=tp, p=p, d=d),
+                      num_microbatches=b, w=w, microbatch_size=1)
+        for scheme, cluster, tp, p, d, b, w in cells
+    ]
+    plan_cache().clear()
+    outcomes = measure_hybrid_throughput_batch(requests)  # warm + probe
+    # every lane must be bit-identical to the scalar hybrid harness
+    for cell, out in zip(cells, outcomes):
+        scheme, cluster, tp, p, d, b, w = cell
+        scalar = measure_hybrid_throughput(
+            scheme, cluster, model, HybridLayout(tp=tp, p=p, d=d), b,
+            w=w, microbatch_size=1)
+        if (out.seq_per_s, out.peak_mem_bytes, out.sync_s) != \
+                (scalar.seq_per_s, scalar.peak_mem_bytes, scalar.sync_s):
+            raise AssertionError(f"batched != scalar for {cell}")
+    # 16 clusters per (scheme, layout) group: one pass executes each
+    # cached hybrid structure once per cluster (cluster *objects* —
+    # preset names collide across sizes)
+    lanes_per_group = len({id(c) for _s, c, *_rest in cells})
+    actions = lanes_per_group * sum(
+        e.plan.n_actions for e in plan_cache()._store.values())
+    wall = _best_of(lambda: measure_hybrid_throughput_batch(requests))
+    ref_wall = _best_of(lambda: _run_fig11_reference_pass(model, cells))
+    return {
+        "cells": len(cells),
+        "actions_per_pass": actions,
+        "wall_s": round(wall, 6),
+        "events_per_s": round(actions / wall, 1),
+        "reference_wall_s": round(ref_wall, 6),
+        "speedup_vs_reference": round(ref_wall / wall, 3),
+    }
+
+
+# -- scenario: contention=True lanes through the vectorized stepper -----------
+
+
+def _contention_plans():
+    """Cluster-concrete lanes the vectorized contention path keeps in
+    the batch (wire grant order = structural order for these shapes;
+    e.g. hanayo-style interleavings on shared-link topologies diverge
+    and are excluded — they take the per-lane scalar replay by design).
+    Eight microbatch sizes per cluster make the cost-only lane axis."""
+    from repro.actions import ExecutablePlan
+    from repro.analysis.throughput import (
+        _pipeline_comm,
+        compile_cluster_program,
+    )
+    from repro.cluster import make_fc, make_pc, make_tacc, make_tc
+    from repro.config import PipelineConfig
+    from repro.models import bert_64
+    from repro.models.costs import stage_costs
+    from repro.runtime import ConcreteCosts
+    from repro.schedules import build_schedule
+
+    grid = [
+        ("gpipe", 8, 1, 1,
+         [make_fc(8), make_fc(16), make_pc(8), make_pc(16),
+          make_tacc(8), make_tacc(16), make_tc(8), make_tc(16)]),
+        ("dapple", 8, 1, 1,
+         [make_fc(8), make_fc(16), make_tc(8), make_tc(16)]),
+        ("dapple", 4, 1, 2,       # DP rings under wire arbitration
+         [make_fc(8), make_fc(16)]),
+    ]
+    model = bert_64()
+    plans = []
+    for scheme, p, w, d, clusters in grid:
+        cfg = PipelineConfig(scheme=scheme, num_devices=p,
+                             num_microbatches=16, num_waves=w,
+                             data_parallel=d)
+        sched = build_schedule(cfg)
+        for cluster in clusters:
+            for mb in range(1, 9):
+                costs = stage_costs(model, sched.num_stages,
+                                    cluster.device, mb)
+                program = compile_cluster_program(sched, cluster, costs,
+                                                  d=d)
+                oracle = ConcreteCosts(costs,
+                                       _pipeline_comm(cluster, 0, p))
+                plans.append(ExecutablePlan.lower(program).retime(oracle))
+    return plans
+
+
+def bench_contention_batched() -> dict:
+    from repro import profiling
+    from repro.config import RunConfig
+    from repro.runtime import execute_plan
+    from repro.runtime.batched import execute_many
+
+    plans = _contention_plans()
+    run = RunConfig(contention=True)
+    items = [(plan, None) for plan in plans]
+    stats = profiling.batching_stats()
+    batches, scalar_cells = stats.batches, stats.scalar_cells
+    batch = execute_many(items, run, detail="lean")  # warm + probe
+    # the grid must stay fully vectorized: a lane silently de-batching
+    # (wire-order divergence, congruence regression) re-runs the scalar
+    # core and would turn this into a benchmark of the wrong code
+    if stats.scalar_cells != scalar_cells or stats.batches == batches:
+        raise AssertionError(
+            f"contention lanes fell back to scalar: "
+            f"{stats.fallback_reasons}")
+    for plan, got, err in zip(plans, batch.results, batch.errors):
+        if err is not None:
+            raise AssertionError(f"unexpected OOM in {plan.name}")
+        want = execute_plan(plan, run, detail="lean")
+        if (got.timeline.spans != want.timeline.spans
+                or got.device_end != want.device_end
+                or got.recv_wait != want.recv_wait
+                or got.collectives != want.collectives):
+            raise AssertionError(f"batched != scalar for {plan.name}")
+    actions = sum(plan.n_actions for plan in plans)
+
+    def scalar_pass():
+        for plan in plans:
+            execute_plan(plan, run, detail="lean")
+
+    wall = _best_of(lambda: execute_many(items, run, detail="lean"),
+                    repeats=3 * REPEATS)
+    ref_wall = _best_of(scalar_pass)
+    return {
+        "cells": len(plans),
+        "actions_per_pass": actions,
+        "wall_s": round(wall, 6),
+        "events_per_s": round(actions / wall, 1),
+        "reference_wall_s": round(ref_wall, 6),
+        "speedup_vs_reference": round(ref_wall / wall, 3),
+    }
+
+
 # -- scenario: 8 families x prefetch, raw event core -------------------------
 
 
@@ -295,12 +533,16 @@ SCENARIOS = {
     "fig09_sweep": bench_fig09,
     "families_prefetch": bench_families,
     "fig09_batched": bench_fig09_batched,
+    "fig11_hybrid_batched": bench_fig11_hybrid_batched,
+    "contention_batched": bench_contention_batched,
 }
 
 
 def run_all() -> dict:
-    # version 2: fig09_batched joins the baseline (lockstep batch path)
-    return {"version": 2,
+    # version 3: fig11_hybrid_batched + contention_batched join the
+    # baseline (cross-structure batching: hybrid TP > 1 lanes and
+    # vectorized contention)
+    return {"version": 3,
             "scenarios": {name: fn() for name, fn in SCENARIOS.items()}}
 
 
@@ -360,6 +602,20 @@ def check(payload: dict, baseline: dict) -> tuple[list[str], list[str]]:
             f"fig09_batched: speedup {batched:.2f}x below the required "
             f"{BATCHED_SPEEDUP_FLOOR:.0f}x floor"
         )
+    hybrid = payload["scenarios"]["fig11_hybrid_batched"][
+        "speedup_vs_reference"]
+    if hybrid < HYBRID_BATCHED_FLOOR:
+        problems.append(
+            f"fig11_hybrid_batched: speedup {hybrid:.2f}x below the "
+            f"required {HYBRID_BATCHED_FLOOR:.0f}x floor"
+        )
+    contention = payload["scenarios"]["contention_batched"][
+        "speedup_vs_reference"]
+    if contention < CONTENTION_BATCHED_FLOOR:
+        problems.append(
+            f"contention_batched: speedup {contention:.2f}x below the "
+            f"required {CONTENTION_BATCHED_FLOOR:.0f}x floor"
+        )
     return problems, warnings
 
 
@@ -395,7 +651,10 @@ def main(argv=None) -> int:
         if problems:
             return 1
         print(f"speedup within {REGRESSION_TOLERANCE:.0%} of the "
-              f"committed baseline; fig09 floor {SPEEDUP_FLOOR:.0f}x held")
+              f"committed baseline; floors held (fig09 "
+              f"{SPEEDUP_FLOOR:.0f}x, batched {BATCHED_SPEEDUP_FLOOR:.0f}x, "
+              f"hybrid {HYBRID_BATCHED_FLOOR:.0f}x, contention "
+              f"{CONTENTION_BATCHED_FLOOR:.0f}x)")
     return 0
 
 

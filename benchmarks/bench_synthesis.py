@@ -23,7 +23,11 @@ candidates, discovery-order tie breaks), so the best makespan is
 machine-portable and gated *exactly*: ``--check`` fails when a scenario's
 best makespan regresses above the committed value, or when
 ``beat_families`` stops beating the best compiled family.  Throughput
-(candidates evaluated per second) tracks host hardware and only warns.
+(candidates evaluated per second) **fails** too when it drops below
+half the committed baseline: round scoring runs congruent candidate
+sets through the lockstep batch stepper, and a regression that silently
+de-batches the rounds would halve throughput without touching any
+makespan.  The wide tolerance absorbs host-hardware drift.
 """
 
 from __future__ import annotations
@@ -41,7 +45,8 @@ if __package__ is None or __package__ == "":  # direct script invocation
 
 BASELINE_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_synth.json"
 
-#: --check warns when candidates/s fall below (1 - this) x baseline
+#: --check *fails* when candidates/s fall below (1 - this) x baseline;
+#: generous so only a de-batched scoring path trips it, not hardware
 THROUGHPUT_TOLERANCE = 0.50
 
 #: tie-tolerance when comparing the deterministic makespans
@@ -165,8 +170,10 @@ def check(payload: dict, baseline: dict) -> tuple[list[str], list[str]]:
     Search quality gates CI: the deterministic best makespan must not
     regress above the committed value, the rediscovery demo must stay
     at-or-under the compiled hanayo-w2 schedule, and beat_families must
-    keep beating every compiled family.  Candidates/s only warns — it
-    tracks the baseline host's hardware, not the search.
+    keep beating every compiled family.  Candidates/s gates too — round
+    scoring goes through the batched stepper, so falling under half the
+    committed throughput means the rounds de-batched, not that the host
+    got slower.
     """
     problems: list[str] = []
     warnings: list[str] = []
@@ -188,10 +195,11 @@ def check(payload: dict, baseline: dict) -> tuple[list[str], list[str]]:
             )
         floor = 1.0 - THROUGHPUT_TOLERANCE
         if s["candidates_per_s"] < floor * base["candidates_per_s"]:
-            warnings.append(
+            problems.append(
                 f"{name}: {s['candidates_per_s']:,.0f} candidates/s is "
-                f"below {floor:.0%} of the baseline host's "
-                f"{base['candidates_per_s']:,.0f} (machine-dependent)"
+                f"below {floor:.0%} of the committed "
+                f"{base['candidates_per_s']:,.0f} — batched round "
+                "scoring has likely de-batched"
             )
     redis = payload["scenarios"]["rediscovery_hanayo"]
     if redis["best_makespan"] > redis["compiled_makespan"] + EPS:

@@ -202,6 +202,7 @@ class ExecutablePlan:
     global_ranks: tuple[int, ...] = ()
 
     _plan_key: str | None = field(default=None, repr=False)
+    _congruence_key: str | None = field(default=None, repr=False)
 
     # -- shape --------------------------------------------------------------
 
@@ -368,6 +369,49 @@ class ExecutablePlan:
                   for program_static in sorted(self.program.static_bytes.items())])
             self._plan_key = h.hexdigest()
         return self._plan_key
+
+    @property
+    def congruence_key(self) -> str:
+        """Stable content hash of the *control-flow* arrays alone.
+
+        A strict widening of :attr:`plan_key`: it covers exactly the
+        arrays the event core's control flow and the lockstep stepper's
+        event schedule read — action streams, dependency edges,
+        transfer slots, batched-exchange membership, collective step
+        structure — and deliberately **excludes** every cost-bearing
+        array (payload bytes, resource deltas, tags, static residency,
+        the rich op/collective descriptors).  Two plans with equal keys
+        execute the *identical event sequence* under the uncontended
+        driver, whatever their cost columns resolve to; they are the
+        "congruent structure groups" the batched runtime stacks into
+        one :class:`~repro.runtime.batched.PlanBatch` — e.g. the same
+        family/P/B/prefetch with recompute toggled, different models,
+        or different collective bucket sizes that only retime.
+
+        Equal ``plan_key`` ⇒ equal ``congruence_key``; never the
+        converse.
+        """
+        if self._congruence_key is None:
+            h = hashlib.sha256()
+
+            def feed(part) -> None:
+                h.update(repr(part).encode())
+                h.update(b";")
+
+            feed(("devices", self.devices, self.prefetch, self.n_slots))
+            for di in range(len(self.devices)):
+                feed(self.codes[di])
+                feed(self.args[di])
+            feed(self.comp_device)
+            feed((self.dep_ptr, self.dep_remote, self.dep_idx))
+            feed((self.send_src, self.send_dst, self.send_slot))
+            feed(self.recv_slot)
+            feed((self.batch_send_ids, self.batch_recv_ids,
+                  self.batch_exch))
+            feed((self.coll_device, self.coll_blocking, self.coll_count,
+                  self.coll_nsteps, self.coll_active))
+            self._congruence_key = h.hexdigest()
+        return self._congruence_key
 
     # -- decoding ------------------------------------------------------------
 

@@ -21,6 +21,7 @@ and the ``overlap="model"`` fallback.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..actions.collectives import with_tp_sync
@@ -34,8 +35,9 @@ from ..config import PipelineConfig, RunConfig
 from ..errors import ConfigError, OutOfMemoryError
 from ..models.costs import StageCosts, stage_costs
 from ..models.spec import ModelSpec
+from ..runtime.batched import execute_many
 from ..runtime.costs import ConcreteCosts
-from ..runtime.simulator import simulate_program
+from ..runtime.simulator import sim_result_from_events, simulate_program
 from ..schedules.base import Schedule
 from ..schedules.factory import build_schedule
 from .plans import PlanEntry, plan_cache
@@ -258,7 +260,8 @@ def build_hybrid_simulation(
                 )
             entry = plans.put(key, PlanEntry(
                 schedule, program, ExecutablePlan.lower(program)))
-        plan = entry.plan.retime(oracle)
+        plan = entry.bound_plan((cluster, costs, layout.p, layout.tp),
+                                lambda: oracle)
     return HybridCell(cfg=cfg, schedule=schedule, costs=costs,
                       program=entry.program, oracle=oracle, plan=plan)
 
@@ -309,6 +312,7 @@ def measure_hybrid_throughput(
         if pruned is not None:
             return pruned
 
+    t0 = time.perf_counter()
     try:
         result = simulate_program(
             cell.program, cell.oracle, run, schedule=cell.schedule,
@@ -316,16 +320,223 @@ def measure_hybrid_throughput(
             capacity_bytes=capacity if enforce_memory else None,
         )
     except OutOfMemoryError as exc:
+        if layout.tp > 1:
+            profiling.record_scalar(1, time.perf_counter() - t0, "tp>1")
         return ThroughputResult(
             config=cell.cfg, cluster_name=cluster.name,
             model_name=model.name, seq_per_s=None, bubble_ratio=None,
             peak_mem_bytes=float(exc.peak_bytes), iteration_s=None,
             oom_device=exc.device,
         )
+    if layout.tp > 1:
+        # the remaining scalar TP>1 frontier (single-cell calls; the
+        # sweep engine routes multi-lane units through
+        # measure_hybrid_throughput_batch)
+        profiling.record_scalar(1, time.perf_counter() - t0, "tp>1")
     return throughput_from_simulation(
         cell.cfg, cluster, model, cell.schedule, cell.costs, result,
         ring_p=layout.p * layout.tp, overlap=overlap,
     )
+
+
+@dataclass(frozen=True)
+class HybridRequest:
+    """One cell of a batched hybrid measurement (TP x PP x DP).
+
+    Field-for-field the keyword surface of
+    :func:`measure_hybrid_throughput`; a list of these is what
+    :func:`measure_hybrid_throughput_batch` groups by structural plan
+    key and executes in lockstep.
+    """
+
+    scheme: str
+    cluster: Cluster
+    model: ModelSpec
+    layout: HybridLayout
+    num_microbatches: int
+    w: int = 1
+    microbatch_size: int = 1
+    enforce_memory: bool = True
+    overlap: str = "simulated"
+    capacity_bytes: int | None = None
+
+
+def measure_hybrid_throughput_batch(
+    requests: list[HybridRequest],
+    run: RunConfig | None = None,
+) -> list[ThroughputResult | ConfigError]:
+    """Measure many hybrid cells at once, batching structural lanes.
+
+    The TP>1 counterpart of
+    :func:`repro.analysis.throughput.measure_throughput_batch`: the TP
+    boundary all-reduces and DP gradient rings are already compiled
+    into each group's program, so cost-only lanes (clusters, capacity
+    variants) of one (scheme, TP, PP, DP, B, mb, w) shape re-time the
+    cached plan and stack into the lockstep batch — no per-lane scalar
+    replay.  All groups' lanes go through one global
+    :func:`repro.runtime.batched.execute_many`, which further merges
+    congruent structures across plan keys.  Outcomes come back in
+    request order; a cell :func:`measure_hybrid_throughput` would
+    reject yields its :class:`~repro.errors.ConfigError` as the
+    outcome, and every produced :class:`ThroughputResult` is exactly
+    what the scalar call returns (pinned by the sweep parity tests).
+    """
+    run = run or RunConfig()
+    outcomes: list[ThroughputResult | ConfigError | None] = \
+        [None] * len(requests)
+    groups: dict[tuple, list[int]] = {}
+    for i, req in enumerate(requests):
+        if req.overlap not in OVERLAP_MODES:
+            outcomes[i] = ConfigError(
+                f"unknown overlap mode {req.overlap!r}; expected one of "
+                f"{OVERLAP_MODES}"
+            )
+            continue
+        if req.layout.devices > req.cluster.num_devices:
+            outcomes[i] = ConfigError(
+                f"{req.layout.describe()} needs {req.layout.devices} "
+                f"devices; cluster has {req.cluster.num_devices}"
+            )
+            continue
+        simulated = req.overlap == "simulated"
+        key = ("hybrid", req.scheme, req.layout.tp, req.layout.p,
+               req.layout.d, req.num_microbatches, req.microbatch_size,
+               req.w, simulated, run.prefetch, run.batch_cross_comm,
+               req.model)
+        groups.setdefault(key, []).append(i)
+
+    plans = plan_cache()
+    all_items: list[tuple] = []
+    #: per-group fold context mirroring measure_throughput_batch
+    pending: list[tuple] = []
+    for key, lane_ids in groups.items():
+        head = requests[lane_ids[0]]
+        layout = head.layout
+        simulated = head.overlap == "simulated"
+        group_cfg = PipelineConfig(
+            scheme=head.scheme, num_devices=layout.p,
+            num_microbatches=head.num_microbatches, num_waves=head.w,
+            data_parallel=layout.d,
+            microbatch_size=head.microbatch_size,
+        )
+        label = (f"{head.scheme}/{head.model.name} TP{layout.tp} "
+                 f"P{layout.p} D{layout.d} W{head.w} "
+                 f"B{head.num_microbatches}x{head.microbatch_size} "
+                 f"[{len(lane_ids)} lanes]")
+        with profiling.cell(label):
+            entry = plans.get(key)
+            with profiling.phase("build"):
+                try:
+                    schedule = entry.schedule if entry is not None else \
+                        build_schedule(group_cfg)
+                except ConfigError as exc:
+                    for i in lane_ids:
+                        outcomes[i] = exc
+                    continue
+                # model is part of the group key, so layers-per-stage
+                # and boundary bytes agree across the group's lanes
+                layers_per_stage = (head.model.num_layers + 2) \
+                    / schedule.num_stages
+                lane_costs: list = []
+                for i in lane_ids:
+                    req = requests[i]
+                    base = stage_costs(req.model, schedule.num_stages,
+                                       req.cluster.device,
+                                       req.microbatch_size)
+                    try:
+                        lane_costs.append(apply_tensor_parallel(
+                            base, req.cluster, req.model, layout.tp,
+                            req.microbatch_size, layers_per_stage,
+                            include_comm=not simulated))
+                    except ConfigError as exc:
+                        # per-lane: TP degree vs *this* cluster's node
+                        lane_costs.append(exc)
+            live: list[int] = []     # positions into lane_ids
+            for pos, i in enumerate(lane_ids):
+                req = requests[i]
+                costs = lane_costs[pos]
+                if isinstance(costs, ConfigError):
+                    outcomes[i] = costs
+                    continue
+                if not req.enforce_memory:
+                    live.append(pos)
+                    continue
+                capacity = (req.cluster.device.memory_bytes
+                            if req.capacity_bytes is None
+                            else req.capacity_bytes)
+                pruned = static_oom_result(group_cfg, req.cluster,
+                                           req.model, schedule, costs,
+                                           capacity)
+                if pruned is not None:
+                    outcomes[i] = pruned
+                else:
+                    live.append(pos)
+            if not live:
+                continue
+            with profiling.phase("lower"):
+                if entry is None:
+                    pos = live[0]
+                    req = requests[lane_ids[pos]]
+                    program = compile_cluster_program(
+                        schedule, req.cluster, lane_costs[pos],
+                        d=layout.d if simulated else 1, run=run,
+                        spacing=layout.tp,
+                    )
+                    if simulated and layout.tp > 1:
+                        program = with_tp_sync(
+                            program, tp_rank_groups(req.cluster, layout),
+                            nbytes=req.model.boundary_bytes(
+                                req.microbatch_size),
+                            count_per_pass=2.0 * layers_per_stage,
+                        )
+                    entry = plans.put(key, PlanEntry(
+                        schedule, program, ExecutablePlan.lower(program)))
+                offset = len(all_items)
+                for pos in live:
+                    req = requests[lane_ids[pos]]
+                    costs = lane_costs[pos]
+                    plan = entry.bound_plan(
+                        (req.cluster, costs, layout.p, layout.tp),
+                        lambda req=req, costs=costs: _SpacedCosts(
+                            costs, req.cluster, layout.tp))
+                    capacity = None
+                    if req.enforce_memory:
+                        capacity = (req.cluster.device.memory_bytes
+                                    if req.capacity_bytes is None
+                                    else req.capacity_bytes)
+                    all_items.append((plan, capacity))
+            pending.append((entry, schedule, group_cfg, lane_ids, live,
+                            lane_costs, offset))
+
+    if all_items:
+        with profiling.cell(f"simulate [{len(all_items)} lanes]"):
+            with profiling.phase("simulate"):
+                batch = execute_many(all_items, run, detail="lean")
+    for entry, schedule, group_cfg, lane_ids, live, lane_costs, offset \
+            in pending:
+        head = requests[lane_ids[0]]
+        for out_pos, pos in enumerate(live):
+            i = lane_ids[pos]
+            req = requests[i]
+            err = batch.errors[offset + out_pos]
+            if err is not None:
+                outcomes[i] = ThroughputResult(
+                    config=group_cfg, cluster_name=req.cluster.name,
+                    model_name=req.model.name, seq_per_s=None,
+                    bubble_ratio=None,
+                    peak_mem_bytes=float(err.peak_bytes),
+                    iteration_s=None, oom_device=err.device,
+                )
+                continue
+            sim = sim_result_from_events(entry.program,
+                                         batch.results[offset + out_pos],
+                                         schedule=schedule)
+            outcomes[i] = throughput_from_simulation(
+                group_cfg, req.cluster, req.model, schedule,
+                lane_costs[pos], sim,
+                ring_p=req.layout.p * req.layout.tp,
+                overlap=req.overlap)
+    return outcomes
 
 
 def hybrid_search(

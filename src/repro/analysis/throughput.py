@@ -474,10 +474,13 @@ def measure_throughput_batch(
     one infeasible cell cannot abort the batch (the sweep engine turns
     it into the same infeasible record a raise would have).
 
-    Cells sharing a :func:`flat_plan_key` share one schedule build, one
-    compile/lower (through the plan cache) and one lockstep execution
-    (:func:`repro.runtime.batched.execute_many`): per group the only
-    per-lane work is the cost re-time, the lazy duration fill and the
+    Cells sharing a :func:`flat_plan_key` share one schedule build and
+    one compile/lower (through the plan cache); *all* groups' lanes
+    then go through a single :func:`repro.runtime.batched.execute_many`
+    call, which re-groups them by control-flow congruence — so cells of
+    *different* plan keys whose structures agree (e.g. two models on
+    one layout) still stack into one lockstep batch.  Per lane the only
+    remaining work is the cost re-time, the lazy duration fill and the
     lean result fold.  Every produced :class:`ThroughputResult` is
     exactly what a scalar :func:`measure_throughput` of that cell
     returns — pinned by the sweep parity tests and the
@@ -507,6 +510,11 @@ def measure_throughput_batch(
         groups.setdefault(key, []).append(i)
 
     plans = plan_cache()
+    #: items for the one global execute_many, across every group
+    all_items: list[tuple] = []
+    #: per-group fold context: (entry, schedule, group_cfg, lane_ids,
+    #: live positions, lane_costs, offset into all_items)
+    pending: list[tuple] = []
     for key, lane_ids in groups.items():
         head = requests[lane_ids[0]]
         sync_d = head.d if head.overlap == "simulated" else 1
@@ -559,7 +567,7 @@ def measure_throughput_batch(
                         lane_costs[pos], d=sync_d, run=run)
                     entry = plans.put(key, PlanEntry(
                         schedule, program, ExecutablePlan.lower(program)))
-                items = []
+                offset = len(all_items)
                 for pos in live:
                     req = requests[lane_ids[pos]]
                     costs = lane_costs[pos]
@@ -572,27 +580,34 @@ def measure_throughput_batch(
                         capacity = (req.cluster.device.memory_bytes
                                     if req.capacity_bytes is None
                                     else req.capacity_bytes)
-                    items.append((plan, capacity))
+                    all_items.append((plan, capacity))
+            pending.append((entry, schedule, group_cfg, lane_ids, live,
+                            lane_costs, offset))
+
+    if all_items:
+        with profiling.cell(f"simulate [{len(all_items)} lanes]"):
             with profiling.phase("simulate"):
-                batch = execute_many(items, run, detail="lean")
-            for out_pos, pos in enumerate(live):
-                i = lane_ids[pos]
-                req = requests[i]
-                err = batch.errors[out_pos]
-                if err is not None:
-                    outcomes[i] = ThroughputResult(
-                        config=group_cfg, cluster_name=req.cluster.name,
-                        model_name=req.model.name, seq_per_s=None,
-                        bubble_ratio=None,
-                        peak_mem_bytes=float(err.peak_bytes),
-                        iteration_s=None, oom_device=err.device,
-                    )
-                    continue
-                sim = sim_result_from_events(entry.program,
-                                             batch.results[out_pos],
-                                             schedule=schedule)
-                outcomes[i] = throughput_from_simulation(
-                    group_cfg, req.cluster, req.model, schedule,
-                    lane_costs[pos], sim, ring_p=req.p,
-                    overlap=req.overlap)
+                batch = execute_many(all_items, run, detail="lean")
+    for entry, schedule, group_cfg, lane_ids, live, lane_costs, offset \
+            in pending:
+        for out_pos, pos in enumerate(live):
+            i = lane_ids[pos]
+            req = requests[i]
+            err = batch.errors[offset + out_pos]
+            if err is not None:
+                outcomes[i] = ThroughputResult(
+                    config=group_cfg, cluster_name=req.cluster.name,
+                    model_name=req.model.name, seq_per_s=None,
+                    bubble_ratio=None,
+                    peak_mem_bytes=float(err.peak_bytes),
+                    iteration_s=None, oom_device=err.device,
+                )
+                continue
+            sim = sim_result_from_events(entry.program,
+                                         batch.results[offset + out_pos],
+                                         schedule=schedule)
+            outcomes[i] = throughput_from_simulation(
+                group_cfg, req.cluster, req.model, schedule,
+                lane_costs[pos], sim, ring_p=req.p,
+                overlap=req.overlap)
     return outcomes

@@ -132,6 +132,12 @@ class BatchingStats:
     scalar_s: float = 0.0
     #: lane-count -> number of batches executed at that occupancy
     occupancy: dict[int, int] = field(default_factory=dict)
+    #: why cells fell back scalar: reason -> cell count.  The taxonomy
+    #: (``contention`` / ``singleton`` / ``tp>1`` / ``deadlock`` /
+    #: ``structure-divergence``) makes batch-coverage regressions
+    #: visible — a future change that silently de-batches a shape shows
+    #: up here before it shows up in wall time.
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
 
     def record_batch(self, lanes: int, seconds: float) -> None:
         self.batches += 1
@@ -139,9 +145,12 @@ class BatchingStats:
         self.batched_s += seconds
         self.occupancy[lanes] = self.occupancy.get(lanes, 0) + 1
 
-    def record_scalar(self, cells: int, seconds: float) -> None:
+    def record_scalar(self, cells: int, seconds: float,
+                      reason: str = "singleton") -> None:
         self.scalar_cells += cells
         self.scalar_s += seconds
+        self.fallback_reasons[reason] = \
+            self.fallback_reasons.get(reason, 0) + cells
 
     def reset(self) -> None:
         self.batches = 0
@@ -150,17 +159,20 @@ class BatchingStats:
         self.batched_s = 0.0
         self.scalar_s = 0.0
         self.occupancy.clear()
+        self.fallback_reasons.clear()
 
     def describe(self) -> str:
-        """One-line summary plus the lane-occupancy histogram."""
+        """One-line summary, lane-occupancy and fallback histograms."""
         hist = " ".join(f"{n}x{count}" for n, count in
                         sorted(self.occupancy.items()))
+        reasons = " ".join(f"{name}={count}" for name, count in
+                           sorted(self.fallback_reasons.items()))
         return (f"batched execution: {self.batches} batches, "
                 f"{self.lanes} lanes "
                 f"({self.batched_s * 1e3:.1f} ms batched, "
                 f"{self.scalar_cells} cells / "
                 f"{self.scalar_s * 1e3:.1f} ms scalar); "
-                f"occupancy [{hist}]")
+                f"occupancy [{hist}]; fallbacks [{reasons}]")
 
 
 _batching = BatchingStats()
@@ -176,6 +188,12 @@ def record_batch(lanes: int, seconds: float) -> None:
     _batching.record_batch(lanes, seconds)
 
 
-def record_scalar(cells: int, seconds: float) -> None:
-    """Count ``cells`` cells executed through the scalar fallback."""
-    _batching.record_scalar(cells, seconds)
+def record_scalar(cells: int, seconds: float,
+                  reason: str = "singleton") -> None:
+    """Count ``cells`` cells executed through the scalar fallback.
+
+    ``reason`` names why the lockstep path was not taken — one of
+    ``contention`` / ``singleton`` / ``tp>1`` / ``deadlock`` /
+    ``structure-divergence``.
+    """
+    _batching.record_scalar(cells, seconds, reason)

@@ -6,7 +6,7 @@ capacities), placement candidates, what-if queries.  The scalar event
 core (:func:`~repro.runtime.events.execute_plan`) replays the same
 control flow for every one of them, paying full interpreter overhead
 per lane.  This module amortizes that overhead: a :class:`PlanBatch`
-stacks N cost-bound plans sharing one structural ``plan_key`` and
+stacks N cost-bound plans sharing one control-flow structure and
 :func:`execute_batch` advances **all lanes at once**, one NumPy array
 op per event instead of one Python step per event per lane.
 
@@ -38,18 +38,56 @@ consumer's start past the device clock.  Local deps gate *blocking*
 only; vectorized compute timing needs just the device clock and the
 remote arrival frontier.
 
+Congruent structure groups
+--------------------------
+
+Lanes need not share one ``plan_key``:
+:attr:`~repro.actions.lowering.ExecutablePlan.congruence_key` hashes
+exactly the control-flow arrays (action streams, dependency edges,
+transfer slots, exchange membership, collective step structure) and
+plans with equal keys — same family/P/B/prefetch but, say, recompute
+toggled, a different model, or retimed collective bucket sizes — stack
+into one batch.  Each distinct program still contributes its own cached
+structural replay (memory traces and materialization tables are
+per-lane), but the *event sequence* is shared, so the timed pass runs
+once for the whole group.  Defensively, a lane whose recorded event
+list does not match the head's (impossible when the keys match, since
+the key covers every array the structural pass reads) falls back to
+the scalar core whole-lane — the ``structure-divergence`` fallback.
+
+Vectorized contention
+---------------------
+
+``contention=True`` lanes stay in the batch when only the lean result
+subset is requested.  The per-link arbitration state of the scalar core
+(``wire_free`` / ``wire_exch``) is lifted to ``[N]``-wide arrays and
+the batched-P2P latency-sharing arithmetic becomes masked selects, so
+the exact scalar formulas run once per wire touch for all lanes.  The
+scalar contention driver executes actions in global *time* order while
+the lockstep replay is structural, so each lane is checked as it runs:
+per wire, the action times must be nondecreasing with equal-time ties
+only between actions of one device (whose relative order both drivers
+preserve).  A lane passing that check computes the time-ordered
+driver's fixpoint exactly; a lane failing it is replayed through the
+scalar core (the ``contention`` fallback), as is a contention lane
+whose capacity aborts mid-run (the abort attribution is
+driver-dependent).  Full-detail contention requests always go scalar:
+the ``comm`` and ``mem_events`` logs interleave in driver order, which
+only the scalar driver produces.
+
 Bit-identity
 ------------
 
 Every lane's :class:`~repro.runtime.events.EventResult` is **bit
 identical** to a scalar :func:`execute_plan` of that lane alone (pinned
 by ``tests/test_batched.py`` across the full schedule-family × prefetch
-× capacity × collectives matrix).  The array formulas are chosen for
-exact float equality, not just closeness: ``maximum``/``minimum``
-return the argument bitwise for equal doubles, additive identities
+× capacity × collectives × TP/DP × contention matrix).  The array
+formulas are chosen for exact float equality, not just closeness:
+``maximum``/``minimum`` return the argument bitwise for equal doubles,
+``where`` selects stored values untouched, additive identities
 (``x + 0.0``) only ever apply to non-negative accumulators, and every
-sequential accumulation (in-flight bytes, collective round times)
-folds in the same order as the scalar core.
+sequential accumulation (in-flight bytes, collective round times, wire
+grants) folds in the same order as the scalar core.
 
 Lane masking
 ------------
@@ -65,22 +103,25 @@ Dead lanes ride the remaining lockstep arithmetic inertly — their
 columns are never observed again — which keeps the hot loop free of
 per-event mask branches; live lanes never stall on them.
 
-Scalar fallbacks (``contention=True``, singleton groups, structures
-the invariants do not cover) go through :func:`execute_plan` unchanged;
-:func:`repro.profiling.batching_stats` records time spent on each path.
+Remaining scalar fallbacks go through :func:`execute_plan` unchanged,
+and every fallback is *reason-coded* —
+``contention`` / ``singleton`` / ``tp>1`` / ``deadlock`` /
+``structure-divergence`` — in
+:func:`repro.profiling.batching_stats`, so batch-coverage regressions
+are visible in ``--profile`` output.
 
 Known divergence: a *deadlocking* structure raises
 :class:`~repro.errors.SchedulingError` for the whole batch (replayed
 through the scalar core for the identical message) even if some lane's
 capacity would have aborted with an OOM first under scalar execution.
-Deadlock is a structural property — no measurement-layer batch can
-contain one lane that deadlocks and another that does not.
+Deadlock is a control-flow property covered by the congruence key — no
+batch can contain one lane that deadlocks and another that does not.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -94,7 +135,7 @@ from ..actions.lowering import (
     ExecutablePlan,
 )
 from ..config import RunConfig
-from ..errors import OutOfMemoryError, SchedulingError
+from ..errors import ConfigError, OutOfMemoryError, SchedulingError
 from ..types import TimedOp, Timeline
 from .events import EventResult, _materialize, execute_plan
 
@@ -107,6 +148,7 @@ _WAIT = 4      # (_, bid, di)         batched group's blocking waits
 _COLL = 5      # (_, lid, di)
 
 _LOCKSTEP_ATTR = "_lockstep_schedule"
+_CONGRUENCE_ATTR = "_congruence_key_cache"
 
 
 @dataclass
@@ -140,10 +182,15 @@ class LockstepSchedule:
     #: False when a compiler invariant the vector step relies on does
     #: not hold (never for compiled programs; defensive)
     vectorizable: bool
-    #: last stacked cost matrices ``(key, Cm, Tm, Sm)`` — reused when
-    #: the same fully-resolved lane set executes again (see
-    #: :func:`_execute_lockstep`)
+    #: last stacked cost matrices ``(key, Cm, Tm, Sm, Lm)`` — reused
+    #: when the same fully-resolved lane set executes again (see
+    #: :func:`_execute_lockstep`); ``Lm`` (send latencies) is filled
+    #: lazily, on the first contention execution of the lane set
     cost_rows: tuple | None = None
+    #: memoized event-stream parity verdicts against other structural
+    #: replays (congruent-group check); values hold a strong reference
+    #: to the compared schedule so its ``id`` stays valid
+    event_parity: dict = field(default_factory=dict)
 
 
 def _build_lockstep(plan: ExecutablePlan) -> LockstepSchedule:
@@ -322,9 +369,28 @@ def lockstep_schedule(plan: ExecutablePlan) -> LockstepSchedule:
     return ls
 
 
+def _events_match(head_ls: LockstepSchedule,
+                  lane_ls: LockstepSchedule) -> bool:
+    """Whether two structural replays recorded the same event stream.
+
+    Congruent plans always do (the congruence key covers every array
+    the structural pass reads); this is the defensive verification,
+    memoized per schedule pair — the tuple comparison is C-speed but
+    linear, and batches re-execute in tight loops.
+    """
+    if head_ls is lane_ls:
+        return True
+    hit = head_ls.event_parity.get(id(lane_ls))
+    if hit is not None and hit[0] is lane_ls:
+        return hit[1]
+    verdict = head_ls.events == lane_ls.events
+    head_ls.event_parity[id(lane_ls)] = (lane_ls, verdict)
+    return verdict
+
+
 @dataclass
 class PlanBatch:
-    """N cost-bound plans stacked over one shared structure."""
+    """N cost-bound plans stacked over one shared control-flow structure."""
 
     plans: list[ExecutablePlan]
     #: per-lane capacity in bytes; ``None`` disarms enforcement
@@ -332,12 +398,18 @@ class PlanBatch:
 
     @classmethod
     def from_plans(cls, plans, capacities=None) -> "PlanBatch":
-        """Stack ``plans`` (all cost-bound, structurally identical).
+        """Stack ``plans`` (all cost-bound, structurally congruent).
 
         Plans sharing a program object are accepted directly (retimes
         of one cached structure — the sweep path); otherwise equality
-        of the content-hashed ``plan_key`` is required, the same oracle
-        the plan cache uses to prove interchangeability.
+        of the content-hashed ``congruence_key`` is required — the
+        control-flow hash that proves two structures replay the same
+        event sequence (equal ``plan_key``, the plan cache's stronger
+        oracle, implies it).
+
+        A capacity list of the wrong arity is a caller bug, rejected
+        with a structured :class:`~repro.errors.ConfigError` naming the
+        offending lane indices.
         """
         plans = list(plans)
         if not plans:
@@ -350,18 +422,26 @@ class PlanBatch:
                     "an oracle or call plan.retime(costs) first"
                 )
             if plan.program is not head.program \
-                    and plan.plan_key != head.plan_key:
+                    and plan.congruence_key != head.congruence_key:
                 raise SchedulingError(
                     f"PlanBatch: {plan.name} does not share "
-                    f"{head.name}'s structure (plan_key mismatch)"
+                    f"{head.name}'s control-flow structure "
+                    "(congruence_key mismatch)"
                 )
         if capacities is None:
             capacities = [None] * len(plans)
         capacities = list(capacities)
         if len(capacities) != len(plans):
-            raise SchedulingError(
-                "PlanBatch: one capacity per lane required "
-                f"({len(capacities)} != {len(plans)})"
+            if len(capacities) < len(plans):
+                offending = list(range(len(capacities), len(plans)))
+                what = f"lanes {offending} have no capacity"
+            else:
+                offending = list(range(len(plans), len(capacities)))
+                what = f"capacities {offending} name no lane"
+            raise ConfigError(
+                "PlanBatch: one capacity per lane required — "
+                f"{len(capacities)} capacities for {len(plans)} lanes "
+                f"({what})"
             )
         return cls(plans=plans, capacities=capacities)
 
@@ -396,52 +476,108 @@ def execute_batch(
     object construction is the dominant per-lane cost once the stepping
     is shared.  Parity with the scalar core is pinned field-for-field
     in full detail; lean results are an exact subset.
+
+    Contention batches require ``detail="lean"`` — the full-detail
+    ``comm``/``mem_events`` logs interleave in driver order, which the
+    structural replay cannot reproduce under wire arbitration — and
+    fall back to the scalar core per lane otherwise.
     """
     run = run or RunConfig()
     plans, caps_raw = batch.plans, batch.capacities
     head = plans[0]
-    program = head.program
-    tracked = program.tracks_memory
-    if any(c is not None for c in caps_raw) and not tracked:
-        raise SchedulingError(
-            f"{program.name}: capacity enforcement needs a "
-            "resource-annotated program (compile with resources=...)"
-        )
-
-    if run.contention:
-        # Wire arbitration couples timing back into control flow; the
-        # lockstep invariant does not hold. Scalar per lane.
-        return _scalar_batch(batch, run, detail=detail)
+    for plan, cap in zip(plans, caps_raw):
+        if cap is not None and not plan.program.tracks_memory:
+            raise SchedulingError(
+                f"{plan.program.name}: capacity enforcement needs a "
+                "resource-annotated program (compile with resources=...)"
+            )
+    if run.contention and detail != "lean":
+        return _scalar_batch(batch, run, detail=detail,
+                             reason="contention")
     ls = lockstep_schedule(head)
     if ls.deadlock:
         # Replay one lane through the scalar core for the identical
         # SchedulingError (heads + wait cycle); deadlock is structural,
         # so capacity is irrelevant to the verdict (see module doc).
-        execute_plan(plans[0], run)
+        t0 = time.perf_counter()
+        try:
+            execute_plan(plans[0], run)
+        finally:
+            profiling.record_scalar(1, time.perf_counter() - t0,
+                                    "deadlock")
         raise SchedulingError(  # pragma: no cover - scalar core raised
-            f"{program.name}: simulation deadlock"
+            f"{head.program.name}: simulation deadlock"
         )
     if not ls.vectorizable:  # pragma: no cover - defensive
-        return _scalar_batch(batch, run, detail=detail)
+        return _scalar_batch(batch, run, detail=detail,
+                             reason="structure-divergence")
 
-    t0 = time.perf_counter()
-    result = _execute_lockstep(ls, plans, caps_raw, detail=detail)
-    profiling.record_batch(len(plans), time.perf_counter() - t0)
-    return result
+    # Congruent groups: each distinct program contributes its own
+    # structural replay (memory traces / materialization tables are
+    # per-lane); the event stream must match the head's.
+    n_lanes = len(plans)
+    lane_lss = [ls] * n_lanes
+    scalar_k: dict[int, str] = {}
+    for k in range(1, n_lanes):
+        plan = plans[k]
+        if plan.program is head.program:
+            continue
+        lls = lockstep_schedule(plan)
+        if not _events_match(ls, lls):  # pragma: no cover - defensive
+            scalar_k[k] = "structure-divergence"
+            continue
+        lane_lss[k] = lls
+    if run.contention:
+        # The [N]-wide wire state requires every lane to intern the
+        # same wires; the interning lives in global-rank space, so a
+        # lane whose oracle maps ranks differently cannot share it.
+        sw, cw, nw = head.send_wire, head.coll_wires, head.n_wires
+        for k in range(1, n_lanes):
+            if k in scalar_k:
+                continue
+            plan = plans[k]
+            if (plan.n_wires != nw or plan.send_wire != sw
+                    or plan.coll_wires != cw):
+                scalar_k[k] = "structure-divergence"
+
+    live = [k for k in range(n_lanes) if k not in scalar_k]
+    results: list[EventResult | None] = [None] * n_lanes
+    errors: list[OutOfMemoryError | None] = [None] * n_lanes
+    if live:
+        t0 = time.perf_counter()
+        sub, redo = _execute_lockstep(
+            ls, [plans[k] for k in live], [lane_lss[k] for k in live],
+            [caps_raw[k] for k in live], run, detail=detail)
+        lanes_kept = len(live) - len(redo)
+        if lanes_kept:
+            profiling.record_batch(lanes_kept, time.perf_counter() - t0)
+        for pos, k in enumerate(live):
+            if pos in redo:
+                # per-lane wire-order divergence or a mid-run OOM whose
+                # abort attribution is driver-dependent
+                scalar_k[k] = "contention"
+            else:
+                results[k] = sub.results[pos]
+                errors[k] = sub.errors[pos]
+    for k, reason in scalar_k.items():
+        results[k], errors[k] = _scalar_lane(plans[k], run, caps_raw[k],
+                                             detail=detail, reason=reason)
+    return BatchResult(results=results, errors=errors)
 
 
 def _scalar_batch(batch: PlanBatch, run: RunConfig, *,
-                  detail: str) -> BatchResult:
+                  detail: str, reason: str) -> BatchResult:
     results: list = []
     errors: list = []
     for plan, cap in zip(batch.plans, batch.capacities):
-        res, err = _scalar_lane(plan, run, cap, detail=detail)
+        res, err = _scalar_lane(plan, run, cap, detail=detail,
+                                reason=reason)
         results.append(res)
         errors.append(err)
     return BatchResult(results=results, errors=errors)
 
 
-def _scalar_lane(plan, run, capacity_bytes, *, detail):
+def _scalar_lane(plan, run, capacity_bytes, *, detail, reason):
     """One lane through the scalar core, OOM captured, stats recorded."""
     t0 = time.perf_counter()
     try:
@@ -451,29 +587,40 @@ def _scalar_lane(plan, run, capacity_bytes, *, detail):
     except OutOfMemoryError as exc:
         return None, exc
     finally:
-        profiling.record_scalar(1, time.perf_counter() - t0)
+        profiling.record_scalar(1, time.perf_counter() - t0, reason)
 
 
-def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
-                      detail: str) -> BatchResult:
+def _execute_lockstep(ls: LockstepSchedule, plans, lane_lss, caps_raw,
+                      run: RunConfig, *,
+                      detail: str) -> tuple[BatchResult, set[int]]:
+    """The timed pass over one structural replay.
+
+    Returns the per-lane outcomes plus the set of lane positions that
+    must be *redone* through the scalar core (contention lanes whose
+    wire-grant order diverged from the time-ordered driver, or whose
+    capacity aborts mid-run under contention) — their columns here are
+    garbage and were never materialized.
+    """
     head = plans[0]
-    program = head.program
     devices = head.devices
     num_devices = len(devices)
     n_lanes = len(plans)
+    contention = run.contention
     full = detail != "lean"
     n_comp = head.n_computes
     n_send = len(head.send_src)
     exec_seq = ls.exec_seq
-    comp_ops = head.comp_ops
     send_slot = head.send_slot
     batch_send_ids, batch_recv_ids = head.batch_send_ids, head.batch_recv_ids
+    batch_exch = head.batch_exch
     recv_slot = head.recv_slot
     coll_active, coll_nsteps = head.coll_active, head.coll_nsteps
     coll_count, coll_blocking = head.coll_count, head.coll_blocking
+    send_wire, coll_wires_t = head.send_wire, head.coll_wires
 
     # -- per-lane gating: static pre-check, then the OOM scan ------------
     errors: list[OutOfMemoryError | None] = [None] * n_lanes
+    redo: set[int] = set()
     #: computes (as exec_seq positions) each lane actually reaches;
     #: the lazy-cost contract: an aborted lane resolves nothing beyond
     #: its aborting compute, a statically-rejected lane resolves nothing
@@ -482,21 +629,29 @@ def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
         if cap is None:
             continue
         try:
-            program.check_static_memory(cap)
+            plans[k].program.check_static_memory(cap)
         except OutOfMemoryError as exc:
             errors[k] = exc
             resolve_upto[k] = 0
-    if len(ls.alloc_levels):
-        for k, cap in enumerate(caps_raw):
-            if cap is None or errors[k] is not None:
+    for k, cap in enumerate(caps_raw):
+        if cap is None or errors[k] is not None:
+            continue
+        lane_ls = lane_lss[k]
+        if not len(lane_ls.alloc_levels):
+            continue
+        viol = lane_ls.alloc_levels > cap
+        if viol.any():
+            if contention:
+                # mid-run abort attribution (device / peak) follows the
+                # driver's replay order; redo the lane scalar
+                redo.add(k)
+                resolve_upto[k] = 0
                 continue
-            viol = ls.alloc_levels > cap
-            if viol.any():
-                j = int(np.argmax(viol))
-                errors[k] = OutOfMemoryError(
-                    devices[ls.alloc_di[j]],
-                    int(ls.alloc_levels[j]), cap)
-                resolve_upto[k] = ls.alloc_pos[j] + 1
+            j = int(np.argmax(viol))
+            errors[k] = OutOfMemoryError(
+                devices[lane_ls.alloc_di[j]],
+                int(lane_ls.alloc_levels[j]), cap)
+            resolve_upto[k] = lane_ls.alloc_pos[j] + 1
 
     # -- per-lane cost columns -> [n, N] matrices ------------------------
     # A repeated pass over the same bound plans (the cached-binding
@@ -505,17 +660,19 @@ def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
     # schedule, keyed by the exact lane set and replay extents.
     mat_key = (tuple(id(p) for p in plans), tuple(resolve_upto))
     cached = ls.cost_rows
+    Lm = None
     if (cached is not None and cached[0] == mat_key
             and all(getattr(p, "_fully_resolved", False) for p in plans)):
-        _, Cm, Tm, Sm = cached
+        _, Cm, Tm, Sm, Lm = cached
     else:
         cols = []
         for k, plan in enumerate(plans):
             comp_cost = plan.comp_cost
             oracle = plan.costs
+            comp_ops_k = plan.comp_ops
             for a in exec_seq[:resolve_upto[k]]:
                 if comp_cost[a] is None:
-                    comp_cost[a] = oracle.duration(comp_ops[a])
+                    comp_cost[a] = oracle.duration(comp_ops_k[a])
             if resolve_upto[k] == len(exec_seq):
                 plan._fully_resolved = True
             cols.append([0.0 if c is None else c for c in comp_cost])
@@ -525,9 +682,15 @@ def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
         Tm = list(np.ascontiguousarray(
             np.array([p.send_time for p in plans], dtype=np.float64).T))
         Sm = list(np.ascontiguousarray(
-            np.array([p.coll_step_time for p in plans], dtype=np.float64).T))
+            np.array([p.coll_step_time for p in plans],
+                     dtype=np.float64).T))
         if all(getattr(p, "_fully_resolved", False) for p in plans):
-            ls.cost_rows = (mat_key, Cm, Tm, Sm)
+            ls.cost_rows = (mat_key, Cm, Tm, Sm, None)
+    if contention and Lm is None:
+        Lm = list(np.ascontiguousarray(
+            np.array([p.send_lat for p in plans], dtype=np.float64).T))
+        if ls.cost_rows is not None and ls.cost_rows[0] == mat_key:
+            ls.cost_rows = ls.cost_rows[:4] + (Lm,)
 
     # -- lane-axis state -------------------------------------------------
     zero = np.zeros(n_lanes)
@@ -548,6 +711,30 @@ def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
     coll_log: list[tuple] = []
 
     maximum, minimum = np.maximum, np.minimum
+    where = np.where
+    if contention:
+        # [N]-wide mirrors of the scalar wire-arbitration state, plus
+        # the per-wire driver-order witness: the last action time and
+        # device that touched each wire, per lane.  A lane observing a
+        # time inversion (or an equal-time tie across devices) computes
+        # a grant order the time-ordered scalar driver may not produce
+        # and is flagged for scalar replay.
+        neg1 = np.full(n_lanes, -1)
+        neg_inf = np.full(n_lanes, -np.inf)
+        wire_free = [zero] * head.n_wires
+        wire_exch = [neg1] * head.n_wires
+        wire_last_t = [neg_inf] * head.n_wires
+        wire_last_di = [neg1] * head.n_wires
+        diverged = np.zeros(n_lanes, dtype=bool)
+
+        def wire_mark(w, tarr, di, applies):
+            lt = wire_last_t[w]
+            ld = wire_last_di[w]
+            diverged.__ior__(
+                applies & ((tarr < lt) | ((tarr == lt) & (ld != di))))
+            wire_last_t[w] = where(applies, tarr, lt)
+            wire_last_di[w] = where(applies, di, ld)
+
     for ev in ls.events:
         kind = ev[0]
         if kind == _COMP:
@@ -578,9 +765,22 @@ def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
         elif kind == _SEND:
             _, sid, di = ev
             post = clock[di]
-            end = post + Tm[sid]
+            t = Tm[sid]
+            if contention and (t > 0.0).any():
+                tpos = t > 0.0
+                w = send_wire[sid]
+                wire_mark(w, post, di, tpos)
+                wf = wire_free[w]
+                busy = tpos & (post < wf)
+                start = where(busy, wf, post)
+                end = start + t
+                wire_free[w] = where(tpos, end, wf)
+                wire_exch[w] = where(tpos, neg1, wire_exch[w])
+            else:
+                start = post
+                end = post + t
             slot = send_slot[sid]
-            ts_l[slot] = post
+            ts_l[slot] = start
             te_l[slot] = end
             if full:
                 sp_l[sid] = post
@@ -588,10 +788,30 @@ def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
         elif kind == _POST:
             _, bid, di = ev
             post = clock[di]
+            exch = batch_exch[bid]
             for sid in batch_send_ids[bid]:
-                end = post + Tm[sid]
+                t = Tm[sid]
+                if contention and (t > 0.0).any():
+                    tpos = t > 0.0
+                    w = send_wire[sid]
+                    wire_mark(w, post, di, tpos)
+                    wf = wire_free[w]
+                    we = wire_exch[w]
+                    busy = tpos & (post < wf)
+                    start = where(busy, wf, post)
+                    # the opposing transfer of the *same* batched
+                    # exchange holds the wire: the follower pays bytes
+                    # only, not a second launch latency
+                    dur = where(busy & (we == exch),
+                                maximum(t - Lm[sid], 0.0), t)
+                    end = start + dur
+                    wire_free[w] = where(tpos, end, wf)
+                    wire_exch[w] = where(tpos, exch, we)
+                else:
+                    start = post
+                    end = post + t
                 slot = send_slot[sid]
-                ts_l[slot] = post
+                ts_l[slot] = start
                 te_l[slot] = end
                 if full:
                     sp_l[sid] = post
@@ -621,20 +841,45 @@ def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
                 step_time = Sm[lid]
                 step_log = []
                 round_time = None
-                for _ in range(coll_nsteps[lid]):
-                    e = t + step_time
-                    step_log.append((t, e))
-                    round_time = (step_time if round_time is None
-                                  else round_time + step_time)
-                    t = e
-                count = coll_count[lid]
-                if count != 1.0:
-                    t = t + (count - 1.0) * round_time
+                if contention:
+                    wids = coll_wires_t[lid]
+                    for w in wids:
+                        wire_mark(w, post, di, True)
+                    for _ in range(coll_nsteps[lid]):
+                        step_start = t
+                        for w in wids:
+                            step_start = maximum(step_start, wire_free[w])
+                        step_end = step_start + step_time
+                        step_log.append((step_start, step_end))
+                        round_time = (step_time if round_time is None
+                                      else round_time + step_time)
+                        for w in wids:
+                            wire_free[w] = step_end
+                            wire_exch[w] = neg1
+                        t = step_end
+                    count = coll_count[lid]
+                    if count != 1.0:
+                        t = t + (count - 1.0) * round_time
+                        for w in wids:
+                            wire_free[w] = t
+                else:
+                    for _ in range(coll_nsteps[lid]):
+                        e = t + step_time
+                        step_log.append((t, e))
+                        round_time = (step_time if round_time is None
+                                      else round_time + step_time)
+                        t = e
+                    count = coll_count[lid]
+                    if count != 1.0:
+                        t = t + (count - 1.0) * round_time
                 steps = tuple(step_log)
             coll_free[di] = t
             coll_log.append((lid, di, post, start, t, steps))
             if coll_blocking[lid]:
                 clock[di] = t
+
+    if contention and diverged.any():
+        redo.update(int(k) for k in np.nonzero(diverged)[0])
 
     # -- materialize live lanes ------------------------------------------
     empty = np.empty((0, n_lanes))
@@ -643,16 +888,17 @@ def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
     if full:
         SP = np.array(sp_l) if sp_l else empty
         SE = np.array(se_l) if se_l else empty
-    mem_peak = ls.mem_peak if program.tracks_memory else None
     results: list[EventResult | None] = [None] * n_lanes
     tl_new = TimedOp.__new__
     for k, plan in enumerate(plans):
-        if errors[k] is not None:
+        if errors[k] is not None or k in redo:
             continue
+        lane_ls = lane_lss[k]
+        comp_ops = plan.comp_ops
         cs = CS[:, k].tolist()
         ce = CE[:, k].tolist()
         spans: dict = {}
-        for dev, cids in ls.dev_cids:
+        for dev, cids in lane_ls.dev_cids:
             row = []
             push = row.append
             for cid in cids:
@@ -679,15 +925,37 @@ def _execute_lockstep(ls: LockstepSchedule, plans, caps_raw, *,
             se = SE[:, k].tolist()
             mem_k = [(di, cs[cid] if is_alloc else ce[cid], delta, level,
                       cid)
-                     for di, cid, delta, level, is_alloc in ls.mem_trace]
+                     for di, cid, delta, level, is_alloc
+                     in lane_ls.mem_trace]
         else:
             sp = se = []
             mem_k = []
+        mem_peak = (lane_ls.mem_peak if plan.program.tracks_memory
+                    else None)
         results[k] = _materialize(
             plan, exec_seq, cs, ce, ls.post_seq, sp, sp, se,
             ls.send_batched, coll_k, mem_k, clock_k, recv_k, mem_peak,
             detail=detail, timeline=lane_tl)
-    return BatchResult(results=results, errors=errors)
+    return BatchResult(results=results, errors=errors), redo
+
+
+def _plan_congruence(plan: ExecutablePlan) -> str:
+    """``plan.congruence_key``, memoized on the (shared) program object.
+
+    Retimed plans are fresh dataclass instances, so the lazy per-plan
+    cache alone would re-hash once per lane; every retime of one cached
+    structure shares its program, which makes the program the natural
+    memo site.
+    """
+    program = plan.program
+    key = getattr(program, _CONGRUENCE_ATTR, None)
+    if key is None:
+        key = plan.congruence_key
+        try:
+            setattr(program, _CONGRUENCE_ATTR, key)
+        except AttributeError:  # pragma: no cover - Program is mutable
+            pass
+    return key
 
 
 def execute_many(
@@ -698,25 +966,36 @@ def execute_many(
 ) -> BatchResult:
     """Execute ``(plan, capacity_bytes)`` pairs, batching where legal.
 
-    Groups lanes that share a program object (retimes of one cached
-    structure — how the measurement layer produces them), executes each
-    multi-lane group through :func:`execute_batch` and everything else
-    through the scalar core, and returns outcomes in item order.
+    Groups lanes by control-flow congruence (plans sharing a program
+    object trivially agree; so do structurally congruent plans of
+    *different* programs — see
+    :attr:`~repro.actions.lowering.ExecutablePlan.congruence_key`),
+    executes each multi-lane group through :func:`execute_batch` and
+    everything else through the scalar core, and returns outcomes in
+    item order.  Contention lanes batch too when ``detail="lean"``;
+    full-detail contention requests and singleton groups take the
+    (reason-coded) scalar path.
     """
     run = run or RunConfig()
     items = list(items)
-    groups: dict[int, list[int]] = {}
-    for idx, (plan, _) in enumerate(items):
-        groups.setdefault(id(plan.program), []).append(idx)
-
     results: list[EventResult | None] = [None] * len(items)
     errors: list[OutOfMemoryError | None] = [None] * len(items)
+    if run.contention and detail != "lean":
+        for idx, (plan, cap) in enumerate(items):
+            results[idx], errors[idx] = _scalar_lane(
+                plan, run, cap, detail=detail, reason="contention")
+        return BatchResult(results=results, errors=errors)
+
+    groups: dict[str, list[int]] = {}
+    for idx, (plan, _) in enumerate(items):
+        groups.setdefault(_plan_congruence(plan), []).append(idx)
+
     for lane_ids in groups.values():
-        if len(lane_ids) == 1 or run.contention:
-            for idx in lane_ids:
-                plan, cap = items[idx]
-                results[idx], errors[idx] = _scalar_lane(
-                    plan, run, cap, detail=detail)
+        if len(lane_ids) == 1:
+            idx = lane_ids[0]
+            plan, cap = items[idx]
+            results[idx], errors[idx] = _scalar_lane(
+                plan, run, cap, detail=detail, reason="singleton")
             continue
         sub = execute_batch(
             PlanBatch.from_plans([items[i][0] for i in lane_ids],

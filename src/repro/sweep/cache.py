@@ -46,7 +46,11 @@ from ..analysis.throughput import ThroughputResult
 #: 6: batched execution — sweep cells sharing a structure are measured
 #: through the lockstep stepper (``runtime/batched.py``), a new code
 #: path between cached records and the event core
-CACHE_VERSION = 6
+#: 7: cross-structure batching — hybrid TP > 1 units and
+#: contention-mode lanes execute through the lockstep stepper, and
+#: batch units span congruent structures (cross-model lanes), all new
+#: code paths between cached records and the event core
+CACHE_VERSION = 7
 
 #: package-relative sources whose behaviour determines a measurement;
 #: their content is hashed into every cache key so editing the cost

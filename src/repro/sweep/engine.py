@@ -6,10 +6,12 @@ and produces a :class:`~repro.sweep.table.SweepTable`:
 1. expand the spec to concrete grid cells,
 2. resolve each cell against the on-disk cache (when one is given),
 3. group the misses into work units — cells that share every
-   *structural* axis (scheme, P, B, micro-batch size, D, W, model) and
-   differ only in cluster become one **batch unit** measured in
-   lockstep (:func:`repro.analysis.measure_throughput_batch` over the
-   batched runtime), while lone cells and TP > 1 cells stay scalar,
+   *structural* axis (scheme, P, B, micro-batch size, D, W, TP) and
+   differ only in cost axes (cluster, model) become one **batch unit**
+   measured in lockstep — TP = 1 units via
+   :func:`repro.analysis.measure_throughput_batch`, TP > 1 units via
+   :func:`repro.analysis.measure_hybrid_throughput_batch` — while lone
+   cells stay scalar,
 4. fan the units out over a ``multiprocessing`` pool (``workers > 1``)
    or evaluate them inline — process sharding keeps structural variety
    across workers, lockstep batching amortizes within one,
@@ -36,7 +38,12 @@ from __future__ import annotations
 import multiprocessing
 
 from .. import profiling
-from ..analysis.hybrid import HybridLayout, measure_hybrid_throughput
+from ..analysis.hybrid import (
+    HybridLayout,
+    HybridRequest,
+    measure_hybrid_throughput,
+    measure_hybrid_throughput_batch,
+)
 from ..analysis.throughput import (
     ThroughputRequest,
     measure_throughput,
@@ -102,25 +109,41 @@ def _evaluate_unit(unit: list[tuple]) -> list[tuple[int, dict]]:
     """Measure one work unit; must stay module-level (pool pickling).
 
     A unit is either a single cell (scalar path, exactly the records
-    :func:`_evaluate` produces) or a list of structure-sharing TP = 1
-    cells measured as one lockstep batch.  Infeasible verdicts come
-    back as outcomes from the batch harness, so one rejected cell
-    never aborts its unit.
+    :func:`_evaluate` produces) or a list of structure-sharing cells
+    measured as one lockstep batch — the flat harness for TP = 1 units,
+    the hybrid harness for TP > 1 units (a unit never mixes TP degrees;
+    TP is a grouping axis).  Infeasible verdicts come back as outcomes
+    from the batch harnesses, so one rejected cell never aborts its
+    unit.
     """
     if len(unit) == 1:
         return [_evaluate(unit[0])]
-    requests = []
-    for (_index, point, cluster, model, overlap, enforce_memory,
-         capacity_bytes) in unit:
-        requests.append(ThroughputRequest(
-            scheme=point.scheme, cluster=cluster, model=model,
-            p=point.p, num_microbatches=point.num_microbatches,
-            d=point.d, w=point.w,
-            microbatch_size=point.microbatch_size,
-            enforce_memory=enforce_memory, overlap=overlap,
-            capacity_bytes=capacity_bytes,
-        ))
-    outcomes = measure_throughput_batch(requests)
+    if unit[0][1].tp > 1:
+        requests = []
+        for (_index, point, cluster, model, overlap, enforce_memory,
+             capacity_bytes) in unit:
+            requests.append(HybridRequest(
+                scheme=point.scheme, cluster=cluster, model=model,
+                layout=HybridLayout(tp=point.tp, p=point.p, d=point.d),
+                num_microbatches=point.num_microbatches, w=point.w,
+                microbatch_size=point.microbatch_size,
+                enforce_memory=enforce_memory, overlap=overlap,
+                capacity_bytes=capacity_bytes,
+            ))
+        outcomes = measure_hybrid_throughput_batch(requests)
+    else:
+        requests = []
+        for (_index, point, cluster, model, overlap, enforce_memory,
+             capacity_bytes) in unit:
+            requests.append(ThroughputRequest(
+                scheme=point.scheme, cluster=cluster, model=model,
+                p=point.p, num_microbatches=point.num_microbatches,
+                d=point.d, w=point.w,
+                microbatch_size=point.microbatch_size,
+                enforce_memory=enforce_memory, overlap=overlap,
+                capacity_bytes=capacity_bytes,
+            ))
+        outcomes = measure_throughput_batch(requests)
     return [
         (job[0], infeasible_record(str(out))
          if isinstance(out, ConfigError) else result_to_record(out))
@@ -131,22 +154,20 @@ def _evaluate_unit(unit: list[tuple]) -> list[tuple[int, dict]]:
 def _batch_units(misses: list[tuple]) -> list[list[tuple]]:
     """Group miss jobs into work units, preserving first-seen order.
 
-    TP = 1 cells agreeing on every structural axis (and so on the
-    batched harness's :func:`~repro.analysis.flat_plan_key`, which adds
-    only run-config constants) form one unit; hybrid (TP > 1) cells
-    stay scalar — their harness composes TP contraction with the flat
-    path and is not lockstep-batchable today.
+    Cells agreeing on every structural axis — scheme, P, B,
+    micro-batch size, D, W and TP (the batch harnesses' plan-key axes
+    plus run-config constants) — form one unit whatever their cluster
+    *or model*: those are cost axes, and the batched runtime's
+    congruence grouping stacks equal-structure lanes across models
+    (distinct plan keys) into one lockstep batch.  TP > 1 cells group
+    exactly like flat ones since the hybrid harness batches too.
     """
     units: list[list[tuple]] = []
     by_structure: dict[tuple, list[tuple]] = {}
     for job in misses:
         point = job[1]
-        if point.tp > 1:
-            units.append([job])
-            continue
         gkey = (point.scheme, point.p, point.num_microbatches,
-                point.microbatch_size, point.d, point.w,
-                point.model_index)
+                point.microbatch_size, point.d, point.w, point.tp)
         group = by_structure.get(gkey)
         if group is None:
             group = by_structure[gkey] = []

@@ -35,7 +35,8 @@ from ..actions.reorder import Reorderer
 from ..actions.resources import StageResources
 from ..analysis.plans import PlanEntry
 from ..config import RunConfig
-from ..errors import OutOfMemoryError, SynthesisError
+from ..errors import OutOfMemoryError, SchedulingError, SynthesisError
+from ..runtime.batched import PlanBatch, execute_batch
 from ..runtime.costs import CostOracle
 from ..runtime.events import execute_plan
 from ..runtime.metrics import bubble_stats
@@ -282,17 +283,79 @@ class SynthesisContext:
         """Score one round's deduplicated candidates back-to-back.
 
         Candidates of a round are *reorderings* — each compiles to its
-        own program with its own ``plan_key`` — so unlike sweep cells
-        they cannot share a lockstep batch (the batched runtime groups
-        by structural key; see docs/performance.md).  What a round does
-        share is the scoring machinery: every candidate re-times into
-        the context's single :class:`RetimeBuffers` and executes at
-        ``detail="lean"``, so the per-candidate cost is one event pass
-        with no column allocations and no event-object fold beyond the
-        timeline.  Verdicts come back aligned with ``orderings``
-        (``None`` = illegal or infeasible).
+        own program with its own ``plan_key`` — but candidates sharing
+        a permutation and differing only in recompute frontier are
+        structurally *congruent* (the frontier moves costs and memory
+        deltas, never actions or edges), so such groups score as one
+        lockstep batch through the batched runtime.  Lone candidates
+        keep the scratch scalar path: they re-time into the context's
+        single :class:`RetimeBuffers` and execute at ``detail="lean"``,
+        one event pass with no column allocations (batched lanes bind
+        fresh columns instead — buffer columns alias, and a batch needs
+        every lane's columns live at once).  Scores are bit-identical
+        either way (the batched-runtime invariant), so the search
+        trajectory is unchanged.  Verdicts come back aligned with
+        ``orderings`` (``None`` = illegal or infeasible).
         """
-        return [self.evaluate(o, structural=False) for o in orderings]
+        verdicts: list[ScoredOrdering | None] = [None] * len(orderings)
+        groups: dict[ScheduleOrdering, list[int]] = {}
+        for i, ordering in enumerate(orderings):
+            groups.setdefault(ordering.with_frontier(None), []).append(i)
+        for idxs in groups.values():
+            if len(idxs) == 1:
+                i = idxs[0]
+                verdicts[i] = self.evaluate(orderings[i],
+                                            structural=False)
+                continue
+            legal: list[int] = []
+            for i in idxs:
+                self.evaluated += 1
+                if self.checker.check(orderings[i], structural=False):
+                    self.illegal += 1
+                else:
+                    legal.append(i)
+            if not legal:
+                continue
+            plans = [self._candidate_plan(orderings[i], check=False)
+                     for i in legal]
+            try:
+                stacked = PlanBatch.from_plans(
+                    plans, [self.capacity_bytes] * len(plans))
+            except SchedulingError:  # pragma: no cover - defensive
+                # frontier congruence should hold by construction;
+                # score the group scalar rather than abort the search
+                for i, plan in zip(legal, plans):
+                    verdicts[i] = self._score_lean(orderings[i], plan)
+                continue
+            batch = execute_batch(stacked, self.run, detail="lean")
+            for i, res, err in zip(legal, batch.results, batch.errors):
+                if err is not None:
+                    self.infeasible += 1
+                    continue
+                timeline = res.timeline
+                verdicts[i] = ScoredOrdering(
+                    ordering=orderings[i],
+                    makespan=timeline.makespan,
+                    bubble_ratio=bubble_stats(timeline).bubble_ratio,
+                )
+        return verdicts
+
+    def _score_lean(self, ordering: ScheduleOrdering,
+                    plan: ExecutablePlan) -> ScoredOrdering | None:
+        """Scalar lean scoring of an already-lowered candidate."""
+        try:
+            result = execute_plan(plan, self.run,
+                                  capacity_bytes=self.capacity_bytes,
+                                  detail="lean")
+        except OutOfMemoryError:  # pragma: no cover - legality is exact
+            self.infeasible += 1
+            return None
+        timeline = result.timeline
+        return ScoredOrdering(
+            ordering=ordering,
+            makespan=timeline.makespan,
+            bubble_ratio=bubble_stats(timeline).bubble_ratio,
+        )
 
     def plan_for(self, ordering: ScheduleOrdering) -> ExecutablePlan:
         """A bound plan of a (legal) ordering — for keys and replays."""

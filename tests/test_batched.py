@@ -22,7 +22,7 @@ from repro.actions import (
 from repro.analysis import compile_cluster_program
 from repro.cluster import make_fc, make_pc, make_tacc
 from repro.config import CostConfig, PipelineConfig, RunConfig
-from repro.errors import OutOfMemoryError, SchedulingError
+from repro.errors import ConfigError, OutOfMemoryError, SchedulingError
 from repro.models import tiny_model
 from repro.models.costs import stage_costs
 from repro.runtime import (
@@ -213,14 +213,219 @@ class TestExecuteMany:
             assert err is None
             assert_result_equal(got, execute_plan(plan, run))
 
-    def test_contention_falls_back_to_scalar(self):
-        """Wire arbitration breaks the lockstep invariant; the scalar
-        path must produce the same outcomes object shape."""
+    def test_full_detail_contention_falls_back_to_scalar(self):
+        """Full-detail contention results interleave comm/mem logs in
+        driver order, which only the scalar core produces — those
+        requests must take the scalar path and still return the same
+        outcomes object shape."""
+        from repro import profiling
+
+        stats = profiling.batching_stats()
+        before = stats.fallback_reasons.get("contention", 0)
         plans = lanes_for(lowered("dapple", {}), n=2)
         run = RunConfig(contention=True)
         out = execute_many([(p, None) for p in plans], run)
+        assert stats.fallback_reasons["contention"] == before + 2
         for plan, got in zip(plans, out.results):
             assert_result_equal(got, execute_plan(plan, run))
+
+    def test_congruent_programs_share_one_batch(self):
+        """Two separately-compiled copies of one structure (distinct
+        program objects, equal congruence keys) stack into one batch."""
+        from repro import profiling
+
+        stats = profiling.batching_stats()
+        a, b = lowered("gpipe", {}), lowered("gpipe", {})
+        assert a.program is not b.program
+        assert a.congruence_key == b.congruence_key
+        stages = a.program.num_stages
+        lanes = [a.retime(AbstractCosts(LANE_COSTS[0], P, stages)),
+                 b.retime(AbstractCosts(LANE_COSTS[1], P, stages))]
+        run = RunConfig()
+        batches, scalars = stats.batches, stats.scalar_cells
+        out = execute_many([(p, None) for p in lanes], run)
+        assert stats.batches == batches + 1      # one lockstep batch,
+        assert stats.scalar_cells == scalars     # no singleton fallback
+        for plan, got in zip(lanes, out.results):
+            assert_result_equal(got, execute_plan(plan, run))
+
+
+class TestContentionParity:
+    """``contention=True`` lanes stay in the batch at ``detail="lean"``
+    and remain bit-identical to the scalar time-ordered driver."""
+
+    @pytest.mark.parametrize("prefetch", [True, False],
+                             ids=["pf", "nopf"])
+    @pytest.mark.parametrize("param", ALL_SCHEMES, ids=scheme_id)
+    def test_lean_contention_bit_equals_scalar(self, param, prefetch):
+        scheme, kw = param
+        plans = lanes_for(lowered(scheme, kw, prefetch=prefetch))
+        run = RunConfig(prefetch=prefetch, contention=True)
+        batch = execute_batch(PlanBatch.from_plans(plans), run,
+                              detail="lean")
+        for plan, got, err in zip(plans, batch.results, batch.errors):
+            assert err is None
+            assert_result_equal(got, execute_plan(plan, run,
+                                                  detail="lean"))
+
+    @pytest.mark.parametrize("factory", [make_fc, make_tacc, make_pc],
+                             ids=["FC", "TACC", "PC"])
+    def test_contention_collectives_bit_equal_both_cores(self, factory):
+        """Arbitrated DP rings: lean lanes must match the scalar core
+        and (through it) the reference interpreter."""
+        from repro.analysis.throughput import _pipeline_comm
+        from repro.runtime import execute_program_reference
+
+        cfg = PipelineConfig(scheme="hanayo", num_devices=P,
+                             num_microbatches=B, data_parallel=2)
+        sched = build_schedule(cfg)
+        cells = []
+        for size in (8, 16):
+            cluster = factory(size)
+            costs = stage_costs(tiny_model(num_layers=16),
+                                sched.num_stages, cluster.device, 2)
+            program = compile_cluster_program(sched, cluster, costs, d=2)
+            oracle = ConcreteCosts(costs, _pipeline_comm(cluster, 0, P))
+            cells.append((program, oracle,
+                          ExecutablePlan.lower(program).retime(oracle)))
+        run = RunConfig(contention=True)
+        plans = [plan for _, _, plan in cells]
+        batch = execute_batch(PlanBatch.from_plans(plans), run,
+                              detail="lean")
+        for (program, oracle, plan), got in zip(cells, batch.results):
+            want = execute_plan(plan, run, detail="lean")
+            assert want.collectives  # the rings really are in the plan
+            assert_result_equal(got, want)
+            ref = execute_program_reference(program, oracle, run)
+            assert got.timeline.spans == ref.timeline.spans
+            assert got.recv_wait == ref.recv_wait
+            assert got.collectives == ref.collectives
+            assert got.device_end == ref.device_end
+
+    def test_contention_lanes_actually_batch(self):
+        """The fig11/contention grids must not silently de-batch."""
+        from repro import profiling
+
+        stats = profiling.batching_stats()
+        plans = lanes_for(lowered("dapple", {}))
+        run = RunConfig(contention=True)
+        batches = stats.batches
+        out = execute_batch(PlanBatch.from_plans(plans), run,
+                            detail="lean")
+        assert stats.batches == batches + 1
+        assert all(err is None for err in out.errors)
+
+
+class TestCongruentGroups:
+    """Lanes of *different programs* with equal congruence keys batch
+    as one group with per-lane structural state (recompute on/off)."""
+
+    def _recompute_pair(self):
+        cfg = make_config("dapple", P, B)
+        stages = build_schedule(cfg).num_stages
+        res = StageResources(weight_bytes=(100.0,) * stages,
+                             activation_bytes=(10.0,) * stages)
+        plain = lowered("dapple", {}, resources=res)
+        rec_prog = plain.program.with_resources(
+            plain.program.resources.with_recompute_from(0))
+        return plain, ExecutablePlan.lower(rec_prog)
+
+    def test_recompute_toggle_lanes_batch_and_match(self):
+        plain, rec = self._recompute_pair()
+        assert plain.congruence_key == rec.congruence_key
+        stages = plain.program.num_stages
+        plans = [plain.retime(AbstractCosts(LANE_COSTS[0], P, stages)),
+                 rec.retime(AbstractCosts(LANE_COSTS[1], P, stages)),
+                 plain.retime(AbstractCosts(LANE_COSTS[2], P, stages)),
+                 rec.retime(AbstractCosts(LANE_COSTS[3], P, stages))]
+        run = RunConfig()
+        batch = execute_batch(PlanBatch.from_plans(plans), run)
+        for plan, got, err in zip(plans, batch.results, batch.errors):
+            assert err is None
+            assert_result_equal(got, execute_plan(plan, run))
+
+    def test_congruent_mem_verdicts_are_per_lane(self):
+        """Capacity verdicts must come from each lane's *own* memory
+        trace — the recompute lane's watermarks differ from the head's."""
+        plain, rec = self._recompute_pair()
+        stages = plain.program.num_stages
+        plans = [plain.retime(AbstractCosts(LANE_COSTS[0], P, stages)),
+                 rec.retime(AbstractCosts(LANE_COSTS[1], P, stages))]
+        run = RunConfig()
+        peaks = [max(execute_plan(p, run).mem_peak.values())
+                 for p in plans]
+        caps = [int(peaks[0]) + 1, int(peaks[1]) - 1]
+        batch = execute_batch(PlanBatch.from_plans(plans, caps), run)
+        assert batch.errors[0] is None
+        assert isinstance(batch.errors[1], OutOfMemoryError)
+        with pytest.raises(OutOfMemoryError) as exc_info:
+            execute_plan(plans[1], run, capacity_bytes=caps[1])
+        assert str(batch.errors[1]) == str(exc_info.value)
+        assert_result_equal(batch.results[0],
+                            execute_plan(plans[0], run,
+                                         capacity_bytes=caps[0]))
+
+
+class TestHybridTPParity:
+    """Hybrid TP∈{2,4} × DP∈{1,2} lanes through the batched stepper,
+    pinned against both event cores."""
+
+    @pytest.mark.parametrize("tp", [2, 4], ids=["tp2", "tp4"])
+    @pytest.mark.parametrize("d", [1, 2], ids=["dp1", "dp2"])
+    def test_hybrid_lanes_bit_equal_both_cores(self, tp, d):
+        from repro.analysis import (
+            HybridLayout,
+            build_hybrid_simulation,
+            plan_cache,
+        )
+        from repro.runtime import execute_program_reference
+
+        plan_cache().clear()
+        layout = HybridLayout(tp=tp, p=2, d=d)
+        run = RunConfig()
+        cells = [
+            build_hybrid_simulation("dapple", make_fc(size),
+                                    tiny_model(num_layers=16), layout,
+                                    B, run=run)
+            for size in (layout.devices, 2 * layout.devices)
+        ]
+        plans = [cell.plan for cell in cells]
+        # cost-only lanes share the compiled structure...
+        assert plans[0].program is plans[1].program
+        batch = execute_batch(PlanBatch.from_plans(plans), run)
+        for cell, got, err in zip(cells, batch.results, batch.errors):
+            assert err is None
+            want = execute_plan(cell.plan, run)
+            assert want.collectives  # TP boundary all-reduces compiled in
+            assert_result_equal(got, want)
+            ref = execute_program_reference(cell.program, cell.oracle,
+                                            run)
+            assert got.timeline.spans == ref.timeline.spans
+            assert got.recv_wait == ref.recv_wait
+            assert got.collectives == ref.collectives
+            assert got.device_end == ref.device_end
+
+
+class TestFallbackReasons:
+    """The --profile fallback histogram: every scalar cell is blamed."""
+
+    def test_reasons_recorded_and_described(self):
+        from repro import profiling
+
+        stats = profiling.batching_stats()
+        before = dict(stats.fallback_reasons)
+        solo = lanes_for(lowered("gems", {}), n=1)
+        run = RunConfig()
+        execute_many([(solo[0], None)], run)
+        plans = lanes_for(lowered("dapple", {}), n=2)
+        execute_many([(p, None) for p in plans],
+                     RunConfig(contention=True))  # full detail: scalar
+        assert stats.fallback_reasons.get("singleton", 0) == \
+            before.get("singleton", 0) + 1
+        assert stats.fallback_reasons.get("contention", 0) == \
+            before.get("contention", 0) + 2
+        assert "fallbacks [" in stats.describe()
+        assert "singleton=" in stats.describe()
 
 
 class TestFromPlansValidation:
@@ -235,13 +440,22 @@ class TestFromPlansValidation:
     def test_structure_mismatch_rejected(self):
         a = lanes_for(lowered("gpipe", {}), n=1)[0]
         b = lanes_for(lowered("dapple", {}), n=1)[0]
-        with pytest.raises(SchedulingError, match="plan_key mismatch"):
+        with pytest.raises(SchedulingError,
+                           match="congruence_key mismatch"):
             PlanBatch.from_plans([a, b])
 
     def test_capacity_arity_rejected(self):
-        plans = lanes_for(lowered("gpipe", {}), n=2)
-        with pytest.raises(SchedulingError, match="one capacity per"):
+        """Structured ConfigError naming the offending lane indices."""
+        plans = lanes_for(lowered("gpipe", {}), n=3)
+        with pytest.raises(
+                ConfigError,
+                match=r"one capacity per lane required.*"
+                      r"lanes \[1, 2\] have no capacity"):
             PlanBatch.from_plans(plans, [None])
+        with pytest.raises(
+                ConfigError,
+                match=r"capacities \[3\] name no lane"):
+            PlanBatch.from_plans(plans, [None, 1, 2, 3])
 
     def test_capacity_needs_resources(self):
         plans = lanes_for(lowered("gpipe", {}), n=2)
