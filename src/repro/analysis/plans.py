@@ -36,6 +36,7 @@ actively re-timing and evicts the stalest ones; ``repro sweep
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -61,6 +62,11 @@ class PlanEntry:
     #: reuses the bound plan — including its lazily filled duration
     #: column.  Evicted with the entry.
     bindings: dict = field(default_factory=dict)
+    #: serializes binding fills so concurrent readers of one entry (the
+    #: serving layer's worker threads) agree on a single bound plan per
+    #: key instead of racing duplicate re-times
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def bound_plan(self, key: tuple, oracle_factory) -> ExecutablePlan:
         """The plan re-timed under the oracle ``key`` stands for.
@@ -72,11 +78,12 @@ class PlanEntry:
         Deterministic oracles make the reuse exact: re-timing the same
         structure under an equal oracle yields identical columns.
         """
-        plan = self.bindings.get(key)
-        if plan is None:
-            plan = self.plan.retime(oracle_factory())
-            self.bindings[key] = plan
-        return plan
+        with self._lock:
+            plan = self.bindings.get(key)
+            if plan is None:
+                plan = self.plan.retime(oracle_factory())
+                self.bindings[key] = plan
+            return plan
 
 
 @dataclass
@@ -88,46 +95,67 @@ class PlanCache:
     always discards the least recently used structure.  ``maxsize`` is
     per-instance configurable; ``evictions`` counts entries dropped to
     enforce it.
+
+    All mutation (the LRU re-insert on ``get``, eviction on ``put``,
+    the hit/miss/eviction counters) happens under one lock, so the
+    cache is safe to share across threads — the serving layer's handler
+    threads and its micro-batch dispatcher hit this very instance
+    concurrently.  The invariants the stress test pins: every ``get``
+    bumps exactly one counter, ``len`` never exceeds ``maxsize``, and
+    ``insertions == len + evictions`` at any quiescent point.
     """
 
     maxsize: int = MAX_PLANS
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: ``put`` calls that added a key not already present (re-puts of a
+    #: live key are not insertions); with the lock held this makes the
+    #: eviction accounting exactly checkable
+    insertions: int = 0
     _store: dict = field(default_factory=dict)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
 
     def get(self, key: tuple) -> PlanEntry | None:
         """The cached entry for ``key`` (counts a hit/miss, bumps LRU)."""
-        found = self._store.pop(key, None)
-        if found is not None:
-            self._store[key] = found      # re-insert: most recently used
-            self.hits += 1
-        else:
-            self.misses += 1
-        return found
+        with self._lock:
+            found = self._store.pop(key, None)
+            if found is not None:
+                self._store[key] = found  # re-insert: most recently used
+                self.hits += 1
+            else:
+                self.misses += 1
+            return found
 
     def put(self, key: tuple, entry: PlanEntry) -> PlanEntry:
         """Retain ``entry`` under ``key``, evicting the LRU past maxsize."""
-        self._store.pop(key, None)
-        self._store[key] = entry
-        while len(self._store) > self.maxsize:
-            self._store.pop(next(iter(self._store)))
-            self.evictions += 1
-        return entry
+        with self._lock:
+            if self._store.pop(key, None) is None:
+                self.insertions += 1
+            self._store[key] = entry
+            while len(self._store) > self.maxsize:
+                self._store.pop(next(iter(self._store)))
+                self.evictions += 1
+            return entry
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def clear(self) -> None:
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.insertions = 0
 
     def describe(self) -> str:
-        return (f"plan cache: {len(self._store)}/{self.maxsize} plans, "
-                f"{self.hits} hits, {self.misses} misses, "
-                f"{self.evictions} evictions")
+        with self._lock:
+            return (f"plan cache: {len(self._store)}/{self.maxsize} plans, "
+                    f"{self.hits} hits, {self.misses} misses, "
+                    f"{self.evictions} evictions")
 
 
 def candidate_plan(

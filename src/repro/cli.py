@@ -5,6 +5,8 @@ Commands
 ``gallery``   render a scheme's schedule as an ASCII Gantt chart
 ``simulate``  simulate a configuration and print bubble/makespan stats
 ``advise``    search (scheme, P, D, W) for a model on a cluster
+``serve``     long-lived advisor daemon over hot caches (repro.serve)
+``query``     client for a running ``repro serve`` daemon
 ``sweep``     parallel, cached multi-scheme grid sweep (repro.sweep)
 ``trace``     export a simulated schedule as a Chrome/Perfetto trace
 ``train``     run a real (NumPy) pipeline training step and verify it
@@ -155,67 +157,102 @@ def _trace_body(args, run) -> int:
 
 
 def cmd_advise(args) -> int:
-    from .analysis import (
-        HybridLayout,
-        feasible_waves,
-        layouts_for,
-        measure_hybrid_throughput,
-        search_grid,
-        split_batch,
-    )
-    from .cluster import get_cluster
-    from .models import bert_64, gpt_128
+    # the exact expansion + folding the server runs (repro.serve.queries),
+    # so `repro advise --json` and a served /advise answer for the same
+    # query are the same bytes
+    from .serve.codec import AdviseQuery, dumps_canonical
+    from .serve.queries import advise_answer, format_advise
 
-    model = {"bert": bert_64, "gpt": gpt_128}[args.model]()
-    cluster = get_cluster(args.cluster, args.devices)
-    # --tp carves each pipeline device into a TP group, so the pipeline
-    # budget shrinks; --dp restricts the data-parallel widths searched.
-    budget = args.devices // args.tp
-    layouts = tuple(
-        (p, d) for p, d in layouts_for(budget)
-        if args.dp is None or d in args.dp
+    query = AdviseQuery.make(
+        cluster=args.cluster, model=args.model, devices=args.devices,
+        batch=args.batch, tp=args.tp, dp=args.dp, top=args.top,
+        capacity_gib=args.capacity_gib,
     )
-    if not layouts:
-        raise ConfigError(
-            f"no (P, D) layout fits {args.devices} devices with "
-            f"--tp {args.tp}" + (f" --dp {args.dp}" if args.dp else "")
+    payload = advise_answer(query)
+    if args.json:
+        sys.stdout.buffer.write(dumps_canonical(payload))
+        sys.stdout.buffer.flush()
+    else:
+        print(format_advise(payload))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from . import profiling
+    from .serve.server import AdvisorServer, serve_until_signalled
+
+    server = AdvisorServer(
+        (args.host, args.port),
+        window_s=args.window_ms / 1e3,
+        max_lanes=args.max_lanes,
+        coalesce=not args.no_batching,
+        quiet=not args.verbose,
+    )
+    rc = serve_until_signalled(server)
+    if args.profile:
+        from .analysis import plan_cache
+        print(profiling.batching_stats().describe())
+        print(plan_cache().describe())
+    return rc
+
+
+def cmd_query(args) -> int:
+    import json as _json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import Request, urlopen
+
+    from .serve.codec import AdviseQuery, SweepQuery, dumps_canonical
+
+    base = args.server.rstrip("/")
+    if not base.startswith("http"):
+        base = "http://" + base
+    if args.kind == "sweep":
+        query = SweepQuery.make(
+            schemes=args.schemes, cluster=args.cluster,
+            models=args.models, devices=args.devices,
+            batches=args.batch, tp=args.tp,
+            capacity_gib=args.capacity_gib,
         )
-    rows = []
-    for scheme in ("gpipe", "dapple", "chimera-wave", "hanayo"):
-        if args.tp == 1:
-            cells = ((c.p, c.d, c.w, c.result)
-                     for c in search_grid(scheme, cluster, model,
-                                          layouts, args.batch))
-        else:
-            cells = []
-            for p, d in layouts:
-                shape = split_batch(args.batch, d, p, scheme)
-                if shape is None:
-                    continue
-                waves = (feasible_waves(model, p) if scheme == "hanayo"
-                         else [1])
-                for w in waves:
-                    try:
-                        r = measure_hybrid_throughput(
-                            scheme, cluster, model,
-                            HybridLayout(args.tp, p, d), shape[0],
-                            w=w, microbatch_size=shape[1],
-                        )
-                    except ConfigError:
-                        # infeasible cell (layout/node-size limits);
-                        # anything else is a real bug and propagates
-                        continue
-                    cells.append((p, d, w, r))
-        for p, d, w, result in cells:
-            rows.append([
-                scheme, p, d, args.tp, w,
-                None if result.oom else f"{result.seq_per_s:.2f}",
-            ])
-    rows.sort(key=lambda r: float(r[5]) if r[5] else -1.0, reverse=True)
-    print(format_table(["scheme", "P", "D", "TP", "W", "seq/s"],
-                       rows[:args.top],
-                       title=f"{model.name} on {cluster.describe()}, "
-                             f"batch {args.batch}"))
+    else:
+        query = AdviseQuery.make(
+            cluster=args.cluster, model=args.model,
+            devices=args.devices, batch=args.batch[0], tp=args.tp[0],
+            dp=args.dp, top=args.top, capacity_gib=args.capacity_gib,
+        )
+    request = Request(
+        f"{base}/{args.kind}", data=dumps_canonical(query.to_payload()),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urlopen(request, timeout=args.timeout) as response:
+            if args.kind == "sweep":
+                # NDJSON stream: progress frames, then the final table
+                final = None
+                for line in response:
+                    frame = _json.loads(line)
+                    if frame.get("kind") == "progress":
+                        print(f"progress: {frame['done']}/{frame['total']}",
+                              file=sys.stderr, flush=True)
+                    elif frame.get("kind") == "error":
+                        print(f"error: {frame['error']}", file=sys.stderr)
+                        return 2
+                    else:
+                        final = line
+                if final is None:
+                    print("error: stream ended without an answer",
+                          file=sys.stderr)
+                    return 2
+                sys.stdout.buffer.write(final)
+            else:
+                sys.stdout.buffer.write(response.read())
+            sys.stdout.buffer.flush()
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        print(f"error: server said {exc.code}: {detail}", file=sys.stderr)
+        return 2
+    except URLError as exc:
+        print(f"error: cannot reach {base}: {exc.reason}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -491,7 +528,8 @@ def make_parser() -> argparse.ArgumentParser:
     a = sub.add_parser("advise", help="configuration search")
     a.add_argument("--cluster", default="TACC",
                    choices=["PC", "FC", "TACC", "TC"])
-    a.add_argument("--model", default="bert", choices=["bert", "gpt"])
+    a.add_argument("--model", default="bert",
+                   choices=["bert", "gpt", "tiny"])
     a.add_argument("-n", "--devices", type=int, default=8)
     a.add_argument("--batch", type=int, default=16)
     a.add_argument("--top", type=int, default=10)
@@ -499,7 +537,60 @@ def make_parser() -> argparse.ArgumentParser:
                    help="restrict the data-parallel widths searched")
     a.add_argument("--tp", type=int, default=1,
                    help="tensor-parallel degree (hybrid layouts)")
+    a.add_argument("--capacity-gib", type=float, default=None,
+                   help="override per-device memory for OOM verdicts")
+    a.add_argument("--json", action="store_true",
+                   help="emit the canonical JSON answer (byte-identical "
+                        "to a served /advise answer of the same query)")
     a.set_defaults(fn=cmd_advise)
+
+    sv = sub.add_parser(
+        "serve", help="long-lived advisor daemon over hot caches")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8642,
+                    help="listen port (0 picks a free one)")
+    sv.add_argument("--window-ms", type=float, default=2.0,
+                    help="micro-batch coalescing window")
+    sv.add_argument("--max-lanes", type=int, default=512,
+                    help="measurement lanes per micro-batch dispatch")
+    sv.add_argument("--no-batching", action="store_true",
+                    help="disable cross-query micro-batching (each "
+                        "query measures in its own handler thread)")
+    sv.add_argument("--profile", action="store_true",
+                    help="print batching + plan-cache stats at drain")
+    sv.add_argument("--verbose", action="store_true",
+                    help="log each HTTP request to stderr")
+    sv.set_defaults(fn=cmd_serve)
+
+    q = sub.add_parser(
+        "query", help="query a running `repro serve` daemon")
+    q.add_argument("kind", choices=["advise", "sweep"],
+                   help="question shape: one ranking or a full grid")
+    q.add_argument("--server", default="127.0.0.1:8642",
+                   help="host:port of the daemon")
+    q.add_argument("--cluster", default="TACC",
+                   choices=["PC", "FC", "TACC", "TC"])
+    q.add_argument("--model", default="bert",
+                   choices=["bert", "gpt", "tiny"],
+                   help="model for advise queries")
+    q.add_argument("--models", nargs="+", default=["bert"],
+                   choices=["bert", "gpt", "tiny"],
+                   help="models for sweep queries")
+    q.add_argument("--schemes", nargs="+",
+                   default=["gpipe", "dapple", "chimera-wave", "hanayo"],
+                   help="schemes for sweep queries")
+    q.add_argument("-n", "--devices", type=int, default=8)
+    q.add_argument("--batch", type=int, nargs="+", default=[16],
+                   help="total batch size(s); advise uses the first")
+    q.add_argument("--tp", type=int, nargs="+", default=[1],
+                   help="tensor-parallel degree(s); advise uses the first")
+    q.add_argument("--dp", type=int, nargs="+", default=None,
+                   help="restrict data-parallel widths (advise)")
+    q.add_argument("--top", type=int, default=10)
+    q.add_argument("--capacity-gib", type=float, default=None)
+    q.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request socket timeout in seconds")
+    q.set_defaults(fn=cmd_query)
 
     sw = sub.add_parser(
         "sweep", help="parallel, cached multi-scheme grid sweep")

@@ -26,6 +26,7 @@ run and returns the records.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -138,6 +139,9 @@ class BatchingStats:
     #: visible — a future change that silently de-batches a shape shows
     #: up here before it shows up in wall time.
     fallback_reasons: dict[str, int] = field(default_factory=dict)
+    #: queries the serving layer answered from an identical in-flight
+    #: query's result instead of executing anything (single-flight)
+    dedup_hits: int = 0
 
     def record_batch(self, lanes: int, seconds: float) -> None:
         self.batches += 1
@@ -152,6 +156,9 @@ class BatchingStats:
         self.fallback_reasons[reason] = \
             self.fallback_reasons.get(reason, 0) + cells
 
+    def record_dedup(self, queries: int = 1) -> None:
+        self.dedup_hits += queries
+
     def reset(self) -> None:
         self.batches = 0
         self.lanes = 0
@@ -160,6 +167,7 @@ class BatchingStats:
         self.scalar_s = 0.0
         self.occupancy.clear()
         self.fallback_reasons.clear()
+        self.dedup_hits = 0
 
     def describe(self) -> str:
         """One-line summary, lane-occupancy and fallback histograms."""
@@ -167,12 +175,15 @@ class BatchingStats:
                         sorted(self.occupancy.items()))
         reasons = " ".join(f"{name}={count}" for name, count in
                            sorted(self.fallback_reasons.items()))
-        return (f"batched execution: {self.batches} batches, "
+        text = (f"batched execution: {self.batches} batches, "
                 f"{self.lanes} lanes "
                 f"({self.batched_s * 1e3:.1f} ms batched, "
                 f"{self.scalar_cells} cells / "
                 f"{self.scalar_s * 1e3:.1f} ms scalar); "
                 f"occupancy [{hist}]; fallbacks [{reasons}]")
+        if self.dedup_hits:
+            text += f"; dedup hits {self.dedup_hits}"
+        return text
 
 
 _batching = BatchingStats()
@@ -197,3 +208,131 @@ def record_scalar(cells: int, seconds: float,
     ``structure-divergence``.
     """
     _batching.record_scalar(cells, seconds, reason)
+
+
+#: per-kind latency samples retained for percentile estimates; the
+#: reservoir keeps the most recent window so long-lived servers report
+#: current behaviour, not their start-up transient
+LATENCY_WINDOW = 4096
+
+
+@dataclass
+class ServeStats:
+    """Counters for the serving layer (``repro serve``).
+
+    Everything here is written from many threads — handler threads
+    record query latencies, the micro-batch dispatcher records queue
+    depth and dispatch occupancy — so every mutation takes the lock.
+    ``describe()`` is what ``repro serve --profile`` prints at drain
+    (alongside :func:`batching_stats` and the plan cache).
+    """
+
+    queries: int = 0
+    errors: int = 0
+    dedup_hits: int = 0
+    #: deepest the micro-batch queue ever got
+    max_queue_depth: int = 0
+    #: dispatcher wake-ups that executed work
+    dispatches: int = 0
+    #: measurement lanes (grid cells) per dispatch -> dispatch count
+    dispatch_occupancy: dict[int, int] = field(default_factory=dict)
+    #: query kind ("advise" / "sweep") -> recent latency samples
+    latencies: dict[str, list[float]] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record_query(self, kind: str, seconds: float) -> None:
+        with self._lock:
+            self.queries += 1
+            window = self.latencies.setdefault(kind, [])
+            window.append(seconds)
+            if len(window) > LATENCY_WINDOW:
+                del window[: len(window) - LATENCY_WINDOW]
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_dedup(self) -> None:
+        with self._lock:
+            self.dedup_hits += 1
+        _batching.record_dedup()
+
+    def record_dispatch(self, lanes: int, queue_depth: int) -> None:
+        with self._lock:
+            self.dispatches += 1
+            self.dispatch_occupancy[lanes] = \
+                self.dispatch_occupancy.get(lanes, 0) + 1
+            self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+
+    def percentile(self, kind: str, q: float) -> float | None:
+        """The ``q``-quantile (0..1) of ``kind``'s recent latencies."""
+        with self._lock:
+            window = sorted(self.latencies.get(kind, ()))
+        if not window:
+            return None
+        index = min(len(window) - 1, int(q * len(window)))
+        return window[index]
+
+    def snapshot(self) -> dict:
+        """A JSON-safe view for the ``/stats`` endpoint."""
+        with self._lock:
+            kinds = {
+                kind: len(window) for kind, window in self.latencies.items()
+            }
+            out = {
+                "queries": self.queries,
+                "errors": self.errors,
+                "dedup_hits": self.dedup_hits,
+                "max_queue_depth": self.max_queue_depth,
+                "dispatches": self.dispatches,
+                "dispatch_occupancy": {
+                    str(n): c
+                    for n, c in sorted(self.dispatch_occupancy.items())
+                },
+            }
+        out["latency"] = {
+            kind: {
+                "samples": kinds[kind],
+                "p50_ms": round(self.percentile(kind, 0.50) * 1e3, 3),
+                "p99_ms": round(self.percentile(kind, 0.99) * 1e3, 3),
+            }
+            for kind in sorted(kinds)
+        }
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self.queries = 0
+            self.errors = 0
+            self.dedup_hits = 0
+            self.max_queue_depth = 0
+            self.dispatches = 0
+            self.dispatch_occupancy.clear()
+            self.latencies.clear()
+
+    def describe(self) -> str:
+        """Multi-line summary: totals, occupancy histogram, percentiles."""
+        snap = self.snapshot()
+        hist = " ".join(f"{n}x{c}" for n, c in
+                        snap["dispatch_occupancy"].items())
+        lines = [
+            f"serve: {snap['queries']} queries "
+            f"({snap['errors']} errors, {snap['dedup_hits']} dedup hits), "
+            f"{snap['dispatches']} dispatches, "
+            f"max queue depth {snap['max_queue_depth']}; "
+            f"dispatch occupancy [{hist}]"
+        ]
+        for kind, lat in snap["latency"].items():
+            lines.append(
+                f"  {kind}: {lat['samples']} sampled, "
+                f"p50 {lat['p50_ms']:.1f} ms, p99 {lat['p99_ms']:.1f} ms")
+        return "\n".join(lines)
+
+
+_serve = ServeStats()
+
+
+def serve_stats() -> ServeStats:
+    """The process-global serving-layer counters."""
+    return _serve

@@ -20,9 +20,11 @@ from __future__ import annotations
 import dataclasses
 import functools
 import hashlib
+import itertools
 import json
 import os
 import pathlib
+import threading
 
 from ..cluster.presets import Cluster
 from ..config import PipelineConfig
@@ -254,11 +256,26 @@ def record_to_result(record: dict) -> ThroughputResult | None:
 
 
 class ResultCache:
-    """A directory of JSON measurement records, one file per key."""
+    """A directory of JSON measurement records, one file per key.
+
+    Safe for concurrent use from many threads (and, as before, many
+    processes): reads and writes of the record files are already atomic
+    at the filesystem level (``os.replace``), temp-file names carry the
+    writing thread and a per-process sequence number so two threads
+    persisting the same key never collide on a staging file, and the
+    hit/miss/write counters are maintained under a lock so the serving
+    layer can report them consistently.
+    """
+
+    _seq = itertools.count()
 
     def __init__(self, root: str | os.PathLike):
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._lock = threading.Lock()
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
@@ -273,25 +290,36 @@ class ResultCache:
         try:
             entry = json.loads(path.read_text())
         except FileNotFoundError:
-            return None
+            return self._miss()
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self._discard(path)
-            return None
+            return self._miss()
         if (not isinstance(entry, dict)
                 or entry.get("version") != CACHE_VERSION
                 or entry.get("key") != key
                 or not isinstance(entry.get("record"), dict)):
             self._discard(path)
-            return None
+            return self._miss()
+        with self._lock:
+            self.hits += 1
         return entry["record"]
+
+    def _miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+        return None
 
     def put(self, key: str, record: dict) -> None:
         """Atomically persist ``record`` under ``key``."""
         path = self.path_for(key)
-        tmp = path.with_name(f".tmp-{key}-{os.getpid()}")
+        tmp = path.with_name(
+            f".tmp-{key}-{os.getpid()}-{threading.get_ident()}"
+            f"-{next(self._seq)}")
         entry = {"version": CACHE_VERSION, "key": key, "record": record}
         tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
         os.replace(tmp, path)
+        with self._lock:
+            self.writes += 1
 
     def _discard(self, path: pathlib.Path) -> None:
         try:

@@ -62,6 +62,15 @@ from .cache import (
 from .spec import SweepPoint, SweepSpec
 from .table import SweepRow, SweepStats, SweepTable
 
+__all__ = [
+    "MAX_WORKERS",
+    "assemble_table",
+    "evaluate_unit_requests",
+    "point_key",
+    "run_sweep",
+    "unit_requests",
+]
+
 #: cap on pool size; one process per cell is never useful beyond this
 MAX_WORKERS = 32
 
@@ -105,23 +114,17 @@ def _evaluate(job: tuple) -> tuple[int, dict]:
     return index, result_to_record(result)
 
 
-def _evaluate_unit(unit: list[tuple]) -> list[tuple[int, dict]]:
-    """Measure one work unit; must stay module-level (pool pickling).
+def unit_requests(unit: list[tuple]) -> list:
+    """The measurement requests of one work unit, in job order.
 
-    A unit is either a single cell (scalar path, exactly the records
-    :func:`_evaluate` produces) or a list of structure-sharing cells
-    measured as one lockstep batch — the flat harness for TP = 1 units,
-    the hybrid harness for TP > 1 units (a unit never mixes TP degrees;
-    TP is a grouping axis).  Infeasible verdicts come back as outcomes
-    from the batch harnesses, so one rejected cell never aborts its
-    unit.
+    TP = 1 jobs become :class:`ThroughputRequest`\\ s, TP > 1 jobs
+    :class:`HybridRequest`\\ s; a unit never mixes degrees (TP is a
+    grouping axis in :func:`_batch_units`).
     """
-    if len(unit) == 1:
-        return [_evaluate(unit[0])]
-    if unit[0][1].tp > 1:
-        requests = []
-        for (_index, point, cluster, model, overlap, enforce_memory,
-             capacity_bytes) in unit:
+    requests = []
+    for (_index, point, cluster, model, overlap, enforce_memory,
+         capacity_bytes) in unit:
+        if point.tp > 1:
             requests.append(HybridRequest(
                 scheme=point.scheme, cluster=cluster, model=model,
                 layout=HybridLayout(tp=point.tp, p=point.p, d=point.d),
@@ -130,11 +133,7 @@ def _evaluate_unit(unit: list[tuple]) -> list[tuple[int, dict]]:
                 enforce_memory=enforce_memory, overlap=overlap,
                 capacity_bytes=capacity_bytes,
             ))
-        outcomes = measure_hybrid_throughput_batch(requests)
-    else:
-        requests = []
-        for (_index, point, cluster, model, overlap, enforce_memory,
-             capacity_bytes) in unit:
+        else:
             requests.append(ThroughputRequest(
                 scheme=point.scheme, cluster=cluster, model=model,
                 p=point.p, num_microbatches=point.num_microbatches,
@@ -143,12 +142,44 @@ def _evaluate_unit(unit: list[tuple]) -> list[tuple[int, dict]]:
                 enforce_memory=enforce_memory, overlap=overlap,
                 capacity_bytes=capacity_bytes,
             ))
-        outcomes = measure_throughput_batch(requests)
+    return requests
+
+
+def evaluate_unit_requests(unit: list[tuple], measure_flat=None,
+                           measure_hybrid=None) -> list[tuple[int, dict]]:
+    """Measure one work unit through the batch harnesses.
+
+    ``measure_flat`` / ``measure_hybrid`` default to this module's
+    globals (so test wrappers and monkeypatches keep seeing every
+    call); the serving layer passes its micro-batcher's executors
+    instead.  Infeasible verdicts come back as outcomes from the batch
+    harnesses, so one rejected cell never aborts its unit, and every
+    record equals what the scalar path would have produced (per-lane
+    bit-identity is pinned by the batched-runtime tests).
+    """
+    if unit[0][1].tp > 1:
+        measure = measure_hybrid or measure_hybrid_throughput_batch
+    else:
+        measure = measure_flat or measure_throughput_batch
+    outcomes = measure(unit_requests(unit))
     return [
         (job[0], infeasible_record(str(out))
          if isinstance(out, ConfigError) else result_to_record(out))
         for job, out in zip(unit, outcomes)
     ]
+
+
+def _evaluate_unit(unit: list[tuple]) -> list[tuple[int, dict]]:
+    """Measure one work unit; must stay module-level (pool pickling).
+
+    A unit is either a single cell (scalar path, exactly the records
+    :func:`_evaluate` produces) or a list of structure-sharing cells
+    measured as one lockstep batch — the flat harness for TP = 1 units,
+    the hybrid harness for TP > 1 units.
+    """
+    if len(unit) == 1:
+        return [_evaluate(unit[0])]
+    return evaluate_unit_requests(unit)
 
 
 def _batch_units(misses: list[tuple]) -> list[list[tuple]]:
@@ -254,6 +285,27 @@ def run_sweep(
                     finish(index, record)
         stats.computed += len(misses)
 
+    return assemble_table(spec, points, records, stats=stats)
+
+
+def assemble_table(
+    spec: SweepSpec,
+    points: list[SweepPoint],
+    records: dict[int, tuple[dict, bool]],
+    stats: SweepStats | None = None,
+) -> SweepTable:
+    """Fold per-point records into a :class:`SweepTable`, in spec order.
+
+    The one assembly path: :func:`run_sweep` and the serving layer's
+    sweep endpoint both finish here, so a served table and a batch
+    table of the same grid cannot drift in row content or stats
+    accounting.  ``records`` maps point index to ``(record,
+    was_cached)``; ``stats`` carries the caller's computed/cached
+    tallies (a fresh one is derived when omitted — every record then
+    counts as computed).
+    """
+    if stats is None:
+        stats = SweepStats(total=len(points), computed=len(records))
     rows: list[SweepRow] = []
     for i, point in enumerate(points):
         record, was_cached = records[i]
