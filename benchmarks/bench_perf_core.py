@@ -28,9 +28,16 @@ interpreter (:func:`repro.runtime.execute_program_reference`):
 * ``contention_batched`` — ``contention=True`` lean lanes through the
   vectorized lockstep stepper vs a scalar ``execute_plan`` loop over
   the same plans.  The grid is restricted to shapes the stepper keeps
-  vectorized (wire grant order = structural order); the probe asserts
+  in lockstep (wire grant order = structural order); the probe asserts
   **zero** scalar fallbacks before timing, so a regression that
   silently de-batches contention lanes fails loudly here.
+* ``contention_divergent`` — contention lanes whose wire grant orders
+  genuinely reorder across the microbatch axis, i.e. the shapes the
+  lockstep stepper must refuse.  These ride the time-ordered vectorized
+  replay (cohort pool over per-lane event cursors); the probe asserts
+  zero scalar fallbacks, full recovered-lane accounting, per-lane
+  bit-parity with the scalar core *and* real order divergence across
+  the grid before timing.
 
 Usage::
 
@@ -82,6 +89,11 @@ BATCHED_SPEEDUP_FLOOR = 20.0
 #: core looped over the same lanes
 HYBRID_BATCHED_FLOOR = 8.0
 CONTENTION_BATCHED_FLOOR = 5.0
+
+#: time-ordered replay floor: the wire-divergent contention grid (the
+#: lanes the lockstep stepper refuses) must stay >= 5x faster than the
+#: scalar contention core looped over the same lanes
+CONTENTION_DIVERGENT_FLOOR = 5.0
 
 #: timing repeats (best-of is reported, to shed scheduler noise)
 REPEATS = 3
@@ -378,10 +390,10 @@ def bench_fig11_hybrid_batched() -> dict:
 
 
 def _contention_plans():
-    """Cluster-concrete lanes the vectorized contention path keeps in
-    the batch (wire grant order = structural order for these shapes;
-    e.g. hanayo-style interleavings on shared-link topologies diverge
-    and are excluded — they take the per-lane scalar replay by design).
+    """Cluster-concrete lanes the lockstep contention path keeps in the
+    batch (wire grant order = structural order for these shapes;
+    hanayo-style interleavings on shared-link topologies diverge and
+    ride the time-ordered replay instead — ``contention_divergent``).
     Eight microbatch sizes per cluster make the cost-only lane axis."""
     from repro.actions import ExecutablePlan
     from repro.analysis.throughput import (
@@ -470,6 +482,115 @@ def bench_contention_batched() -> dict:
     }
 
 
+# -- scenario: wire-divergent contention lanes, time-ordered replay -----------
+
+
+def _divergent_plans():
+    """One hanayo-2 structure retimed across 256 microbatch sizes.
+
+    Compute scales with the microbatch but the wire launch latency does
+    not, so lane grant orders genuinely reorder across the axis — the
+    shapes the lockstep stepper must refuse and the time-ordered replay
+    recovers.  One shared structure keeps the cohort pool dense, which
+    is the replay's intended operating point (a sweep's cost axis)."""
+    from repro.actions import ExecutablePlan
+    from repro.analysis.throughput import (
+        _pipeline_comm,
+        compile_cluster_program,
+    )
+    from repro.cluster import make_fc
+    from repro.config import PipelineConfig
+    from repro.models import bert_64
+    from repro.models.costs import stage_costs
+    from repro.runtime import ConcreteCosts
+    from repro.schedules import build_schedule
+
+    model = bert_64()
+    cluster = make_fc(16)
+    cfg = PipelineConfig(scheme="hanayo", num_devices=4,
+                         num_microbatches=16, num_waves=2,
+                         data_parallel=2)
+    sched = build_schedule(cfg)
+    base = stage_costs(model, sched.num_stages, cluster.device, 1)
+    program = compile_cluster_program(sched, cluster, base, d=2)
+    plans = []
+    for mb in range(1, 257):
+        costs = stage_costs(model, sched.num_stages, cluster.device, mb)
+        oracle = ConcreteCosts(costs, _pipeline_comm(cluster, 0, 4))
+        plans.append(ExecutablePlan.lower(program).retime(oracle))
+    return plans
+
+
+def _span_order(result) -> tuple:
+    """The lane's global compute order: span ids merged by start time."""
+    events = []
+    for dev, row in result.timeline.spans.items():
+        for j, top in enumerate(row):
+            events.append((top.start, str(dev), j))
+    events.sort()
+    return tuple((dev, j) for _at, dev, j in events)
+
+
+def bench_contention_divergent() -> dict:
+    from repro import profiling
+    from repro.config import RunConfig
+    from repro.runtime import execute_plan
+    from repro.runtime.batched import execute_many
+
+    plans = _divergent_plans()
+    run = RunConfig(contention=True)
+    items = [(plan, None) for plan in plans]
+    stats = profiling.batching_stats()
+    scalar_cells = stats.scalar_cells
+    recovered = stats.recovered_lanes
+    batch = execute_many(items, run, detail="lean")  # warm + probe
+    # every lane must ride the time-ordered replay: zero scalar
+    # fallbacks, and the recovered-lane counter must account for the
+    # whole grid — a regression that quietly de-batches divergent
+    # contention lanes fails here before any timing starts
+    if stats.scalar_cells != scalar_cells:
+        raise AssertionError(
+            f"divergent contention lanes fell back to scalar: "
+            f"{stats.fallback_reasons}")
+    if stats.recovered_lanes - recovered < len(plans):
+        raise AssertionError(
+            f"only {stats.recovered_lanes - recovered} of {len(plans)} "
+            f"lanes took the time-ordered replay")
+    orders = set()
+    for plan, got, err in zip(plans, batch.results, batch.errors):
+        if err is not None:
+            raise AssertionError(f"unexpected OOM in {plan.name}")
+        want = execute_plan(plan, run, detail="lean")
+        if (got.timeline.spans != want.timeline.spans
+                or got.device_end != want.device_end
+                or got.recv_wait != want.recv_wait
+                or got.collectives != want.collectives):
+            raise AssertionError(f"batched != scalar for {plan.name}")
+        orders.add(_span_order(want))
+    # the grid must actually diverge — identical grant orders would make
+    # this a second lockstep benchmark under a misleading name
+    if len(orders) < 2:
+        raise AssertionError("grid is not wire-divergent: all lanes "
+                             "share one global grant order")
+    actions = sum(plan.n_actions for plan in plans)
+
+    def scalar_pass():
+        for plan in plans:
+            execute_plan(plan, run, detail="lean")
+
+    wall = _best_of(lambda: execute_many(items, run, detail="lean"),
+                    repeats=3 * REPEATS)
+    ref_wall = _best_of(scalar_pass)
+    return {
+        "cells": len(plans),
+        "actions_per_pass": actions,
+        "wall_s": round(wall, 6),
+        "events_per_s": round(actions / wall, 1),
+        "reference_wall_s": round(ref_wall, 6),
+        "speedup_vs_reference": round(ref_wall / wall, 3),
+    }
+
+
 # -- scenario: 8 families x prefetch, raw event core -------------------------
 
 
@@ -535,14 +656,14 @@ SCENARIOS = {
     "fig09_batched": bench_fig09_batched,
     "fig11_hybrid_batched": bench_fig11_hybrid_batched,
     "contention_batched": bench_contention_batched,
+    "contention_divergent": bench_contention_divergent,
 }
 
 
 def run_all() -> dict:
-    # version 3: fig11_hybrid_batched + contention_batched join the
-    # baseline (cross-structure batching: hybrid TP > 1 lanes and
-    # vectorized contention)
-    return {"version": 3,
+    # version 4: contention_divergent joins the baseline (time-ordered
+    # vectorized replay of wire-divergent contention lanes)
+    return {"version": 4,
             "scenarios": {name: fn() for name, fn in SCENARIOS.items()}}
 
 
@@ -616,6 +737,13 @@ def check(payload: dict, baseline: dict) -> tuple[list[str], list[str]]:
             f"contention_batched: speedup {contention:.2f}x below the "
             f"required {CONTENTION_BATCHED_FLOOR:.0f}x floor"
         )
+    divergent = payload["scenarios"]["contention_divergent"][
+        "speedup_vs_reference"]
+    if divergent < CONTENTION_DIVERGENT_FLOOR:
+        problems.append(
+            f"contention_divergent: speedup {divergent:.2f}x below the "
+            f"required {CONTENTION_DIVERGENT_FLOOR:.0f}x floor"
+        )
     return problems, warnings
 
 
@@ -654,7 +782,8 @@ def main(argv=None) -> int:
               f"committed baseline; floors held (fig09 "
               f"{SPEEDUP_FLOOR:.0f}x, batched {BATCHED_SPEEDUP_FLOOR:.0f}x, "
               f"hybrid {HYBRID_BATCHED_FLOOR:.0f}x, contention "
-              f"{CONTENTION_BATCHED_FLOOR:.0f}x)")
+              f"{CONTENTION_BATCHED_FLOOR:.0f}x, divergent "
+              f"{CONTENTION_DIVERGENT_FLOOR:.0f}x)")
     return 0
 
 

@@ -19,7 +19,7 @@ fallback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..actions.collectives import with_gradient_sync
 from ..actions.lowering import ExecutablePlan
@@ -450,6 +450,9 @@ class ThroughputRequest:
     enforce_memory: bool = True
     overlap: str = "simulated"
     capacity_bytes: int | None = None
+    #: arbitrate shared wires for this cell even when the batch-wide
+    #: RunConfig leaves contention off (ORed with ``run.contention``)
+    contention: bool = False
 
     def config(self) -> PipelineConfig:
         return PipelineConfig(
@@ -510,10 +513,12 @@ def measure_throughput_batch(
         groups.setdefault(key, []).append(i)
 
     plans = plan_cache()
-    #: items for the one global execute_many, across every group
-    all_items: list[tuple] = []
+    #: items for the global execute_many calls, partitioned by the
+    #: lane's effective contention mode (plan structure is shared, the
+    #: event core is not)
+    items_by: dict[bool, list[tuple]] = {False: [], True: []}
     #: per-group fold context: (entry, schedule, group_cfg, lane_ids,
-    #: live positions, lane_costs, offset into all_items)
+    #: live positions, lane_costs, per-lane (contention, index) slots)
     pending: list[tuple] = []
     for key, lane_ids in groups.items():
         head = requests[lane_ids[0]]
@@ -567,7 +572,7 @@ def measure_throughput_batch(
                         lane_costs[pos], d=sync_d, run=run)
                     entry = plans.put(key, PlanEntry(
                         schedule, program, ExecutablePlan.lower(program)))
-                offset = len(all_items)
+                slots: list[tuple[bool, int]] = []
                 for pos in live:
                     req = requests[lane_ids[pos]]
                     costs = lane_costs[pos]
@@ -580,20 +585,31 @@ def measure_throughput_batch(
                         capacity = (req.cluster.device.memory_bytes
                                     if req.capacity_bytes is None
                                     else req.capacity_bytes)
-                    all_items.append((plan, capacity))
+                    mode = run.contention or req.contention
+                    slots.append((mode, len(items_by[mode])))
+                    items_by[mode].append((plan, capacity))
             pending.append((entry, schedule, group_cfg, lane_ids, live,
-                            lane_costs, offset))
+                            lane_costs, slots))
 
-    if all_items:
-        with profiling.cell(f"simulate [{len(all_items)} lanes]"):
+    batches: dict[bool, object] = {}
+    n_lanes = len(items_by[False]) + len(items_by[True])
+    if n_lanes:
+        with profiling.cell(f"simulate [{n_lanes} lanes]"):
             with profiling.phase("simulate"):
-                batch = execute_many(all_items, run, detail="lean")
-    for entry, schedule, group_cfg, lane_ids, live, lane_costs, offset \
+                for mode, items in items_by.items():
+                    if items:
+                        mode_run = run if mode == run.contention else \
+                            replace(run, contention=mode)
+                        batches[mode] = execute_many(items, mode_run,
+                                                     detail="lean")
+    for entry, schedule, group_cfg, lane_ids, live, lane_costs, slots \
             in pending:
         for out_pos, pos in enumerate(live):
             i = lane_ids[pos]
             req = requests[i]
-            err = batch.errors[offset + out_pos]
+            mode, idx = slots[out_pos]
+            batch = batches[mode]
+            err = batch.errors[idx]
             if err is not None:
                 outcomes[i] = ThroughputResult(
                     config=group_cfg, cluster_name=req.cluster.name,
@@ -604,7 +620,7 @@ def measure_throughput_batch(
                 )
                 continue
             sim = sim_result_from_events(entry.program,
-                                         batch.results[offset + out_pos],
+                                         batch.results[idx],
                                          schedule=schedule)
             outcomes[i] = throughput_from_simulation(
                 group_cfg, req.cluster, req.model, schedule,

@@ -166,7 +166,7 @@ def cmd_advise(args) -> int:
     query = AdviseQuery.make(
         cluster=args.cluster, model=args.model, devices=args.devices,
         batch=args.batch, tp=args.tp, dp=args.dp, top=args.top,
-        capacity_gib=args.capacity_gib,
+        capacity_gib=args.capacity_gib, contention=args.contention,
     )
     payload = advise_answer(query)
     if args.json:
@@ -212,12 +212,14 @@ def cmd_query(args) -> int:
             models=args.models, devices=args.devices,
             batches=args.batch, tp=args.tp,
             capacity_gib=args.capacity_gib,
+            contention=args.contention,
         )
     else:
         query = AdviseQuery.make(
             cluster=args.cluster, model=args.model,
             devices=args.devices, batch=args.batch[0], tp=args.tp[0],
             dp=args.dp, top=args.top, capacity_gib=args.capacity_gib,
+            contention=args.contention,
         )
     request = Request(
         f"{base}/{args.kind}", data=dumps_canonical(query.to_payload()),
@@ -321,6 +323,7 @@ def cmd_sweep(args) -> int:
         overlap=args.overlap,
         capacity_bytes=(int(args.capacity_gib * 2**30)
                         if args.capacity_gib is not None else None),
+        contention=args.contention,
         # explicitly requested layouts must error when they don't fit,
         # not vanish into an empty table
         skip_oversized=args.layouts is None,
@@ -539,6 +542,8 @@ def make_parser() -> argparse.ArgumentParser:
                    help="tensor-parallel degree (hybrid layouts)")
     a.add_argument("--capacity-gib", type=float, default=None,
                    help="override per-device memory for OOM verdicts")
+    a.add_argument("--contention", action="store_true",
+                   help="serialize transfers sharing a device pair")
     a.add_argument("--json", action="store_true",
                    help="emit the canonical JSON answer (byte-identical "
                         "to a served /advise answer of the same query)")
@@ -588,6 +593,8 @@ def make_parser() -> argparse.ArgumentParser:
                    help="restrict data-parallel widths (advise)")
     q.add_argument("--top", type=int, default=10)
     q.add_argument("--capacity-gib", type=float, default=None)
+    q.add_argument("--contention", action="store_true",
+                   help="serialize transfers sharing a device pair")
     q.add_argument("--timeout", type=float, default=120.0,
                    help="per-request socket timeout in seconds")
     q.set_defaults(fn=cmd_query)
@@ -622,6 +629,10 @@ def make_parser() -> argparse.ArgumentParser:
     sw.add_argument("--capacity-gib", type=float, default=None,
                     help="override per-device memory for OOM verdicts "
                          "(what-if smaller/larger cards)")
+    sw.add_argument("--contention", action="store_true",
+                    help="serialize transfers sharing a device pair "
+                         "(contended lanes still batch via the "
+                         "time-ordered replay)")
     sw.add_argument("-j", "--workers", type=int, default=1,
                     help="worker processes for uncached cells")
     sw.add_argument("--cache", default=None,

@@ -131,14 +131,25 @@ class BatchingStats:
     scalar_cells: int = 0
     batched_s: float = 0.0
     scalar_s: float = 0.0
+    #: lanes the time-ordered vector replay recovered — work that would
+    #: have fallen back scalar before it existed (contention lanes with
+    #: divergent wire-grant orders, full-detail contention, mid-run
+    #: capacity aborts under contention); counted *inside* the batched
+    #: totals above, broken out so recovery coverage is visible
+    recovered_batches: int = 0
+    recovered_lanes: int = 0
+    recovered_s: float = 0.0
     #: lane-count -> number of batches executed at that occupancy
     occupancy: dict[int, int] = field(default_factory=dict)
     #: why cells fell back scalar: reason -> cell count.  The taxonomy
-    #: (``contention`` / ``singleton`` / ``tp>1`` / ``deadlock`` /
+    #: (``singleton`` / ``tp>1`` / ``deadlock`` /
     #: ``structure-divergence``) makes batch-coverage regressions
     #: visible — a future change that silently de-batches a shape shows
     #: up here before it shows up in wall time.
     fallback_reasons: dict[str, int] = field(default_factory=dict)
+    #: reason -> wall seconds spent in that scalar fallback: a rare
+    #: reason burning most of the time ranks above a frequent cheap one
+    fallback_s: dict[str, float] = field(default_factory=dict)
     #: queries the serving layer answered from an identical in-flight
     #: query's result instead of executing anything (single-flight)
     dedup_hits: int = 0
@@ -149,12 +160,26 @@ class BatchingStats:
         self.batched_s += seconds
         self.occupancy[lanes] = self.occupancy.get(lanes, 0) + 1
 
+    def record_recovered(self, lanes: int, seconds: float) -> None:
+        """Count one time-ordered replay batch of ``lanes`` lanes.
+
+        A recovered batch *is* a batch — it bumps the batched totals
+        and the occupancy histogram too, so occupancy keeps summing to
+        every batched lane — and additionally the recovery counters.
+        """
+        self.record_batch(lanes, seconds)
+        self.recovered_batches += 1
+        self.recovered_lanes += lanes
+        self.recovered_s += seconds
+
     def record_scalar(self, cells: int, seconds: float,
                       reason: str = "singleton") -> None:
         self.scalar_cells += cells
         self.scalar_s += seconds
         self.fallback_reasons[reason] = \
             self.fallback_reasons.get(reason, 0) + cells
+        self.fallback_s[reason] = \
+            self.fallback_s.get(reason, 0.0) + seconds
 
     def record_dedup(self, queries: int = 1) -> None:
         self.dedup_hits += queries
@@ -165,22 +190,31 @@ class BatchingStats:
         self.scalar_cells = 0
         self.batched_s = 0.0
         self.scalar_s = 0.0
+        self.recovered_batches = 0
+        self.recovered_lanes = 0
+        self.recovered_s = 0.0
         self.occupancy.clear()
         self.fallback_reasons.clear()
+        self.fallback_s.clear()
         self.dedup_hits = 0
 
     def describe(self) -> str:
         """One-line summary, lane-occupancy and fallback histograms."""
         hist = " ".join(f"{n}x{count}" for n, count in
                         sorted(self.occupancy.items()))
-        reasons = " ".join(f"{name}={count}" for name, count in
-                           sorted(self.fallback_reasons.items()))
+        reasons = " ".join(
+            f"{name}={count}/{self.fallback_s.get(name, 0.0) * 1e3:.1f}ms"
+            for name, count in sorted(self.fallback_reasons.items()))
         text = (f"batched execution: {self.batches} batches, "
                 f"{self.lanes} lanes "
                 f"({self.batched_s * 1e3:.1f} ms batched, "
                 f"{self.scalar_cells} cells / "
                 f"{self.scalar_s * 1e3:.1f} ms scalar); "
                 f"occupancy [{hist}]; fallbacks [{reasons}]")
+        if self.recovered_lanes:
+            text += (f"; recovered {self.recovered_lanes} lanes in "
+                     f"{self.recovered_batches} time-ordered replays "
+                     f"({self.recovered_s * 1e3:.1f} ms)")
         if self.dedup_hits:
             text += f"; dedup hits {self.dedup_hits}"
         return text
@@ -199,13 +233,18 @@ def record_batch(lanes: int, seconds: float) -> None:
     _batching.record_batch(lanes, seconds)
 
 
+def record_recovered(lanes: int, seconds: float) -> None:
+    """Count one time-ordered vector replay of ``lanes`` lanes."""
+    _batching.record_recovered(lanes, seconds)
+
+
 def record_scalar(cells: int, seconds: float,
                   reason: str = "singleton") -> None:
     """Count ``cells`` cells executed through the scalar fallback.
 
-    ``reason`` names why the lockstep path was not taken — one of
-    ``contention`` / ``singleton`` / ``tp>1`` / ``deadlock`` /
-    ``structure-divergence``.
+    ``reason`` names why the vectorized paths were not taken — one of
+    ``singleton`` / ``tp>1`` / ``deadlock`` / ``structure-divergence``
+    — with wall time attributed per reason alongside the cell counts.
     """
     _batching.record_scalar(cells, seconds, reason)
 

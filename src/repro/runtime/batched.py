@@ -58,22 +58,39 @@ the scalar core whole-lane — the ``structure-divergence`` fallback.
 Vectorized contention
 ---------------------
 
-``contention=True`` lanes stay in the batch when only the lean result
-subset is requested.  The per-link arbitration state of the scalar core
-(``wire_free`` / ``wire_exch``) is lifted to ``[N]``-wide arrays and
-the batched-P2P latency-sharing arithmetic becomes masked selects, so
-the exact scalar formulas run once per wire touch for all lanes.  The
-scalar contention driver executes actions in global *time* order while
-the lockstep replay is structural, so each lane is checked as it runs:
-per wire, the action times must be nondecreasing with equal-time ties
-only between actions of one device (whose relative order both drivers
-preserve).  A lane passing that check computes the time-ordered
-driver's fixpoint exactly; a lane failing it is replayed through the
-scalar core (the ``contention`` fallback), as is a contention lane
-whose capacity aborts mid-run (the abort attribution is
-driver-dependent).  Full-detail contention requests always go scalar:
-the ``comm`` and ``mem_events`` logs interleave in driver order, which
-only the scalar driver produces.
+``contention=True`` lanes stay in the batch.  The per-link arbitration
+state of the scalar core (``wire_free`` / ``wire_exch``) is lifted to
+``[N]``-wide arrays and the batched-P2P latency-sharing arithmetic
+becomes masked selects, so the exact scalar formulas run once per wire
+touch for all lanes.  The scalar contention driver executes actions in
+global *time* order while the lockstep replay is structural, so lean
+batches run the cheap lockstep pass first and check each lane as it
+runs: per wire, the action times must be nondecreasing with equal-time
+ties only between actions of one device (whose relative order both
+drivers preserve).  A lane passing that check computes the time-ordered
+driver's fixpoint exactly.
+
+Time-ordered vector replay
+--------------------------
+
+Lanes the witness flags — wire-grant orders that leave structural
+order, e.g. hanayo-style wave interleavings on shared-link topologies —
+and every full-detail contention lane (whose ``comm``/``mem_events``
+logs interleave in driver order) are *recovered* by
+:func:`_execute_time_ordered`: a vectorized twin of the scalar
+contention driver itself.  Per-lane event cursors advance through the
+plan in each lane's own grant-time order; lanes sharing a structural
+state — the cursor tuple plus the posted-group bits, which determine
+every blocking predicate — form a **cohort**, and each pop evaluates
+the scalar driver's exact ``peek``/``step`` expressions lane-wise as
+one NumPy op per device over the cohort.  A cohort whose lanes choose
+different devices splits; cohorts whose states re-converge merge, so
+sibling lanes that diverge only transiently keep amortizing.  Mid-run
+capacity aborts stay in-batch too: watermark levels are structural, so
+a violating allocation kills exactly the lanes it would kill under the
+scalar driver, at the same pop, with the same attribution.  Lanes whose
+oracles intern different wire tables batch per wire-signature group
+instead of falling back.
 
 Bit-identity
 ------------
@@ -105,10 +122,11 @@ per-event mask branches; live lanes never stall on them.
 
 Remaining scalar fallbacks go through :func:`execute_plan` unchanged,
 and every fallback is *reason-coded* —
-``contention`` / ``singleton`` / ``tp>1`` / ``deadlock`` /
-``structure-divergence`` — in
-:func:`repro.profiling.batching_stats`, so batch-coverage regressions
-are visible in ``--profile`` output.
+``singleton`` / ``tp>1`` / ``deadlock`` / ``structure-divergence``
+(defensive; congruent batches cannot reach it) — in
+:func:`repro.profiling.batching_stats`, with wall time attributed per
+reason and recovered-lane counts for the time-ordered replay, so
+batch-coverage regressions are visible in ``--profile`` output.
 
 Known divergence: a *deadlocking* structure raises
 :class:`~repro.errors.SchedulingError` for the whole batch (replayed
@@ -182,15 +200,23 @@ class LockstepSchedule:
     #: False when a compiler invariant the vector step relies on does
     #: not hold (never for compiled programs; defensive)
     vectorizable: bool
-    #: last stacked cost matrices ``(key, Cm, Tm, Sm, Lm)`` — reused
-    #: when the same fully-resolved lane set executes again (see
-    #: :func:`_execute_lockstep`); ``Lm`` (send latencies) is filled
-    #: lazily, on the first contention execution of the lane set
-    cost_rows: tuple | None = None
+    #: stacked cost matrices keyed by ``(lane ids, resolve extents)`` —
+    #: reused when the same fully-resolved lane set executes again (see
+    #: :func:`_stacked_costs`); a congruence group typically alternates
+    #: between its lockstep set and its time-ordered redo set, so a few
+    #: keyed entries are kept instead of one.  ``Lm`` (send latencies)
+    #: is filled lazily, on the first contention execution of a set
+    cost_rows: dict = field(default_factory=dict)
     #: memoized event-stream parity verdicts against other structural
     #: replays (congruent-group check); values hold a strong reference
     #: to the compared schedule so its ``id`` stays valid
     event_parity: dict = field(default_factory=dict)
+    #: cost-independent lookup tables of the time-ordered driver,
+    #: derived once per program on its first recovered execution
+    time_tables: "object | None" = None
+    #: per-compute memory-trace entries, keyed by cid — the time-ordered
+    #: driver emits them in each lane's own pop order (lazily built)
+    mem_by_cid: dict | None = None
 
 
 def _build_lockstep(plan: ExecutablePlan) -> LockstepSchedule:
@@ -477,10 +503,11 @@ def execute_batch(
     is shared.  Parity with the scalar core is pinned field-for-field
     in full detail; lean results are an exact subset.
 
-    Contention batches require ``detail="lean"`` — the full-detail
-    ``comm``/``mem_events`` logs interleave in driver order, which the
-    structural replay cannot reproduce under wire arbitration — and
-    fall back to the scalar core per lane otherwise.
+    Contention batches run the lockstep pass first at ``detail="lean"``
+    and recover witness-flagged lanes through the time-ordered vector
+    replay; full-detail contention batches (whose ``comm`` and
+    ``mem_events`` logs interleave in driver order) go straight to the
+    time-ordered replay — no lane leaves the batch either way.
     """
     run = run or RunConfig()
     plans, caps_raw = batch.plans, batch.capacities
@@ -491,9 +518,6 @@ def execute_batch(
                 f"{plan.program.name}: capacity enforcement needs a "
                 "resource-annotated program (compile with resources=...)"
             )
-    if run.contention and detail != "lean":
-        return _scalar_batch(batch, run, detail=detail,
-                             reason="contention")
     ls = lockstep_schedule(head)
     if ls.deadlock:
         # Replay one lane through the scalar core for the identical
@@ -527,42 +551,88 @@ def execute_batch(
             scalar_k[k] = "structure-divergence"
             continue
         lane_lss[k] = lls
-    if run.contention:
-        # The [N]-wide wire state requires every lane to intern the
-        # same wires; the interning lives in global-rank space, so a
-        # lane whose oracle maps ranks differently cannot share it.
-        sw, cw, nw = head.send_wire, head.coll_wires, head.n_wires
-        for k in range(1, n_lanes):
-            if k in scalar_k:
-                continue
-            plan = plans[k]
-            if (plan.n_wires != nw or plan.send_wire != sw
-                    or plan.coll_wires != cw):
-                scalar_k[k] = "structure-divergence"
 
     live = [k for k in range(n_lanes) if k not in scalar_k]
     results: list[EventResult | None] = [None] * n_lanes
     errors: list[OutOfMemoryError | None] = [None] * n_lanes
-    if live:
+
+    def run_time_ordered(group: list[int]) -> None:
         t0 = time.perf_counter()
-        sub, redo = _execute_lockstep(
+        tsub = _execute_time_ordered(
+            ls, [plans[k] for k in group], [lane_lss[k] for k in group],
+            [caps_raw[k] for k in group], run, detail=detail)
+        profiling.record_recovered(len(group), time.perf_counter() - t0)
+        for pos, k in enumerate(group):
+            results[k] = tsub.results[pos]
+            errors[k] = tsub.errors[pos]
+
+    if live and not run.contention:
+        t0 = time.perf_counter()
+        sub, _redo = _execute_lockstep(
             ls, [plans[k] for k in live], [lane_lss[k] for k in live],
             [caps_raw[k] for k in live], run, detail=detail)
-        lanes_kept = len(live) - len(redo)
-        if lanes_kept:
-            profiling.record_batch(lanes_kept, time.perf_counter() - t0)
+        profiling.record_batch(len(live), time.perf_counter() - t0)
         for pos, k in enumerate(live):
-            if pos in redo:
-                # per-lane wire-order divergence or a mid-run OOM whose
-                # abort attribution is driver-dependent
-                scalar_k[k] = "contention"
-            else:
-                results[k] = sub.results[pos]
-                errors[k] = sub.errors[pos]
+            results[k] = sub.results[pos]
+            errors[k] = sub.errors[pos]
+    elif live:
+        # The [N]-wide wire state requires every lane of one vectorized
+        # pass to intern the same wires; the interning lives in
+        # global-rank space, so lanes whose oracles map ranks
+        # differently execute as separate wire-signature groups.
+        for group in _wire_groups(plans, live):
+            if detail != "lean":
+                # driver-order comm/mem logs: time-ordered from the start
+                run_time_ordered(group)
+                continue
+            t0 = time.perf_counter()
+            sub, redo = _execute_lockstep(
+                ls, [plans[k] for k in group],
+                [lane_lss[k] for k in group],
+                [caps_raw[k] for k in group], run, detail=detail)
+            lanes_kept = len(group) - len(redo)
+            if lanes_kept:
+                profiling.record_batch(lanes_kept,
+                                       time.perf_counter() - t0)
+            for pos, k in enumerate(group):
+                if pos not in redo:
+                    results[k] = sub.results[pos]
+                    errors[k] = sub.errors[pos]
+            if redo:
+                # per-lane wire-grant orders that left structural order,
+                # or mid-run OOMs whose abort attribution is
+                # driver-dependent: recovered in each lane's own time
+                # order instead of replayed scalar
+                run_time_ordered([group[pos] for pos in sorted(redo)])
     for k, reason in scalar_k.items():
         results[k], errors[k] = _scalar_lane(plans[k], run, caps_raw[k],
                                              detail=detail, reason=reason)
     return BatchResult(results=results, errors=errors)
+
+
+def _wire_groups(plans, live: list[int]) -> list[list[int]]:
+    """Partition ``live`` lanes by wire signature, first-seen order.
+
+    Two retimes of one structure intern equal wire tables whenever
+    their oracles agree on the global-rank map; a lane that interned
+    differently cannot share the ``[N]``-wide wire-state arrays, so it
+    anchors its own group (wire interning happens at retime, so even
+    plans sharing a program object must compare by content).
+    """
+    groups: list[list[int]] = []
+    reps: list = []
+    for k in live:
+        plan = plans[k]
+        for gi, rep in enumerate(reps):
+            if (plan.n_wires == rep.n_wires
+                    and plan.send_wire == rep.send_wire
+                    and plan.coll_wires == rep.coll_wires):
+                groups[gi].append(k)
+                break
+        else:
+            reps.append(plan)
+            groups.append([k])
+    return groups
 
 
 def _scalar_batch(batch: PlanBatch, run: RunConfig, *,
@@ -590,16 +660,109 @@ def _scalar_lane(plan, run, capacity_bytes, *, detail, reason):
         profiling.record_scalar(1, time.perf_counter() - t0, reason)
 
 
+#: entries kept in the per-schedule stacked-cost cache; a structure's
+#: steady state needs at most a handful of distinct lane sets (the
+#: lockstep set plus its time-ordered redo set per wire group)
+_COST_ROW_CACHE = 4
+
+
+def _stacked_costs(ls: LockstepSchedule, plans, resolve_upto, *,
+                   with_lat: bool, mutable: bool = False):
+    """Stack per-lane cost columns into ``[n, N]`` row lists.
+
+    Resolves each lane's lazy compute costs for ``exec_seq`` up to its
+    ``resolve_upto`` extent (the lazy-cost contract: an aborted lane
+    resolves nothing beyond its aborting compute, a statically-rejected
+    lane resolves nothing).  A repeated pass over the same bound plans
+    (the cached-binding sweep steady state) produces the same matrices:
+    once every lane's column is fully resolved the stacked rows are
+    cached on the schedule, keyed by the exact lane set and replay
+    extents.  ``Lm`` (send latencies) is filled lazily, on the first
+    contention execution of a lane set.  ``mutable=True`` bypasses the
+    cache both ways — the time-ordered driver fills mid-run-aborting
+    lanes' cells in place as it pops, which must never touch shared
+    rows.
+    """
+    exec_seq = ls.exec_seq
+    mat_key = (tuple(id(p) for p in plans), tuple(resolve_upto))
+    cached = None if mutable else ls.cost_rows.get(mat_key)
+    if (cached is not None
+            and all(getattr(p, "_fully_resolved", False) for p in plans)):
+        Cm, Tm, Sm, Lm = cached
+        if with_lat and Lm is None:
+            Lm = list(np.ascontiguousarray(
+                np.array([p.send_lat for p in plans],
+                         dtype=np.float64).T))
+            ls.cost_rows[mat_key] = (Cm, Tm, Sm, Lm)
+        return Cm, Tm, Sm, Lm
+    cols = []
+    for k, plan in enumerate(plans):
+        comp_cost = plan.comp_cost
+        oracle = plan.costs
+        comp_ops_k = plan.comp_ops
+        for a in exec_seq[:resolve_upto[k]]:
+            if comp_cost[a] is None:
+                comp_cost[a] = oracle.duration(comp_ops_k[a])
+        if resolve_upto[k] == len(exec_seq):
+            plan._fully_resolved = True
+        cols.append([0.0 if c is None else c for c in comp_cost])
+    # row lists: plain list indexing per event beats ndarray row
+    # slicing at sweep-typical lane counts
+    Cm = list(np.ascontiguousarray(np.array(cols, dtype=np.float64).T))
+    Tm = list(np.ascontiguousarray(
+        np.array([p.send_time for p in plans], dtype=np.float64).T))
+    Sm = list(np.ascontiguousarray(
+        np.array([p.coll_step_time for p in plans], dtype=np.float64).T))
+    Lm = None
+    if with_lat:
+        Lm = list(np.ascontiguousarray(
+            np.array([p.send_lat for p in plans], dtype=np.float64).T))
+    if (not mutable
+            and all(getattr(p, "_fully_resolved", False) for p in plans)):
+        if len(ls.cost_rows) >= _COST_ROW_CACHE:
+            ls.cost_rows.pop(next(iter(ls.cost_rows)))
+        ls.cost_rows[mat_key] = (Cm, Tm, Sm, Lm)
+    return Cm, Tm, Sm, Lm
+
+
+def _lane_timeline(plan, lane_ls: LockstepSchedule, cs, ce) -> Timeline:
+    """One lane's timeline from its per-device structural compute order.
+
+    Correct under both drivers: per-device compute order is program
+    order whatever the interleaving, and per-device starts are monotone
+    (the device clock never regresses), so the rows below are exactly
+    the sorted spans :func:`_materialize` would build.
+    """
+    tl_new = TimedOp.__new__
+    comp_ops = plan.comp_ops
+    spans: dict = {}
+    for dev, cids in lane_ls.dev_cids:
+        row = []
+        push = row.append
+        for cid in cids:
+            # frozen-dataclass __init__ dominates lane fold time at
+            # this op count; filling the field dict directly keeps
+            # eq/hash semantics while skipping the guarded setattrs
+            top = tl_new(TimedOp)
+            d = top.__dict__
+            d["op"] = comp_ops[cid]
+            d["start"] = cs[cid]
+            d["end"] = ce[cid]
+            push(top)
+        spans[dev] = row
+    return Timeline(spans=spans)
+
+
 def _execute_lockstep(ls: LockstepSchedule, plans, lane_lss, caps_raw,
                       run: RunConfig, *,
                       detail: str) -> tuple[BatchResult, set[int]]:
     """The timed pass over one structural replay.
 
     Returns the per-lane outcomes plus the set of lane positions that
-    must be *redone* through the scalar core (contention lanes whose
-    wire-grant order diverged from the time-ordered driver, or whose
-    capacity aborts mid-run under contention) — their columns here are
-    garbage and were never materialized.
+    must be *redone* through the time-ordered vector replay (contention
+    lanes whose wire-grant order diverged from the time-ordered driver,
+    or whose capacity aborts mid-run under contention) — their columns
+    here are garbage and were never materialized.
     """
     head = plans[0]
     devices = head.devices
@@ -654,43 +817,8 @@ def _execute_lockstep(ls: LockstepSchedule, plans, lane_lss, caps_raw,
             resolve_upto[k] = lane_ls.alloc_pos[j] + 1
 
     # -- per-lane cost columns -> [n, N] matrices ------------------------
-    # A repeated pass over the same bound plans (the cached-binding
-    # sweep steady state) produces the same matrices: once every lane's
-    # column is fully resolved the stacked rows are cached on the
-    # schedule, keyed by the exact lane set and replay extents.
-    mat_key = (tuple(id(p) for p in plans), tuple(resolve_upto))
-    cached = ls.cost_rows
-    Lm = None
-    if (cached is not None and cached[0] == mat_key
-            and all(getattr(p, "_fully_resolved", False) for p in plans)):
-        _, Cm, Tm, Sm, Lm = cached
-    else:
-        cols = []
-        for k, plan in enumerate(plans):
-            comp_cost = plan.comp_cost
-            oracle = plan.costs
-            comp_ops_k = plan.comp_ops
-            for a in exec_seq[:resolve_upto[k]]:
-                if comp_cost[a] is None:
-                    comp_cost[a] = oracle.duration(comp_ops_k[a])
-            if resolve_upto[k] == len(exec_seq):
-                plan._fully_resolved = True
-            cols.append([0.0 if c is None else c for c in comp_cost])
-        # row lists: plain list indexing per event beats ndarray row
-        # slicing at sweep-typical lane counts
-        Cm = list(np.ascontiguousarray(np.array(cols, dtype=np.float64).T))
-        Tm = list(np.ascontiguousarray(
-            np.array([p.send_time for p in plans], dtype=np.float64).T))
-        Sm = list(np.ascontiguousarray(
-            np.array([p.coll_step_time for p in plans],
-                     dtype=np.float64).T))
-        if all(getattr(p, "_fully_resolved", False) for p in plans):
-            ls.cost_rows = (mat_key, Cm, Tm, Sm, None)
-    if contention and Lm is None:
-        Lm = list(np.ascontiguousarray(
-            np.array([p.send_lat for p in plans], dtype=np.float64).T))
-        if ls.cost_rows is not None and ls.cost_rows[0] == mat_key:
-            ls.cost_rows = ls.cost_rows[:4] + (Lm,)
+    Cm, Tm, Sm, Lm = _stacked_costs(ls, plans, resolve_upto,
+                                    with_lat=contention)
 
     # -- lane-axis state -------------------------------------------------
     zero = np.zeros(n_lanes)
@@ -889,30 +1017,13 @@ def _execute_lockstep(ls: LockstepSchedule, plans, lane_lss, caps_raw,
         SP = np.array(sp_l) if sp_l else empty
         SE = np.array(se_l) if se_l else empty
     results: list[EventResult | None] = [None] * n_lanes
-    tl_new = TimedOp.__new__
     for k, plan in enumerate(plans):
         if errors[k] is not None or k in redo:
             continue
         lane_ls = lane_lss[k]
-        comp_ops = plan.comp_ops
         cs = CS[:, k].tolist()
         ce = CE[:, k].tolist()
-        spans: dict = {}
-        for dev, cids in lane_ls.dev_cids:
-            row = []
-            push = row.append
-            for cid in cids:
-                # frozen-dataclass __init__ dominates lane fold time at
-                # this op count; filling the field dict directly keeps
-                # eq/hash semantics while skipping the guarded setattrs
-                top = tl_new(TimedOp)
-                d = top.__dict__
-                d["op"] = comp_ops[cid]
-                d["start"] = cs[cid]
-                d["end"] = ce[cid]
-                push(top)
-            spans[dev] = row
-        lane_tl = Timeline(spans=spans)
+        lane_tl = _lane_timeline(plan, lane_ls, cs, ce)
         clock_k = [float(clock[di][k]) for di in range(num_devices)]
         recv_k = [float(recv_wait[di][k]) for di in range(num_devices)]
         coll_k = [
@@ -937,6 +1048,610 @@ def _execute_lockstep(ls: LockstepSchedule, plans, lane_lss, caps_raw,
             ls.send_batched, coll_k, mem_k, clock_k, recv_k, mem_peak,
             detail=detail, timeline=lane_tl)
     return BatchResult(results=results, errors=errors), redo
+
+
+class _TimeTables:
+    """Cost-independent lookup tables of the time-ordered driver.
+
+    The scalar ``peek``/``step`` walk the CSR dependency arrays per
+    visit; the vector driver visits each blocking predicate once per
+    *cohort*, so the per-compute local/remote splits are precomputed
+    (in dependency order — the fold order every timing expression
+    inherits) and cached on the structural replay.
+    """
+
+    __slots__ = ("comp_ldeps", "comp_rslots")
+
+    def __init__(self, plan: ExecutablePlan):
+        dep_ptr = plan.dep_ptr
+        dep_remote, dep_idx = plan.dep_remote, plan.dep_idx
+        ldeps: list[tuple] = []
+        rslots: list[tuple] = []
+        for a in range(plan.n_computes):
+            ld: list[int] = []
+            rs: list[int] = []
+            for e in range(dep_ptr[a], dep_ptr[a + 1]):
+                if dep_remote[e]:
+                    rs.append(dep_idx[e])
+                else:
+                    ld.append(dep_idx[e])
+            ldeps.append(tuple(ld))
+            rslots.append(tuple(rs))
+        self.comp_ldeps = ldeps
+        self.comp_rslots = rslots
+
+
+def _mem_by_cid(lane_ls: LockstepSchedule) -> dict:
+    """Memory-trace entries grouped per compute, lazily cached.
+
+    The time-ordered driver emits memory events in each lane's own pop
+    order; deltas and watermark levels are structural, so grouping the
+    structural trace by compute id lets a lane rebuild its driver-order
+    log from its compute pop sequence alone.
+    """
+    m = lane_ls.mem_by_cid
+    if m is None:
+        m = {}
+        for di, cid, delta, level, is_alloc in lane_ls.mem_trace:
+            m.setdefault(cid, []).append((di, delta, level, is_alloc))
+        lane_ls.mem_by_cid = m
+    return m
+
+
+#: peek-cache sentinel — distinguishes "never computed / stale" from a
+#: cached ``None`` ("head is flag-blocked", still a valid cache entry)
+_UNSET = object()
+
+
+class _Cohort:
+    """Lanes sharing one structural state of the time-ordered driver.
+
+    Blocking predicates read only flags (``comp_done`` / ``posted`` /
+    ``batch_posted``) and cursors — all here, all shared cohort-wide —
+    so one peek per device serves every lane; only *times* differ, and
+    those live in the group-global ``[*, N]`` arrays indexed by
+    ``lanes``.
+    """
+
+    __slots__ = ("lanes", "cursors", "comp_done", "posted",
+                 "batch_posted", "done", "peeks")
+
+    def __init__(self, lanes, cursors, comp_done, posted, batch_posted,
+                 done):
+        self.lanes = lanes              # np.intp, ascending
+        self.cursors = cursors          # per-device next action index
+        self.comp_done = comp_done
+        self.posted = posted
+        self.batch_posted = batch_posted
+        self.done = done                # actions fully executed
+        self.peeks = None               # per-device peek cache (lazy)
+
+
+def _execute_time_ordered(ls: LockstepSchedule, plans, lane_lss,
+                          caps_raw, run: RunConfig, *,
+                          detail: str) -> BatchResult:
+    """A vectorized twin of the scalar time-ordered contention driver.
+
+    Per-lane event cursors advance through the plan in each lane's own
+    grant-time order.  Lanes sharing a structural state — the cursor
+    tuple plus the posted-group bits — form a cohort; each iteration
+    pops the least-advanced cohort once: one vectorized ``peek`` per
+    device over the cohort's lanes, the globally-earliest device chosen
+    per lane with the scalar driver's exact tie-break (strict ``<``,
+    ascending device), and the scalar ``step`` expressions evaluated
+    lane-wise for each chosen device.  Lanes choosing different devices
+    split the cohort; cohorts whose structural states re-converge merge
+    (timing state is global, so a merge is just a lane-set union).
+
+    Mid-run capacity aborts happen in-batch: the violating allocations
+    are structural, so each risky lane dies at whichever violating
+    compute *its own* pop order reaches first — the scalar abort point
+    — with the same device/peak attribution; its lazy compute costs
+    resolve in pop order up to and including the aborting compute,
+    preserving the lazy-cost contract.
+
+    Every produced :class:`EventResult` is bit-identical to a scalar
+    ``execute_plan(plan, run, capacity_bytes=cap, detail=detail)`` of
+    that lane alone: the fold orders (dependency order for arrivals and
+    in-flight sums, wire-id order for collective steps, per-device
+    program order for receives) and tie-breaking selects mirror the
+    scalar core expression for expression.
+    """
+    head = plans[0]
+    devices = head.devices
+    num_devices = len(devices)
+    n = len(plans)
+    full = detail != "lean"
+    prefetch = head.prefetch
+    codes, args = head.codes, head.args
+    send_slot, send_wire = head.send_slot, head.send_wire
+    batch_send_ids, batch_recv_ids = head.batch_send_ids, head.batch_recv_ids
+    batch_exch = head.batch_exch
+    recv_slot = head.recv_slot
+    coll_active, coll_nsteps = head.coll_active, head.coll_nsteps
+    coll_count, coll_blocking = head.coll_count, head.coll_blocking
+    coll_wires_t = head.coll_wires
+    n_comp = head.n_computes
+    n_send = len(head.send_src)
+    n_slots = head.n_slots
+    n_wires = head.n_wires
+
+    # -- per-lane gating: static pre-check, mid-run violation map --------
+    errors: list[OutOfMemoryError | None] = [None] * n
+    results: list[EventResult | None] = [None] * n
+    resolve_upto = [len(ls.exec_seq)] * n
+    #: lanes that will abort mid-run: their costs resolve in pop order
+    risky: dict[int, ExecutablePlan] = {}
+    #: cid -> [(lane, level, device index)] violating allocations
+    viol_map: dict[int, list[tuple[int, float, int]]] = {}
+    for k, cap in enumerate(caps_raw):
+        if cap is None:
+            continue
+        try:
+            plans[k].program.check_static_memory(cap)
+        except OutOfMemoryError as exc:
+            errors[k] = exc
+            resolve_upto[k] = 0
+            continue
+        lane_ls = lane_lss[k]
+        if not len(lane_ls.alloc_levels):
+            continue
+        viol = lane_ls.alloc_levels > cap
+        if viol.any():
+            risky[k] = plans[k]
+            resolve_upto[k] = 0
+            lane_seq = lane_ls.exec_seq
+            for j in np.nonzero(viol)[0]:
+                j = int(j)
+                cid = lane_seq[lane_ls.alloc_pos[j]]
+                viol_map.setdefault(cid, []).append(
+                    (k, float(lane_ls.alloc_levels[j]),
+                     lane_ls.alloc_di[j]))
+
+    Cm, Tm, Sm, Lm = _stacked_costs(ls, plans, resolve_upto,
+                                    with_lat=True, mutable=bool(risky))
+
+    tt = ls.time_tables
+    if tt is None:
+        tt = ls.time_tables = _TimeTables(head)
+    comp_ldeps, comp_rslots = tt.comp_ldeps, tt.comp_rslots
+
+    # -- group-global timing state, [*, N] -------------------------------
+    CLK = np.zeros((num_devices, n))
+    CF = np.zeros((num_devices, n))     # per-device NIC cursors
+    RW = np.zeros((num_devices, n))
+    TS = np.zeros((n_slots, n))
+    TE = np.zeros((n_slots, n))
+    CS = np.zeros((n_comp, n))
+    CE = np.zeros((n_comp, n))
+    WF = np.zeros((n_wires, n))
+    WE = np.full((n_wires, n), -1, dtype=np.int64)
+    tracked_any = any(p.program.tracks_memory for p in plans)
+    if full:
+        SP = np.zeros((n_send, n))
+        SS = np.zeros((n_send, n))
+        SE_ = np.zeros((n_send, n))
+        #: per-lane driver-order send posting / compute pop logs — the
+        #: only per-lane bookkeeping the vector pops do, and only at
+        #: full detail (the comm-sort and mem-event tie-breaks are the
+        #: sole consumers of driver order)
+        pop_post: list[list[int]] | None = [[] for _ in range(n)]
+        pop_comp: list[list[int]] | None = (
+            [[] for _ in range(n)] if tracked_any else None)
+    else:
+        SP = SS = SE_ = None
+        pop_post = pop_comp = None
+    #: lid -> (device, post, start, end, [(step start, step end), ...])
+    coll_recs: dict[int, tuple] = {}
+
+    maximum, minimum, where = np.maximum, np.minimum, np.where
+
+    def peek_vec(co: _Cohort, di: int, X):
+        """Earliest execution times of the device's head, None if blocked.
+
+        ``X`` indexes the cohort's lanes into the [*, N] state arrays —
+        ``slice(None)`` when the cohort holds every lane (views, no
+        fancy-index copies), its lane array otherwise.
+        """
+        i = co.cursors[di]
+        dev_codes = codes[di]
+        if i >= len(dev_codes):
+            return None
+        code = dev_codes[i]
+        a = args[di][i]
+        if code == OP_COMPUTE:
+            comp_done = co.comp_done
+            for x in comp_ldeps[a]:
+                if not comp_done[x]:
+                    return None
+            at = CLK[di, X]
+            if prefetch:
+                posted = co.posted
+                rs = comp_rslots[a]
+                for r in rs:
+                    if not posted[r]:
+                        return None
+                for r in rs:
+                    at = maximum(at, TE[r, X])
+            return at
+        if code == OP_RECV and not prefetch:
+            slot = recv_slot[a]
+            if not co.posted[slot]:
+                return None
+            s = TS[slot, X]
+            cl = CLK[di, X]
+            return where(cl >= s, cl, s)
+        if code == OP_BATCH and not prefetch:
+            if not co.batch_posted[a]:
+                return CLK[di, X]  # the posts themselves are due
+            earliest = None
+            for rid in batch_recv_ids[a]:
+                slot = recv_slot[rid]
+                if not co.posted[slot]:
+                    return None
+                s = TS[slot, X]
+                earliest = s if earliest is None else minimum(earliest, s)
+            cl = CLK[di, X]
+            return where(cl >= earliest, cl, earliest)
+        return CLK[di, X]  # sends, free posts, collectives, flush, step
+
+    def step_vec(co: _Cohort, di: int, L, X) -> bool:
+        """Execute one action lane-wise; False if the device must block.
+
+        ``L`` is the cohort's lane array (bookkeeping: pop logs, lazy
+        cost resolution, OOM kills); ``X`` is the state-array indexer —
+        ``slice(None)`` when the cohort holds every lane.
+        """
+        i = co.cursors[di]
+        code = codes[di][i]
+        a = args[di][i]
+        if code == OP_COMPUTE:
+            ready = CLK[di, X]
+            rs = comp_rslots[a] if prefetch else ()
+            if rs:
+                r = rs[0]
+                arrival = TE[r, X]
+                in_flight = arrival - TS[r, X]
+                for r in rs[1:]:
+                    te = TE[r, X]
+                    arrival = maximum(arrival, te)
+                    in_flight = in_flight + (te - TS[r, X])
+                # the lockstep formula (see _execute_lockstep): the
+                # scalar stall-vs-in-flight select in one ufunc, exact
+                RW[di, X] = RW[di, X] + maximum(
+                    minimum(arrival - ready, in_flight), 0.0)
+                start = maximum(ready, arrival)
+            else:
+                start = ready
+            row = Cm[a]
+            if risky:
+                for lane in L.tolist():
+                    p = risky.get(lane)
+                    if p is not None:
+                        c = p.comp_cost[a]
+                        if c is None:
+                            c = p.costs.duration(p.comp_ops[a])
+                            p.comp_cost[a] = c
+                        row[lane] = c
+            end = start + row[X]
+            CS[a, X] = start
+            CE[a, X] = end
+            CLK[di, X] = end
+            co.comp_done[a] = 1
+            if pop_comp is not None:
+                for lane in L.tolist():
+                    pop_comp[lane].append(a)
+            hit = viol_map.get(a)
+            if hit:
+                dead = []
+                for lane, level, adi in hit:
+                    if (L == lane).any():
+                        errors[lane] = OutOfMemoryError(
+                            devices[adi], int(level), caps_raw[lane])
+                        dead.append(lane)
+                if dead:
+                    co.lanes = co.lanes[~np.isin(co.lanes, dead)]
+            return True
+        if code == OP_SEND:
+            post = CLK[di, X]
+            t = Tm[a][X]
+            tpos = t > 0.0
+            slot = send_slot[a]
+            if tpos.any():
+                w = send_wire[a]
+                wf = WF[w, X]
+                busy = tpos & (post < wf)
+                start = where(busy, wf, post)
+                end = start + t
+                WF[w, X] = where(tpos, end, wf)
+                WE[w, X] = where(tpos, -1, WE[w, X])
+            else:
+                start = post
+                end = post + t
+            TS[slot, X] = start
+            TE[slot, X] = end
+            co.posted[slot] = 1
+            if full:
+                SP[a, X] = post
+                SS[a, X] = start
+                SE_[a, X] = end
+                for lane in L.tolist():
+                    pop_post[lane].append(a)
+            return True
+        if code == OP_COLL:
+            post = CLK[di, X]
+            cf = CF[di, X]
+            start = where(post >= cf, post, cf)
+            t = start
+            rec = coll_recs.get(a)
+            if rec is None:
+                rec = (di, np.zeros(n), np.zeros(n), np.zeros(n), [])
+                coll_recs[a] = rec
+            if coll_active[a]:
+                step_time = Sm[a][X]
+                wids = coll_wires_t[a]
+                steps = rec[4]
+                round_time = None
+                for si in range(coll_nsteps[a]):
+                    step_start = t
+                    for w in wids:
+                        step_start = maximum(step_start, WF[w, X])
+                    step_end = step_start + step_time
+                    if len(steps) <= si:
+                        steps.append((np.zeros(n), np.zeros(n)))
+                    steps[si][0][X] = step_start
+                    steps[si][1][X] = step_end
+                    round_time = (step_time if round_time is None
+                                  else round_time + step_time)
+                    for w in wids:
+                        WF[w, X] = step_end
+                        WE[w, X] = -1
+                    t = step_end
+                count = coll_count[a]
+                if count != 1.0:
+                    # remaining rounds repeat the first back-to-back;
+                    # the wires stay held for the whole run
+                    t = t + (count - 1.0) * round_time
+                    for w in wids:
+                        WF[w, X] = t
+            CF[di, X] = t
+            rec[1][X] = post
+            rec[2][X] = start
+            rec[3][X] = t
+            if coll_blocking[a]:
+                CLK[di, X] = t
+            return True
+        if code == OP_RECV:
+            if prefetch:
+                return True  # free post; arrival is awaited by computes
+            slot = recv_slot[a]
+            s = TS[slot, X]
+            duration = TE[slot, X] - s
+            cl = CLK[di, X]
+            CLK[di, X] = where(cl >= s, cl, s) + duration
+            RW[di, X] = RW[di, X] + duration
+            return True
+        if code == OP_BATCH:
+            if not co.batch_posted[a]:
+                exch = batch_exch[a]
+                post = CLK[di, X]
+                for sid in batch_send_ids[a]:
+                    t = Tm[sid][X]
+                    tpos = t > 0.0
+                    slot = send_slot[sid]
+                    if tpos.any():
+                        w = send_wire[sid]
+                        wf = WF[w, X]
+                        we = WE[w, X]
+                        busy = tpos & (post < wf)
+                        start = where(busy, wf, post)
+                        # the opposing transfer of the *same* batched
+                        # exchange holds the wire: the follower pays
+                        # bytes only, not a second launch latency
+                        dur = where(busy & (we == exch),
+                                    maximum(t - Lm[sid][X], 0.0), t)
+                        end = start + dur
+                        WF[w, X] = where(tpos, end, wf)
+                        WE[w, X] = where(tpos, exch, we)
+                    else:
+                        start = post
+                        end = post + t
+                    TS[slot, X] = start
+                    TE[slot, X] = end
+                    co.posted[slot] = 1
+                    if full:
+                        SP[sid, X] = post
+                        SS[sid, X] = start
+                        SE_[sid, X] = end
+                        for lane in L.tolist():
+                            pop_post[lane].append(sid)
+                co.batch_posted[a] = 1
+            if not prefetch:
+                recvs = batch_recv_ids[a]
+                posted = co.posted
+                for rid in recvs:
+                    if not posted[recv_slot[rid]]:
+                        # the posts were the progress; the cohort keeps
+                        # its cursor and re-peeks once the senders post
+                        return False
+                for rid in recvs:
+                    slot = recv_slot[rid]
+                    s = TS[slot, X]
+                    duration = TE[slot, X] - s
+                    cl = CLK[di, X]
+                    CLK[di, X] = where(cl >= s, cl, s) + duration
+                    RW[di, X] = RW[di, X] + duration
+            return True
+        return True  # OP_NOOP: flush/step; simulate_training charges it
+
+    # -- the cohort pop loop ---------------------------------------------
+    live = [k for k in range(n) if errors[k] is None]
+    total = head.n_actions
+    pool: dict[tuple, _Cohort] = {}
+    finished: list[_Cohort] = []
+
+    def pool_add(co: _Cohort) -> None:
+        if not len(co.lanes):
+            return
+        if co.done == total:
+            finished.append(co)
+            return
+        key = (tuple(co.cursors), bytes(co.batch_posted))
+        ex = pool.get(key)
+        if ex is not None:
+            ex.lanes = np.sort(np.concatenate((ex.lanes, co.lanes)))
+            ex.peeks = None  # lane set changed: cached vectors are stale
+        else:
+            pool[key] = co
+
+    if live:
+        pool_add(_Cohort(
+            lanes=np.array(live, dtype=np.intp),
+            cursors=[0] * num_devices,
+            comp_done=bytearray(n_comp),
+            posted=bytearray(n_slots),
+            batch_posted=bytearray(len(batch_send_ids)),
+            done=0,
+        ))
+    full_slice = slice(None)
+    while pool:
+        # the least-advanced cohort steps first: cohorts can only merge
+        # at equal structural progress (the key fixes it), so keeping
+        # the pool's progress spread tight maximizes re-convergence
+        if len(pool) == 1:
+            key, best = next(iter(pool.items()))
+        else:
+            key = best = best_p = None
+            for k, co in pool.items():
+                p = co.done + sum(co.batch_posted)
+                if best_p is None or p < best_p:
+                    key, best, best_p = k, co, p
+        del pool[key]
+        L = best.lanes
+        X = full_slice if len(L) == n else L
+        # per-device peek cache: a non-None peek reads only that
+        # device's clock and transfer slots already posted (whose times
+        # are final), so it stays valid until the device itself steps;
+        # a cached None (blocked head) can only flip after a step that
+        # sets flags.  _UNSET marks entries that must be recomputed.
+        peeks = best.peeks
+        if peeks is None:
+            peeks = best.peeks = [_UNSET] * num_devices
+        # fold per-device peeks; ``uni`` tracks the winning device while
+        # every lane still agrees so the common case skips np.unique
+        best_at = best_di = uni = None
+        for di in range(num_devices):
+            at = peeks[di]
+            if at is _UNSET:
+                at = peek_vec(best, di, X)
+                peeks[di] = at
+            if at is None:
+                continue
+            if best_at is None:
+                best_at, uni = at, di
+            else:
+                m = at < best_at
+                if m.any():
+                    if m.all():
+                        best_at, best_di, uni = at, None, di
+                    else:
+                        if best_di is None:
+                            best_di = np.full(len(L), uni, dtype=np.intp)
+                        best_at = where(m, at, best_at)
+                        best_di = where(m, di, best_di)
+                        uni = None
+        if best_at is None:  # pragma: no cover - structurally impossible
+            # blocking is flag-monotone, so any pop order completes
+            # whenever the greedy structural pass did
+            raise SchedulingError(
+                f"{head.program.name}: simulation deadlock"
+            )
+        if uni is not None:
+            # whole cohort agrees: advance in place, no split machinery
+            code = codes[uni][best.cursors[uni]]
+            n_before = len(L)
+            if step_vec(best, uni, L, X):
+                best.cursors[uni] += 1
+                best.done += 1
+            if len(best.lanes) != n_before:
+                best.peeks = None  # OOM kill shrank the lane set
+            else:
+                peeks[uni] = _UNSET
+                if (code == OP_COMPUTE or code == OP_SEND
+                        or code == OP_BATCH):
+                    # the step set flags: blocked heads may now be due
+                    for j in range(num_devices):
+                        if peeks[j] is None:
+                            peeks[j] = _UNSET
+            pool_add(best)
+            continue
+        best.peeks = None  # splitting: every child re-peeks
+        for dv in np.unique(best_di):
+            dv = int(dv)
+            sub = L[best_di == dv]
+            if len(sub) == len(L):
+                child = best  # whole cohort agrees: advance in place
+            else:
+                child = _Cohort(
+                    lanes=sub,
+                    cursors=list(best.cursors),
+                    comp_done=bytearray(best.comp_done),
+                    posted=bytearray(best.posted),
+                    batch_posted=bytearray(best.batch_posted),
+                    done=best.done,
+                )
+            if step_vec(child, dv, sub, sub):
+                child.cursors[dv] += 1
+                child.done += 1
+            pool_add(child)
+
+    # -- materialize finished lanes --------------------------------------
+    coll_order = [(ev[1], ev[2]) for ev in ls.events if ev[0] == _COLL]
+    for co in finished:
+        for k in co.lanes.tolist():
+            plan = plans[k]
+            lane_ls = lane_lss[k]
+            cs = CS[:, k].tolist()
+            ce = CE[:, k].tolist()
+            lane_tl = _lane_timeline(plan, lane_ls, cs, ce)
+            clock_k = CLK[:, k].tolist()
+            recv_k = RW[:, k].tolist()
+            # per-device program order — all the (post, start, device)
+            # sort key needs, as in the lockstep materializer
+            coll_k = []
+            for lid, cdi in coll_order:
+                _cdi, postv, startv, endv, steps = coll_recs[lid]
+                coll_k.append(
+                    (lid, cdi, float(postv[k]), float(startv[k]),
+                     float(endv[k]),
+                     tuple((float(s[k]), float(e[k])) for s, e in steps)))
+            tracked_k = plan.program.tracks_memory
+            if full:
+                sp = SP[:, k].tolist()
+                ss = SS[:, k].tolist()
+                se = SE_[:, k].tolist()
+                post_seq_k = pop_post[k]
+                mem_k = []
+                if tracked_k and pop_comp is not None:
+                    mbc = _mem_by_cid(lane_ls)
+                    for cid in pop_comp[k]:
+                        ent = mbc.get(cid)
+                        if ent:
+                            s_, e_ = cs[cid], ce[cid]
+                            for adi, delta, level, is_alloc in ent:
+                                mem_k.append(
+                                    (adi, s_ if is_alloc else e_,
+                                     delta, level, cid))
+            else:
+                sp = ss = se = []
+                post_seq_k = []
+                mem_k = []
+            results[k] = _materialize(
+                plan, ls.exec_seq, cs, ce, post_seq_k, sp, ss, se,
+                ls.send_batched, coll_k, mem_k, clock_k, recv_k,
+                lane_ls.mem_peak if tracked_k else None,
+                detail=detail, timeline=lane_tl)
+    return BatchResult(results=results, errors=errors)
 
 
 def _plan_congruence(plan: ExecutablePlan) -> str:
@@ -972,20 +1687,15 @@ def execute_many(
     :attr:`~repro.actions.lowering.ExecutablePlan.congruence_key`),
     executes each multi-lane group through :func:`execute_batch` and
     everything else through the scalar core, and returns outcomes in
-    item order.  Contention lanes batch too when ``detail="lean"``;
-    full-detail contention requests and singleton groups take the
-    (reason-coded) scalar path.
+    item order.  Contention lanes batch at every detail level — lean
+    through the lockstep pass with time-ordered recovery, full detail
+    through the time-ordered replay directly; only singleton groups
+    take the (reason-coded) scalar path.
     """
     run = run or RunConfig()
     items = list(items)
     results: list[EventResult | None] = [None] * len(items)
     errors: list[OutOfMemoryError | None] = [None] * len(items)
-    if run.contention and detail != "lean":
-        for idx, (plan, cap) in enumerate(items):
-            results[idx], errors[idx] = _scalar_lane(
-                plan, run, cap, detail=detail, reason="contention")
-        return BatchResult(results=results, errors=errors)
-
     groups: dict[str, list[int]] = {}
     for idx, (plan, _) in enumerate(items):
         groups.setdefault(_plan_congruence(plan), []).append(idx)

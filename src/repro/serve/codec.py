@@ -26,7 +26,7 @@ from ..errors import ConfigError
 
 #: bump when query or answer payload layout changes; a client/server
 #: version mismatch then fails loudly instead of mis-parsing
-CODEC_VERSION = 1
+CODEC_VERSION = 2
 
 #: model names a query may reference (resolved in ``queries.py``)
 KNOWN_MODELS = ("bert", "gpt", "tiny")
@@ -112,11 +112,13 @@ class AdviseQuery:
     dp: tuple[int, ...] | None = None
     top: int = 10
     capacity_gib: float | None = None
+    contention: bool = False
 
     @classmethod
     def make(cls, cluster: str, model: str, devices: int, batch: int,
              tp: int = 1, dp=None, top: int = 10,
-             capacity_gib: float | None = None) -> "AdviseQuery":
+             capacity_gib: float | None = None,
+             contention: bool = False) -> "AdviseQuery":
         """Validating, normalizing constructor (CLI args and payloads)."""
         cluster = str(cluster).upper()
         if cluster not in KNOWN_CLUSTERS:
@@ -153,9 +155,14 @@ class AdviseQuery:
                     f"number, got {capacity_gib!r}"
                 )
             capacity_gib = float(capacity_gib)
+        if not isinstance(contention, bool):
+            raise ConfigError(
+                f"query field 'contention' must be a boolean, "
+                f"got {contention!r}"
+            )
         return cls(cluster=cluster, model=model, devices=devices,
                    batch=batch, tp=tp, dp=dp, top=top,
-                   capacity_gib=capacity_gib)
+                   capacity_gib=capacity_gib, contention=contention)
 
     @classmethod
     def from_payload(cls, payload) -> "AdviseQuery":
@@ -165,7 +172,8 @@ class AdviseQuery:
                 f"{type(payload).__name__}"
             )
         _check_known(payload, ("cluster", "model", "devices", "batch",
-                               "tp", "dp", "top", "capacity_gib"))
+                               "tp", "dp", "top", "capacity_gib",
+                               "contention"))
         return cls.make(
             cluster=_require(payload, "cluster", str),
             model=_require(payload, "model", str),
@@ -176,6 +184,8 @@ class AdviseQuery:
             top=_require(payload, "top", int, default=10),
             capacity_gib=_require(payload, "capacity_gib", (int, float),
                                   default=None),
+            contention=_require(payload, "contention", bool,
+                                default=False),
         )
 
     def to_payload(self) -> dict:
@@ -188,6 +198,7 @@ class AdviseQuery:
             "dp": None if self.dp is None else list(self.dp),
             "top": self.top,
             "capacity_gib": self.capacity_gib,
+            "contention": self.contention,
         }
 
     @property
@@ -216,11 +227,13 @@ class SweepQuery:
     waves: tuple[int, ...] = (1, 2, 4, 8)
     layouts: tuple[tuple[int, ...], ...] | None = None
     capacity_gib: float | None = None
+    contention: bool = False
 
     @classmethod
     def make(cls, schemes, cluster: str, models, devices: int, batches,
              tp=(1,), waves=(1, 2, 4, 8), layouts=None,
-             capacity_gib: float | None = None) -> "SweepQuery":
+             capacity_gib: float | None = None,
+             contention: bool = False) -> "SweepQuery":
         from ..config import KNOWN_SCHEMES
 
         schemes = tuple(schemes)
@@ -266,12 +279,17 @@ class SweepQuery:
                     f"number, got {capacity_gib!r}"
                 )
             capacity_gib = float(capacity_gib)
+        if not isinstance(contention, bool):
+            raise ConfigError(
+                f"query field 'contention' must be a boolean, "
+                f"got {contention!r}"
+            )
         return cls(
             schemes=schemes, cluster=cluster, models=models,
             devices=devices, batches=_int_tuple(batches, "batches"),
             tp=tuple(sorted(set(_int_tuple(tp, "tp")))),
             waves=_int_tuple(waves, "waves"), layouts=layouts,
-            capacity_gib=capacity_gib,
+            capacity_gib=capacity_gib, contention=contention,
         )
 
     @classmethod
@@ -283,7 +301,7 @@ class SweepQuery:
             )
         _check_known(payload, ("schemes", "cluster", "models", "devices",
                                "batches", "tp", "waves", "layouts",
-                               "capacity_gib"))
+                               "capacity_gib", "contention"))
         return cls.make(
             schemes=_require(payload, "schemes", (list, tuple)),
             cluster=_require(payload, "cluster", str),
@@ -297,6 +315,8 @@ class SweepQuery:
                              default=None),
             capacity_gib=_require(payload, "capacity_gib", (int, float),
                                   default=None),
+            contention=_require(payload, "contention", bool,
+                                default=False),
         )
 
     def to_payload(self) -> dict:
@@ -311,6 +331,7 @@ class SweepQuery:
             "layouts": (None if self.layouts is None
                         else [list(layout) for layout in self.layouts]),
             "capacity_gib": self.capacity_gib,
+            "contention": self.contention,
         }
 
     @property

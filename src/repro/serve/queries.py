@@ -82,6 +82,7 @@ def advise_requests(
                         p=p, num_microbatches=shape[0], d=d, w=w,
                         microbatch_size=shape[1],
                         capacity_bytes=query.capacity_bytes,
+                        contention=query.contention,
                     ))
                 else:
                     requests.append(HybridRequest(
@@ -90,6 +91,7 @@ def advise_requests(
                         num_microbatches=shape[0], w=w,
                         microbatch_size=shape[1],
                         capacity_bytes=query.capacity_bytes,
+                        contention=query.contention,
                     ))
     return cells, requests
 
@@ -171,6 +173,7 @@ def sweep_spec(query: SweepQuery) -> SweepSpec:
         waves=query.waves,
         tensor_parallel=query.tp,
         capacity_bytes=query.capacity_bytes,
+        contention=query.contention,
     )
 
 
@@ -199,7 +202,7 @@ def sweep_answer(
     jobs = [
         (i, point, spec.clusters[point.cluster_index],
          spec.models[point.model_index], spec.overlap,
-         spec.enforce_memory, spec.capacity_bytes)
+         spec.enforce_memory, spec.capacity_bytes, spec.contention)
         for i, point in enumerate(points)
     ]
     from ..sweep.engine import _batch_units

@@ -52,7 +52,7 @@ from ..analysis.throughput import ThroughputResult
 #: contention-mode lanes execute through the lockstep stepper, and
 #: batch units span congruent structures (cross-model lanes), all new
 #: code paths between cached records and the event core
-CACHE_VERSION = 7
+CACHE_VERSION = 8
 
 #: package-relative sources whose behaviour determines a measurement;
 #: their content is hashed into every cache key so editing the cost
@@ -152,6 +152,7 @@ def cache_key(
     overlap: str = "simulated",
     enforce_memory: bool = True,
     capacity_bytes: int | None = None,
+    contention: bool = False,
     cluster_fp: dict | None = None,
     model_fp: dict | None = None,
 ) -> str:
@@ -188,6 +189,7 @@ def cache_key(
             "overlap": overlap,
             "enforce_memory": enforce_memory,
             "capacity_bytes": capacity_bytes,
+            "contention": contention,
         },
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))

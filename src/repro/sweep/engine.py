@@ -49,6 +49,7 @@ from ..analysis.throughput import (
     measure_throughput,
     measure_throughput_batch,
 )
+from ..config import RunConfig
 from ..errors import ConfigError
 from .cache import (
     ResultCache,
@@ -83,7 +84,8 @@ def _evaluate(job: tuple) -> tuple[int, dict]:
     and share the overlap accounting.
     """
     (index, point, cluster, model, overlap, enforce_memory,
-     capacity_bytes) = job
+     capacity_bytes, contention) = job
+    run = RunConfig(contention=contention)
     label = (f"{point.scheme}/{cluster.name}/{model.name} "
              f"P{point.p} D{point.d} TP{point.tp} W{point.w} "
              f"B{point.num_microbatches}x{point.microbatch_size}")
@@ -95,7 +97,7 @@ def _evaluate(job: tuple) -> tuple[int, dict]:
                     HybridLayout(tp=point.tp, p=point.p, d=point.d),
                     num_microbatches=point.num_microbatches, w=point.w,
                     microbatch_size=point.microbatch_size,
-                    overlap=overlap,
+                    run=run, overlap=overlap,
                     enforce_memory=enforce_memory,
                     capacity_bytes=capacity_bytes,
                 )
@@ -105,7 +107,7 @@ def _evaluate(job: tuple) -> tuple[int, dict]:
                     p=point.p, d=point.d, w=point.w,
                     num_microbatches=point.num_microbatches,
                     microbatch_size=point.microbatch_size,
-                    overlap=overlap,
+                    run=run, overlap=overlap,
                     enforce_memory=enforce_memory,
                     capacity_bytes=capacity_bytes,
                 )
@@ -123,7 +125,7 @@ def unit_requests(unit: list[tuple]) -> list:
     """
     requests = []
     for (_index, point, cluster, model, overlap, enforce_memory,
-         capacity_bytes) in unit:
+         capacity_bytes, contention) in unit:
         if point.tp > 1:
             requests.append(HybridRequest(
                 scheme=point.scheme, cluster=cluster, model=model,
@@ -131,7 +133,7 @@ def unit_requests(unit: list[tuple]) -> list:
                 num_microbatches=point.num_microbatches, w=point.w,
                 microbatch_size=point.microbatch_size,
                 enforce_memory=enforce_memory, overlap=overlap,
-                capacity_bytes=capacity_bytes,
+                capacity_bytes=capacity_bytes, contention=contention,
             ))
         else:
             requests.append(ThroughputRequest(
@@ -140,7 +142,7 @@ def unit_requests(unit: list[tuple]) -> list:
                 d=point.d, w=point.w,
                 microbatch_size=point.microbatch_size,
                 enforce_memory=enforce_memory, overlap=overlap,
-                capacity_bytes=capacity_bytes,
+                capacity_bytes=capacity_bytes, contention=contention,
             ))
     return requests
 
@@ -221,6 +223,7 @@ def point_key(spec: SweepSpec, point: SweepPoint,
         overlap=spec.overlap,
         enforce_memory=spec.enforce_memory,
         capacity_bytes=spec.capacity_bytes,
+        contention=spec.contention,
         cluster_fp=cluster_fp, model_fp=model_fp,
     )
 
@@ -261,6 +264,7 @@ def run_sweep(
             spec.clusters[point.cluster_index],
             spec.models[point.model_index],
             spec.overlap, spec.enforce_memory, spec.capacity_bytes,
+            spec.contention,
         ))
 
     if misses:

@@ -150,6 +150,11 @@ class SweepSpec:
         each cluster device's memory for capacity what-ifs (the
         ``repro sweep --capacity-gib`` knob); ``None`` uses the
         device's own capacity.
+    contention:
+        Arbitrate shared links during simulation (the ``repro sweep
+        --contention`` knob).  Contended cells still batch: lanes whose
+        wire grants leave structural order go through the time-ordered
+        vector replay instead of falling back scalar.
     skip_oversized:
         When true (the default), layouts that do not fit a cluster are
         silently dropped — useful for one spec spanning clusters of
@@ -181,6 +186,7 @@ class SweepSpec:
     overlap: str = "simulated"
     enforce_memory: bool = True
     capacity_bytes: int | None = None
+    contention: bool = False
     skip_oversized: bool = True
 
     def __post_init__(self) -> None:

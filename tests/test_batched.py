@@ -213,19 +213,21 @@ class TestExecuteMany:
             assert err is None
             assert_result_equal(got, execute_plan(plan, run))
 
-    def test_full_detail_contention_falls_back_to_scalar(self):
+    def test_full_detail_contention_batches_time_ordered(self):
         """Full-detail contention results interleave comm/mem logs in
-        driver order, which only the scalar core produces — those
-        requests must take the scalar path and still return the same
-        outcomes object shape."""
+        driver order — the time-ordered vector replay produces them
+        in-batch now; no lane may take a ``contention`` fallback."""
         from repro import profiling
 
         stats = profiling.batching_stats()
-        before = stats.fallback_reasons.get("contention", 0)
+        before_scalar = stats.scalar_cells
+        before_rec = stats.recovered_lanes
         plans = lanes_for(lowered("dapple", {}), n=2)
         run = RunConfig(contention=True)
         out = execute_many([(p, None) for p in plans], run)
-        assert stats.fallback_reasons["contention"] == before + 2
+        assert "contention" not in stats.fallback_reasons
+        assert stats.scalar_cells == before_scalar
+        assert stats.recovered_lanes == before_rec + 2
         for plan, got in zip(plans, out.results):
             assert_result_equal(got, execute_plan(plan, run))
 
@@ -314,6 +316,151 @@ class TestContentionParity:
                             detail="lean")
         assert stats.batches == batches + 1
         assert all(err is None for err in out.errors)
+
+
+class TestTimeOrderedReplay:
+    """The time-ordered vector replay: contention lanes whose wire
+    grants leave structural order, and full-detail contention, batch
+    bit-identically to the scalar time-ordered driver."""
+
+    @pytest.mark.parametrize("prefetch", [True, False],
+                             ids=["pf", "nopf"])
+    @pytest.mark.parametrize("param", ALL_SCHEMES, ids=scheme_id)
+    def test_full_detail_contention_bit_equals_scalar(self, param,
+                                                      prefetch):
+        """Driver-order comm and mem logs, lane for lane, all fields."""
+        scheme, kw = param
+        plans = lanes_for(lowered(scheme, kw, prefetch=prefetch))
+        run = RunConfig(prefetch=prefetch, contention=True)
+        batch = execute_batch(PlanBatch.from_plans(plans), run)
+        for plan, got, err in zip(plans, batch.results, batch.errors):
+            assert err is None
+            assert_result_equal(got, execute_plan(plan, run))
+
+    @pytest.mark.parametrize("factory", [make_fc, make_tacc, make_pc],
+                             ids=["FC", "TACC", "PC"])
+    def test_divergent_waves_recovered_both_cores(self, factory):
+        """hanayo-w2 on shared-link concrete clusters — the
+        known-divergent wave interleaving whose wire grants reorder
+        against structural order — recovers in-batch (zero scalar
+        fallbacks) and matches both event cores."""
+        from repro import profiling
+        from repro.analysis.throughput import _pipeline_comm
+        from repro.runtime import execute_program_reference
+
+        stats = profiling.batching_stats()
+        cfg = PipelineConfig(scheme="hanayo", num_devices=P,
+                             num_microbatches=B, num_waves=2,
+                             data_parallel=2)
+        sched = build_schedule(cfg)
+        cells = []
+        for size in (8, 16):
+            cluster = factory(size)
+            costs = stage_costs(tiny_model(num_layers=16),
+                                sched.num_stages, cluster.device, 2)
+            program = compile_cluster_program(sched, cluster, costs, d=2)
+            oracle = ConcreteCosts(costs, _pipeline_comm(cluster, 0, P))
+            cells.append((program, oracle,
+                          ExecutablePlan.lower(program).retime(oracle)))
+        run = RunConfig(contention=True)
+        plans = [plan for _, _, plan in cells]
+        scalar_before = stats.scalar_cells
+        recovered_before = stats.recovered_lanes
+        for detail in ("lean", "full"):
+            batch = execute_batch(PlanBatch.from_plans(plans), run,
+                                  detail=detail)
+            for (program, oracle, plan), got in zip(cells,
+                                                    batch.results):
+                want = execute_plan(plan, run, detail=detail)
+                assert_result_equal(got, want)
+                ref = execute_program_reference(program, oracle, run)
+                assert got.timeline.spans == ref.timeline.spans
+                assert got.recv_wait == ref.recv_wait
+                assert got.collectives == ref.collectives
+                assert got.device_end == ref.device_end
+        assert stats.scalar_cells == scalar_before  # no lane left
+        assert stats.recovered_lanes > recovered_before
+
+    def test_mixed_recovered_and_fallback_lanes(self):
+        """One execute_many with a recovered contention group and a
+        singleton scalar lane: outcomes stay item-ordered and each
+        path's accounting is attributed correctly."""
+        from repro import profiling
+
+        stats = profiling.batching_stats()
+        group = lanes_for(lowered("hanayo", {"num_waves": 2}), n=3)
+        solo = lanes_for(lowered("gems", {}), n=1)
+        items = [(group[0], None), (solo[0], None), (group[1], None),
+                 (group[2], None)]
+        run = RunConfig(contention=True)
+        singleton_before = stats.fallback_reasons.get("singleton", 0)
+        recovered_before = stats.recovered_lanes
+        out = execute_many(items, run)
+        assert stats.fallback_reasons.get("singleton", 0) == \
+            singleton_before + 1
+        assert stats.recovered_lanes == recovered_before + 3
+        for (plan, _), got, err in zip(items, out.results, out.errors):
+            assert err is None
+            assert_result_equal(got, execute_plan(plan, run))
+
+    @pytest.mark.parametrize("detail", ["lean", "full"])
+    def test_mid_run_oom_under_time_ordered_replay(self, detail):
+        """Mid-run capacity aborts stay in-batch under contention: the
+        abort device/peak attribution follows each lane's own pop
+        order, exactly as the scalar time-ordered driver."""
+        scheme, kw = "hanayo", {"num_waves": 2}
+        stages = build_schedule(make_config(scheme, P, B, **kw)) \
+            .num_stages
+        res = StageResources(weight_bytes=(100.0,) * stages,
+                             activation_bytes=(10.0,) * stages)
+        plans = lanes_for(lowered(scheme, kw, resources=res))
+        run = RunConfig(contention=True)
+        peaks = [max(execute_plan(p, RunConfig()).mem_peak.values())
+                 for p in plans]
+        # lane 0: statically rejected; lane 1: aborts mid-run; the
+        # rest clear (one uncapped, one just-fitting)
+        caps = [1, int(peaks[1]) - 1, None, int(peaks[3]) + 1]
+        batch = execute_batch(PlanBatch.from_plans(plans, caps), run,
+                              detail=detail)
+        saw_oom = saw_ok = False
+        for plan, cap, got, err in zip(plans, caps, batch.results,
+                                       batch.errors):
+            try:
+                want = execute_plan(plan, run, capacity_bytes=cap,
+                                    detail=detail)
+            except OutOfMemoryError as exc:
+                saw_oom = True
+                assert got is None
+                assert isinstance(err, OutOfMemoryError)
+                assert (err.device, err.peak_bytes, err.capacity_bytes) \
+                    == (exc.device, exc.peak_bytes, exc.capacity_bytes)
+                assert str(err) == str(exc)
+            else:
+                saw_ok = True
+                assert err is None
+                assert_result_equal(got, want)
+        assert saw_oom and saw_ok
+
+    def test_aborted_lane_keeps_lazy_cost_contract(self):
+        """A mid-run-aborting contention lane resolves lazy compute
+        costs only up to (and including) its aborting compute; a
+        statically-rejected lane resolves none."""
+        scheme, kw = "dapple", {}
+        stages = build_schedule(make_config(scheme, P, B, **kw)) \
+            .num_stages
+        res = StageResources(weight_bytes=(100.0,) * stages,
+                             activation_bytes=(10.0,) * stages)
+        base = lowered(scheme, kw, resources=res)
+        probe = lanes_for(base)
+        peak = max(execute_plan(probe[1], RunConfig()).mem_peak.values())
+        caps = [1, int(peak) - 1, None, None]
+        plans = lanes_for(base)  # fresh lanes: no probe-resolved costs
+        execute_batch(PlanBatch.from_plans(plans, caps),
+                      RunConfig(contention=True))
+        assert all(c is None for c in plans[0].comp_cost)
+        resolved = sum(c is not None for c in plans[1].comp_cost)
+        assert 0 < resolved < len(plans[1].comp_cost)
+        assert all(c is not None for c in plans[2].comp_cost)
 
 
 class TestCongruentGroups:
@@ -407,25 +554,49 @@ class TestHybridTPParity:
 
 
 class TestFallbackReasons:
-    """The --profile fallback histogram: every scalar cell is blamed."""
+    """The --profile fallback histogram: every scalar cell is blamed,
+    with wall time attributed per reason; recovered lanes counted."""
 
     def test_reasons_recorded_and_described(self):
         from repro import profiling
 
         stats = profiling.batching_stats()
         before = dict(stats.fallback_reasons)
+        before_s = dict(stats.fallback_s)
+        before_rec = stats.recovered_lanes
         solo = lanes_for(lowered("gems", {}), n=1)
         run = RunConfig()
         execute_many([(solo[0], None)], run)
         plans = lanes_for(lowered("dapple", {}), n=2)
         execute_many([(p, None) for p in plans],
-                     RunConfig(contention=True))  # full detail: scalar
+                     RunConfig(contention=True))  # full: time-ordered
         assert stats.fallback_reasons.get("singleton", 0) == \
             before.get("singleton", 0) + 1
-        assert stats.fallback_reasons.get("contention", 0) == \
-            before.get("contention", 0) + 2
-        assert "fallbacks [" in stats.describe()
-        assert "singleton=" in stats.describe()
+        assert stats.fallback_s.get("singleton", 0.0) > \
+            before_s.get("singleton", 0.0)
+        assert "contention" not in stats.fallback_reasons
+        assert stats.recovered_lanes == before_rec + 2
+        text = stats.describe()
+        assert "fallbacks [" in text
+        assert "singleton=" in text
+        assert "ms" in text.split("fallbacks [", 1)[1]  # wall time shown
+        assert "recovered" in text
+        assert "time-ordered" in text
+
+    def test_recovery_counts_inside_batched_totals(self):
+        """A recovered batch is a batch: occupancy and lane totals keep
+        covering every batched lane."""
+        from repro import profiling
+
+        stats = profiling.batching_stats()
+        lanes0, batches0 = stats.lanes, stats.batches
+        plans = lanes_for(lowered("hanayo", {"num_waves": 2}))
+        execute_batch(PlanBatch.from_plans(plans),
+                      RunConfig(contention=True), detail="full")
+        assert stats.lanes == lanes0 + len(plans)
+        assert stats.batches == batches0 + 1
+        assert sum(n * c for n, c in stats.occupancy.items()) \
+            == stats.lanes
 
 
 class TestFromPlansValidation:

@@ -141,6 +141,14 @@ class TestCache:
                            capacity_bytes=10 * 2**30)
         assert base != capped
 
+    def test_key_includes_contention(self):
+        """Arbitrated and uncontended runs must not share cells."""
+        shape = dict(p=4, d=1, w=1, num_microbatches=4, microbatch_size=2)
+        base = cache_key("gpipe", make_fc(4), tiny_model(), **shape)
+        arbitrated = cache_key("gpipe", make_fc(4), tiny_model(), **shape,
+                               contention=True)
+        assert base != arbitrated
+
     def test_key_includes_code_fingerprint(self, monkeypatch):
         """Editing measurement code must invalidate cached cells."""
         import repro.sweep.cache as cache_mod
@@ -442,6 +450,31 @@ class TestBatchUnits:
             key = (row.scheme, row.cluster, row.p, row.d, row.w,
                    row.num_microbatches, row.microbatch_size)
             assert row.to_dict() == reference[key]
+
+    def test_contention_sweep_matches_scalar(self):
+        """A contention sweep's batch units reproduce the per-cell
+        scalar contention measurements — divergent lanes go through the
+        time-ordered replay, not back to the scalar loop."""
+        from repro.analysis import measure_throughput
+        from repro.config import RunConfig
+
+        spec = tiny_spec(clusters=(make_fc(4), make_tacc(4)),
+                         contention=True)
+        table = run_sweep(spec)
+        assert table.rows
+        run = RunConfig(contention=True)
+        clusters = {c.name: c for c in spec.clusters}
+        for row in table.rows:
+            want = measure_throughput(
+                row.scheme, clusters[row.cluster], spec.models[0],
+                p=row.p, d=row.d, w=row.w,
+                num_microbatches=row.num_microbatches,
+                microbatch_size=row.microbatch_size, run=run,
+            )
+            assert row.result.seq_per_s == want.seq_per_s
+            assert row.result.bubble_ratio == want.bubble_ratio
+            assert row.result.iteration_s == want.iteration_s
+            assert row.result.peak_mem_bytes == want.peak_mem_bytes
 
 
 class TestEngine:
